@@ -1,0 +1,63 @@
+"""Ablation: edge-processing order in the continuous Algorithm 2.
+
+Section 4.3.2 notes the continuous super-graph is order-dependent.  This
+benchmark measures, across random edge orders, the spread of the final
+super-graph size and of the pipeline's chi-square — quantifying how much
+the order actually matters in practice.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import gnm_random_graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.core.construct_continuous import build_continuous_supergraph
+from repro.core.solver import mine
+
+from conftest import emit
+
+N, M = 200, 800
+ORDERS = 8
+
+
+@pytest.fixture(scope="module")
+def instance():
+    graph = gnm_random_graph(N, M, seed=31)
+    labeling = ContinuousLabeling.random(graph, 2, seed=32)
+    return graph, labeling
+
+
+def spread(instance):
+    graph, labeling = instance
+    rows = []
+    for seed in range(ORDERS):
+        sg = build_continuous_supergraph(
+            graph, labeling, edge_order="shuffled", seed=seed
+        )
+        best = mine(
+            graph, labeling, edge_order="shuffled", seed=seed, n_theta=15
+        ).best
+        rows.append([f"shuffle-{seed}", sg.num_super_vertices, round(best.chi_square, 3)])
+    for order in ("input", "by_chi_square"):
+        sg = build_continuous_supergraph(graph, labeling, edge_order=order)
+        best = mine(graph, labeling, edge_order=order, n_theta=15).best
+        rows.append([order, sg.num_super_vertices, round(best.chi_square, 3)])
+    return rows
+
+
+def test_edge_order_spread(benchmark, instance):
+    rows = benchmark.pedantic(spread, args=(instance,), rounds=1, iterations=1)
+    emit(
+        "ablation_edge_order",
+        f"Ablation: Algorithm 2 edge-order sensitivity (ER n={N}, m={M})",
+        ["edge order", "super-vertices", "pipeline X^2"],
+        rows,
+    )
+    chis = [row[2] for row in rows]
+    sizes = [row[1] for row in rows]
+    # Order changes details but not the ballpark: the measured spread on
+    # this workload stays within 2x on size and ~60% on the statistic —
+    # real sensitivity, which is why the paper flags the order dependence.
+    assert max(sizes) <= 2 * min(sizes)
+    assert max(chis) <= 1.6 * min(chis)

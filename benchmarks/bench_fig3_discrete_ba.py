@@ -1,0 +1,79 @@
+"""Figure 3: super-graph size and reduction time vs edges (discrete, BA).
+
+Figure 3a plots the number of super-vertices against the edge count for
+Barabási-Albert graphs with l = 5 labels and several vertex counts; the
+count drops sharply and reaches exactly l once m passes ~(l/2) n ln n.
+Figure 3b plots the construction+reduction time, which grows linearly in m.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.harness import timed
+from repro.graph.generators import barabasi_albert_graph
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.construct_discrete import build_discrete_supergraph
+
+from conftest import emit
+
+L = 5
+SIZES = (400, 800)
+FACTORS = (0.25, 0.5, 1.0, 2.0, 3.0, 5.0)
+REPETITIONS = 3
+
+
+def ba_with_edge_budget(n: int, target_m: int, seed: int):
+    """A BA graph whose edge count approximates target_m (d = m/n)."""
+    d = max(1, min(n - 1, round(target_m / n)))
+    return barabasi_albert_graph(n, d, seed=seed)
+
+
+def measure(n: int, factor: float, rep: int) -> tuple[int, int, float]:
+    target_m = int(factor * n * math.log(n))
+    graph = ba_with_edge_budget(n, target_m, seed=1000 * rep + int(10 * factor))
+    labeling = DiscreteLabeling.random(
+        graph, uniform_probabilities(L), seed=rep
+    )
+    supergraph, seconds = timed(build_discrete_supergraph, graph, labeling)
+    return graph.num_edges, supergraph.num_super_vertices, seconds
+
+
+def sweep(n: int):
+    rows = []
+    for factor in FACTORS:
+        ms, sizes, times = [], [], []
+        for rep in range(REPETITIONS):
+            m, n_s, seconds = measure(n, factor, rep)
+            ms.append(m)
+            sizes.append(n_s)
+            times.append(seconds)
+        rows.append(
+            [
+                n,
+                factor,
+                round(sum(ms) / len(ms)),
+                round(sum(sizes) / len(sizes), 1),
+                round(sum(times) / len(times), 4),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("n", SIZES)
+def test_fig3_sweep(benchmark, n):
+    rows = benchmark.pedantic(sweep, args=(n,), rounds=1, iterations=1)
+    emit(
+        f"fig3_discrete_ba_n{n}",
+        f"Figure 3 (analogue): super-vertices and time vs m (BA, l={L}, n={n})",
+        ["n", "m / (n ln n)", "m", "super-vertices", "construct (s)"],
+        rows,
+    )
+    # Figure 3a shape: collapse to ~l at high density.
+    sizes = [row[3] for row in rows]
+    assert sizes[0] > 10 * sizes[-1]
+    assert sizes[-1] <= L + 1
+    # Figure 3b shape: time grows with m (allowing noise, endpoints only).
+    assert rows[-1][4] > rows[0][4] * 0.5

@@ -1,0 +1,86 @@
+"""Figure 4 + Conclusion 3: super-graph size vs edges across label counts.
+
+Erdős-Rényi graphs with l in {2, 5, 10}: the super-vertex count converges
+to exactly l once the edge count passes ~(l/2) n ln n (the paper's curves
+"tally nicely with the theoretical prediction of the super-graph being
+reduced to l nodes"), and the construction time grows linearly in m with
+little dependence on l.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.harness import timed
+from repro.graph.generators import gnm_random_graph
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.construct_discrete import build_discrete_supergraph
+
+from conftest import emit
+
+N = 400
+LABELS = (2, 5, 10)
+FACTORS = (0.25, 0.5, 1.0, 2.0, 4.0, 8.0)
+REPETITIONS = 3
+
+_series: dict[str, list[tuple[float, float]]] = {}
+
+
+def measure(l: int, factor: float, rep: int):
+    max_edges = N * (N - 1) // 2
+    m = min(int(factor * l / 2 * N * math.log(N)), max_edges)
+    graph = gnm_random_graph(N, m, seed=7000 + 31 * rep + int(100 * factor) + l)
+    labeling = DiscreteLabeling.random(graph, uniform_probabilities(l), seed=rep)
+    supergraph, seconds = timed(build_discrete_supergraph, graph, labeling)
+    return m, supergraph.num_super_vertices, seconds
+
+
+def sweep(l: int):
+    rows = []
+    for factor in FACTORS:
+        sizes, times, ms = [], [], []
+        for rep in range(REPETITIONS):
+            m, n_s, seconds = measure(l, factor, rep)
+            ms.append(m)
+            sizes.append(n_s)
+            times.append(seconds)
+        rows.append(
+            [
+                l,
+                factor,
+                round(sum(ms) / len(ms)),
+                round(sum(sizes) / len(sizes), 1),
+                round(sum(times) / len(times), 4),
+            ]
+        )
+    return rows
+
+
+@pytest.mark.parametrize("l", LABELS)
+def test_fig4_sweep(benchmark, l):
+    rows = benchmark.pedantic(sweep, args=(l,), rounds=1, iterations=1)
+    emit(
+        f"fig4_vary_labels_l{l}",
+        f"Figure 4 (analogue): super-vertices and time vs m (ER, n={N}, l={l})",
+        ["l", "m / ((l/2) n ln n)", "m", "super-vertices", "construct (s)"],
+        rows,
+    )
+    # Conclusion 3: convergence to exactly l past the threshold.
+    assert rows[-1][3] == l
+    # Monotone-ish collapse.
+    assert rows[0][3] > rows[-1][3]
+    _series[f"l={l}"] = [(row[1], row[3]) for row in rows]
+
+
+def test_fig4_chart(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert len(_series) == len(LABELS)
+    from repro.experiments import ascii_chart
+
+    print("\n" + ascii_chart(
+        _series,
+        title="Figure 4 (analogue): super-vertices vs m / ((l/2) n ln n), log y",
+        log_y=True,
+    ) + "\n")

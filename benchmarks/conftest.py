@@ -1,0 +1,30 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one table or figure of the paper: it prints
+the same rows/series the paper reports (run pytest with ``-s`` to see them
+inline; they are also persisted as CSV under ``benchmarks/results/``) and
+registers at least one pytest-benchmark timing.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.tables import format_table, write_csv
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def emit(name: str, title: str, headers, rows) -> None:
+    """Print a paper-table-analogue and persist it as CSV."""
+    table = format_table(headers, rows, title=title)
+    print("\n" + table + "\n")
+    write_csv(RESULTS_DIR / f"{name}.csv", headers, rows)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Co-location rule mining on the synthetic North-East survey (Section 5.1).
+
+Demonstrates the paper's first real-world workflow end to end:
+
+1. load the (synthetic) North-East biodiversity dataset — 1202 spatial
+   sites, four attributes quantised to the 14 symbols of Table 1;
+2. mine size-2 co-location rules from the feature data;
+3. for the calibrated rules, mine the contiguous regions where the rule is
+   *statistically significant* — including the region-bridge-region
+   structure that plain hot-spot detection misses;
+4. mine rare combined-label regions (the AK / CG findings).
+
+Run:  python examples/colocation_mining.py
+"""
+
+from __future__ import annotations
+
+from repro.colocation import (
+    combined_feature_instance,
+    mine_pair_rules,
+    significant_rule_regions,
+)
+from repro.core import mine
+from repro.datasets import northeast_dataset
+from repro.experiments import format_table
+
+
+def main() -> None:
+    print("generating the synthetic North-East survey (seed 7)...")
+    ne = northeast_dataset(seed=7)
+    print(f"{ne.dataset.num_points} sites, {ne.graph.num_edges} neighbourhood "
+          f"edges, features {sorted(ne.dataset.feature_universe)}\n")
+
+    # ------------------------------------------------------------------
+    # Step 1: classic co-location rule mining (the substrate the paper
+    # builds on): which feature pairs co-occur?
+    # ------------------------------------------------------------------
+    rules = mine_pair_rules(ne.dataset, min_support=50, min_prevalence=0.3)
+    rows = [
+        [str(r), r.support, round(r.participation_index, 2)]
+        for r in rules[:8]
+    ]
+    print(format_table(
+        ["Rule (confidence)", "Support", "Participation index"],
+        rows,
+        title="Top co-location rules (classic mining)",
+    ))
+    print()
+
+    # ------------------------------------------------------------------
+    # Step 2: where is each rule statistically significant?  (Table 2)
+    # ------------------------------------------------------------------
+    rows = []
+    for rule in ne.calibrated_rules:
+        findings, _ = significant_rule_regions(
+            ne.dataset, rule, top_t=1, n_theta=15
+        )
+        best = findings[0]
+        rows.append([
+            str(rule),
+            round(best.presence_ratio, 2),
+            best.component_sizes,
+            best.component_labels,
+            round(best.subgraph.chi_square, 1),
+        ])
+    print(format_table(
+        ["Rule", "Ratio of 1", "Sizes", "Labels", "X^2"],
+        rows,
+        title="Top-1 statistically significant region per rule (Table 2 analogue)",
+    ))
+    print("\nNote the bridge row: two label-0 regions joined by a thin "
+          "label-1 strip\n— invisible to hot-spot detection, found by "
+          "connected-subgraph mining.\n")
+
+    # A map of the bridge finding: 0-regions as 'o', the 1-strip as '#'.
+    from repro.experiments import render_point_map
+
+    bridge_rule = ne.rule("I", "A")
+    findings, _ = significant_rule_regions(
+        ne.dataset, bridge_rule, top_t=1, n_theta=15
+    )
+    region = findings[0].subgraph.vertices
+    strip = [v for v in region if "A" in ne.dataset.features_of(v)]
+    blobs = [v for v in region if v not in set(strip)]
+    print("Map of the I => A bridge region ('o' = label-0 blobs, "
+          "'#' = label-1 strip):\n")
+    print(render_point_map(
+        ne.dataset.points,
+        {"#": strip, "o": blobs},
+        width=72,
+        height=20,
+    ))
+    print()
+
+    # ------------------------------------------------------------------
+    # Step 3: rare combined labels over the whole graph (AK / CG).
+    # ------------------------------------------------------------------
+    rows = []
+    for a, b in (("A", "K"), ("C", "G")):
+        graph, labeling = combined_feature_instance(ne.dataset, a, b)
+        best = mine(graph, labeling, n_theta=15).best
+        rows.append([
+            a + b,
+            round(labeling.probabilities[1], 3),
+            best.size,
+            round(best.chi_square, 1),
+            f"{best.p_value:.1e}",
+        ])
+    print(format_table(
+        ["Combined label", "Probability", "Region size", "X^2", "p-value"],
+        rows,
+        title="Rare combined-label regions (Section 5.1 narrative)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

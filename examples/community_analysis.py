@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Community detection & dense-subgraph mining (the paper's §6 outlook).
+
+The paper's conclusion suggests applying the method to "community
+detection and dense subgraph mining".  This example does both:
+
+1. detect communities with label propagation, score each community's label
+   composition with the chi-square machinery, and drill into the most
+   deviant community to find the core region driving it;
+2. mine density anomalies of a plain unlabeled graph by labeling vertices
+   with degree z-scores (the Section 5.3 trick) — recovering a planted
+   clique in a sparse background.
+
+Run:  python examples/community_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.community import (
+    label_propagation_communities,
+    mine_community_core,
+    mine_dense_subgraphs,
+    rank_communities,
+)
+from repro.experiments import format_table
+from repro.graph import Graph, gnm_random_graph
+from repro.labels import DiscreteLabeling
+
+
+def community_significance() -> None:
+    print("=" * 70)
+    print("1. Which community deviates from the global label mix?")
+    print("=" * 70)
+
+    # Three 8-cliques chained together; the middle one is planted with the
+    # rare label.
+    graph = Graph(range(24))
+    for base in (0, 8, 16):
+        for i in range(base, base + 8):
+            for j in range(i + 1, base + 8):
+                graph.add_edge(i, j)
+    graph.add_edge(7, 8)
+    graph.add_edge(15, 16)
+    assignment = {v: (1 if 8 <= v < 16 else 0) for v in graph.vertices()}
+    assignment[20] = 1  # one stray rare vertex elsewhere
+    labeling = DiscreteLabeling((0.75, 0.25), assignment)
+
+    communities = label_propagation_communities(graph, seed=1)
+    scores = rank_communities(labeling, communities)
+    rows = [
+        [i + 1, s.size, round(s.chi_square, 2), f"{s.p_value:.2e}"]
+        for i, s in enumerate(scores)
+    ]
+    print(format_table(
+        ["Rank", "Size", "X^2", "p-value"],
+        rows,
+        title="Communities ranked by label-composition deviation",
+    ))
+    top = scores[0]
+    core = mine_community_core(graph, labeling, top.members)
+    print(f"\ncore of the top community: {sorted(core.vertices)[:10]}"
+          f"{'...' if core.size > 10 else ''} "
+          f"(X^2 = {core.chi_square:.2f})\n")
+
+
+def dense_regions() -> None:
+    print("=" * 70)
+    print("2. Dense-subgraph mining via degree z-scores")
+    print("=" * 70)
+
+    graph = gnm_random_graph(80, 160, seed=9)
+    for i in range(10):           # plant a 10-clique on vertices 0..9
+        for j in range(i + 1, 10):
+            graph.add_edge(i, j, exist_ok=True)
+
+    regions, _ = mine_dense_subgraphs(graph, top_t=2, n_theta=25)
+    rows = [
+        [
+            r.size,
+            round(r.internal_density, 3),
+            round(r.average_internal_degree, 2),
+            round(r.chi_square, 2),
+            len(set(range(10)) & set(r.vertices)),
+        ]
+        for r in regions
+    ]
+    print(format_table(
+        ["Size", "Density", "Avg int. degree", "X^2", "Clique overlap"],
+        rows,
+        title="Top density anomalies (10-clique planted in sparse noise)",
+    ))
+
+
+if __name__ == "__main__":
+    community_significance()
+    dense_regions()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Mining significant regions of a *directed* graph (§6 future work).
+
+Builds a small citation-network-like digraph with a suspicious citation
+ring (a strongly connected clique of rare-label vertices feeding an
+otherwise acyclic background) and mines it under both connectivity
+notions:
+
+* **weak** — directions forgotten; the paper's full pipeline applies;
+* **strong** — the region must be mutually reachable; the exact
+  exponential search applies and isolates the ring itself.
+
+Run:  python examples/directed_mining.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import mine_directed
+from repro.graph import DiGraph
+from repro.labels import DiscreteLabeling
+
+
+def build_citation_network(seed: int = 5) -> tuple[DiGraph, DiscreteLabeling]:
+    """An acyclic 'citation' background plus a planted 5-vertex ring.
+
+    Vertices 0-4 form the ring (each cites the next, plus chords), labeled
+    with the rare "suspect" label; vertices 5-39 cite only older vertices
+    (acyclic) and are mostly "normal".
+    """
+    rng = random.Random(seed)
+    g = DiGraph(range(40))
+    # The ring: a directed cycle with extra chords (strongly connected).
+    for i in range(5):
+        g.add_edge(i, (i + 1) % 5)
+        g.add_edge(i, (i + 2) % 5, exist_ok=True)
+    # Background: each newer paper cites 2-4 strictly older ones.
+    for v in range(5, 40):
+        for _ in range(rng.randint(2, 4)):
+            g.add_edge(v, rng.randrange(v), exist_ok=True)
+
+    assignment = {v: (1 if v < 5 else 0) for v in range(40)}
+    # A couple of stray suspects outside the ring.
+    assignment[17] = 1
+    assignment[31] = 1
+    labeling = DiscreteLabeling(
+        (0.85, 0.15), assignment, symbols=("normal", "suspect")
+    )
+    return g, labeling
+
+
+def main() -> None:
+    graph, labeling = build_citation_network()
+    print(f"digraph: {graph.num_vertices} vertices, {graph.num_edges} arcs, "
+          f"{len(graph.strongly_connected_components())} SCCs\n")
+
+    weak = mine_directed(graph, labeling, connectivity="weak").best
+    print("weak connectivity (directions forgotten, full pipeline):")
+    print(f"  region {sorted(weak.vertices)}  X^2={weak.chi_square:.2f}")
+    print("  -> may string suspects together through citation chains\n")
+
+    strong = mine_directed(graph, labeling, connectivity="strong").best
+    print("strong connectivity (mutual reachability, exact search):")
+    print(f"  region {sorted(strong.vertices)}  X^2={strong.chi_square:.2f}")
+    print("  -> exactly the citation ring: the only place where rare-label"
+          "\n     vertices are mutually reachable")
+
+
+if __name__ == "__main__":
+    main()

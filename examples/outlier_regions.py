@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Spatial outlier region detection on the synthetic WNV dataset (§5.2).
+
+Demonstrates the paper's second real-world workflow:
+
+1. load the (synthetic) West Nile virus county dataset — 3109 counties
+   with case densities and a border-sharing adjacency graph;
+2. score counties with the Weighted Z-value and Average Difference
+   algorithms (Kou et al.);
+3. rank single-county outliers (Tables 3/4);
+4. mine connected outlier *regions* (Tables 5/6) — including coherent
+   regions no single member of which is remarkable alone.
+
+Run:  python examples/outlier_regions.py
+"""
+
+from __future__ import annotations
+
+from repro.datasets import wnv_dataset
+from repro.experiments import format_table
+from repro.outliers import mine_outlier_regions, rank_outlier_nodes
+
+
+def main() -> None:
+    print("generating the synthetic WNV county dataset (seed 11)...")
+    wnv = wnv_dataset(seed=11)
+    print(f"{wnv.graph.num_vertices} counties, {wnv.graph.num_edges} "
+          f"shared borders\n")
+
+    for method, label in (
+        ("weighted_z", "Weighted Z-value"),
+        ("avg_diff", "Avg Diff"),
+    ):
+        nodes = rank_outlier_nodes(wnv.units, method=method, top=4)
+        rows = [
+            [
+                n.unit,
+                f"{n.z_score:+.2f}",
+                round(n.chi_square, 2),
+                round(n.value, 4),
+                round(n.neighbor_average, 4),
+            ]
+            for n in nodes
+        ]
+        print(format_table(
+            ["County", "Z-score", "X^2", "Density", "Avg. Dens. Neighbors"],
+            rows,
+            title=f"Top single-county outliers — {label}",
+        ))
+        print()
+
+        regions, result = mine_outlier_regions(
+            wnv.units, method=method, top_t=3, n_theta=20
+        )
+        rows = [
+            [
+                ", ".join(sorted(r.units)[:6]) + ("..." if r.size > 6 else ""),
+                r.size,
+                f"{r.z_score:+.2f}",
+                round(r.chi_square, 2),
+            ]
+            for r in regions
+        ]
+        print(format_table(
+            ["Counties", "Size", "Z-score", "X^2"],
+            rows,
+            title=f"Top outlier regions — {label}",
+        ))
+        report = result.report
+        print(f"(super-graph {report.supergraph_vertices} -> reduced "
+              f"{report.reduced_vertices}; search dominated: "
+              f"{report.search_seconds:.2f}s of {report.total_seconds:.2f}s "
+              f"— the Section 5.2 narrative)\n")
+
+    print("The multi-county regions above cannot be produced by node "
+          "ranking:\ntheir members are unremarkable individually but "
+          "jointly significant.")
+
+
+if __name__ == "__main__":
+    main()

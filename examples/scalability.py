@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Scalability of the pipeline on SNAP-shaped graphs (Section 5.3).
+
+Reproduces the Figure 2 experiment at reduced scale: run the continuous
+pipeline (degree z-scores) over four graphs shaped like the paper's SNAP
+datasets and report per-stage times.  The shape to observe: sparse graphs
+(DBLP/Youtube/LiveJournal-like) spend their time reducing large
+super-graphs, while the dense Orkut-like graph collapses during conversion.
+
+Run:  python examples/scalability.py [scale]
+      (default scale 400: ~1/400 of the real node counts, a few seconds;
+       smaller scale values mean bigger graphs and longer runs)
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import mine
+from repro.datasets import SNAP_SPECS, degree_zscore_labeling, snap_like_graph
+from repro.experiments import format_table, timed
+
+
+def main(scale: int = 400) -> None:
+    rows = []
+    for name, spec in SNAP_SPECS.items():
+        print(f"running {name} at 1/{scale} scale "
+              f"(original: {spec.nodes:,} nodes, {spec.edges:,} edges, "
+              f"avg degree {spec.average_degree:.2f})...")
+        graph, gen_seconds = timed(snap_like_graph, name, scale=scale, seed=42)
+        labeling = degree_zscore_labeling(graph)
+        result = mine(graph, labeling, top_t=1, n_theta=20)
+        report = result.report
+        rows.append([
+            name,
+            graph.num_vertices,
+            graph.num_edges,
+            report.supergraph_vertices,
+            round(report.construction_seconds, 3),
+            round(report.reduction_seconds, 3),
+            round(report.search_seconds, 3),
+            round(report.total_seconds, 3),
+        ])
+    print()
+    print(format_table(
+        ["Graph", "Nodes", "Edges", "n_s", "convert(s)", "reduce(s)",
+         "search(s)", "total(s)"],
+        rows,
+        title=f"Figure 2 analogue at 1/{scale} scale",
+    ))
+    print("\nObserve: the Orkut-like graph (densest) produces the relatively "
+          "smallest\nsuper-graph — density, not size, is what the pipeline "
+          "rewards.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 400)

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Significance workflows beyond the MSCS: thresholds and permutation tests.
+
+The paper sketches two query variants in Section 2.1 — "subgraphs whose
+significance is greater than a threshold" and "the most significant
+subgraph that exceeds a particular size" — and acknowledges that the MSCS
+statistic cannot be mapped to an exact p-value analytically because
+subgraphs share vertices.  This example demonstrates both:
+
+1. alpha-level threshold mining (all disjoint regions significant at 1%);
+2. minimum-size mining;
+3. an honest, selection-corrected p-value via label-permutation testing —
+   contrasting it with the (optimistic) analytic chi-square p-value.
+
+Run:  python examples/significance_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro.core import (
+    mine_significant_at_level,
+    mine_with_min_size,
+    permutation_test,
+)
+from repro.core.queries import chi_square_threshold_for_alpha
+from repro.graph import gnm_random_graph, grid_graph
+from repro.labels import DiscreteLabeling, uniform_probabilities
+
+
+def threshold_queries() -> None:
+    print("=" * 70)
+    print("1. All regions significant at alpha = 0.01 (threshold query)")
+    print("=" * 70)
+    graph = gnm_random_graph(150, 700, seed=17)
+    labeling = DiscreteLabeling.random(graph, uniform_probabilities(4), seed=18)
+
+    threshold = chi_square_threshold_for_alpha(labeling, 0.01)
+    print(f"chi-square threshold for alpha=0.01 (chi2, {labeling.num_labels - 1} "
+          f"dof): {threshold:.3f}")
+    result = mine_significant_at_level(graph, labeling, alpha=0.01, n_theta=15)
+    for rank, sub in enumerate(result, start=1):
+        print(f"  #{rank}: size={sub.size:3d}  X^2={sub.chi_square:8.3f}  "
+              f"analytic p={sub.p_value:.2e}")
+    print()
+
+    print("2. Most significant region with at least 10 vertices")
+    big = mine_with_min_size(graph, labeling, 10, n_theta=15)
+    if big is None:
+        print("  (none found)")
+    else:
+        print(f"  size={big.size}  X^2={big.chi_square:.3f}")
+    print()
+
+
+def honest_p_values() -> None:
+    print("=" * 70)
+    print("3. Selection-corrected significance (permutation test)")
+    print("=" * 70)
+
+    # Case A: a genuinely planted signal on a grid.
+    grid = grid_graph(7, 7)
+    planted = {(r, c) for r in range(2, 5) for c in range(2, 5)}
+    signal = DiscreteLabeling(
+        (0.9, 0.1), {v: (1 if v in planted else 0) for v in grid.vertices()}
+    )
+    test = permutation_test(grid, signal, permutations=99, seed=3, n_theta=25)
+    print(f"planted signal : observed X^2 = {test.observed_chi_square:.2f}, "
+          f"null max = {max(test.null_chi_squares):.2f}, "
+          f"permutation p = {test.p_value:.3f}")
+
+    # Case B: pure null data — the analytic p-value looks spectacular, the
+    # permutation test correctly says "nothing to see".
+    null_labeling = DiscreteLabeling.random(grid, (0.9, 0.1), seed=4)
+    test = permutation_test(grid, null_labeling, permutations=99, seed=5, n_theta=25)
+    from repro.stats import discrete_p_value
+
+    analytic = discrete_p_value(test.observed_chi_square, 2)
+    print(f"null data      : observed X^2 = {test.observed_chi_square:.2f}, "
+          f"analytic p = {analytic:.2e}  <-- optimistic")
+    print(f"                 permutation p = {test.p_value:.3f}  <-- honest")
+    print("\nThe MSCS maximises over exponentially many overlapping "
+          "subgraphs, so its\nanalytic chi-square p-value overstates "
+          "significance — exactly the caveat\nthe paper raises in "
+          "Section 2.1.  The permutation test corrects for it.")
+
+
+if __name__ == "__main__":
+    threshold_queries()
+    honest_p_values()

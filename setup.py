@@ -1,0 +1,9 @@
+"""Legacy shim so `pip install -e . --no-use-pep517` works offline.
+
+All metadata lives in pyproject.toml; this file only enables editable
+installs in environments without the `wheel` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""repro — statistically significant connected subgraph mining.
+
+A production-quality Python reproduction of *"Mining Statistically
+Significant Connected Subgraphs in Vertex Labeled Graphs"* (Arora, Sachan &
+Bhattacharya, SIGMOD 2014): chi-square significance of connected subgraphs
+under discrete (multinomial) and continuous (multi-dimensional z-score)
+vertex-label null models, solved via super-graph contraction and reduction.
+
+Quickstart
+----------
+>>> from repro import Graph, DiscreteLabeling, mine, uniform_probabilities
+>>> g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+>>> labels = DiscreteLabeling(uniform_probabilities(2), {0: 1, 1: 1, 2: 0, 3: 1})
+>>> result = mine(g, labels)
+>>> sorted(result.best.vertices)
+[0, 1, 3]
+
+Sub-packages
+------------
+``repro.graph``       graph substrate (structure, generators, I/O)
+``repro.stats``       chi-square / z-score statistics and distributions
+``repro.labels``      discrete and continuous vertex labelings
+``repro.enumerate``   exhaustive connected-subgraph enumeration (naïve)
+``repro.core``        the mining pipeline (Algorithms 1, 2, 5 + solver)
+``repro.colocation``  co-location rule mining application (Section 5.1)
+``repro.outliers``    spatial outlier region detection (Section 5.2)
+``repro.datasets``    synthetic stand-ins for the paper's datasets
+``repro.experiments`` benchmark/sweep harness shared by ``benchmarks/``
+"""
+
+from repro.core.result import (
+    MiningResult,
+    PipelineReport,
+    SignificantSubgraph,
+    SubgraphComponent,
+)
+from repro.core.solver import DEFAULT_N_THETA, find_mscs, mine
+from repro.exceptions import (
+    DatasetError,
+    EnumerationLimitError,
+    ExperimentError,
+    GraphError,
+    LabelingError,
+    NotConnectedError,
+    ProbabilityError,
+    ReproError,
+)
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import (
+    DiscreteLabeling,
+    empirical_probabilities,
+    uniform_probabilities,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ContinuousLabeling",
+    "DEFAULT_N_THETA",
+    "DatasetError",
+    "DiscreteLabeling",
+    "EnumerationLimitError",
+    "ExperimentError",
+    "Graph",
+    "GraphError",
+    "LabelingError",
+    "MiningResult",
+    "NotConnectedError",
+    "PipelineReport",
+    "ProbabilityError",
+    "ReproError",
+    "SignificantSubgraph",
+    "SubgraphComponent",
+    "__version__",
+    "empirical_probabilities",
+    "find_mscs",
+    "mine",
+    "uniform_probabilities",
+]

@@ -1,0 +1,326 @@
+"""Command-line interface: mine significant subgraphs from files.
+
+Usage (see ``python -m repro --help``):
+
+* ``python -m repro info GRAPH`` — basic statistics and density regime;
+* ``python -m repro mine GRAPH LABELS`` — run the pipeline and print the
+  top-t regions (or JSON with ``--json``);
+* ``python -m repro generate ...`` — write synthetic graphs/labelings for
+  experimentation.
+
+Graphs are whitespace edge lists (SNAP style, ``--vertex-type`` selects
+int or str vertices) or ``repro`` JSON graph documents (``.json``).
+Labelings are JSON documents::
+
+    {"type": "discrete", "probabilities": [0.8, 0.2],
+     "symbols": ["common", "rare"], "assignment": {"0": 1, "1": 0}}
+
+    {"type": "continuous", "scores": {"0": [1.5, -0.2], "1": [0.0, 0.4]}}
+
+Assignment/score keys are converted with ``--vertex-type``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.exceptions import ReproError
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    gnm_random_graph,
+    holme_kim_graph,
+)
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+from repro.graph.properties import average_degree, density_threshold_edges
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.solver import mine
+
+__all__ = ["build_parser", "main"]
+
+_VERTEX_TYPES = {"int": int, "str": str}
+
+
+def _load_graph(path: str, vertex_type: type) -> Graph:
+    if path.endswith(".json"):
+        graph, _ = read_json_graph(path)
+        return graph
+    return read_edge_list(path, vertex_type=vertex_type)
+
+
+def _load_labeling(path: str, vertex_type: type):
+    doc = json.loads(Path(path).read_text())
+    kind = doc.get("type")
+    if kind == "discrete":
+        assignment = {
+            vertex_type(key): int(value)
+            for key, value in doc["assignment"].items()
+        }
+        return DiscreteLabeling(
+            doc["probabilities"], assignment, symbols=doc.get("symbols")
+        )
+    if kind == "continuous":
+        scores = {
+            vertex_type(key): value for key, value in doc["scores"].items()
+        }
+        return ContinuousLabeling(scores)
+    raise ReproError(
+        f"labeling document must have type 'discrete' or 'continuous', "
+        f"got {kind!r}"
+    )
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args.graph, _VERTEX_TYPES[args.vertex_type])
+    n, m = graph.num_vertices, graph.num_edges
+    print(f"vertices           : {n}")
+    print(f"edges              : {m}")
+    print(f"average degree     : {average_degree(graph):.2f}")
+    if n > 1:
+        continuous_threshold = density_threshold_edges(n)
+        print(f"dense (continuous) : {m > continuous_threshold} "
+              f"(threshold 4 n ln n = {continuous_threshold:.0f})")
+        for l in (2, 5):
+            threshold = density_threshold_edges(n, num_labels=l)
+            print(f"dense (l={l})        : {m > threshold} "
+                  f"(threshold {l} n ln n = {threshold:.0f})")
+    return 0
+
+
+def _cmd_mine(args: argparse.Namespace) -> int:
+    vertex_type = _VERTEX_TYPES[args.vertex_type]
+    graph = _load_graph(args.graph, vertex_type)
+    labeling = _load_labeling(args.labels, vertex_type)
+    result = mine(
+        graph,
+        labeling,
+        top_t=args.top,
+        n_theta=args.n_theta,
+        method=args.method,
+        polish=args.polish,
+    )
+    if args.json:
+        payload = {
+            "subgraphs": [
+                {
+                    "vertices": sorted(map(str, sub.vertices)),
+                    "size": sub.size,
+                    "chi_square": sub.chi_square,
+                    "p_value": sub.p_value,
+                    "component_sizes": list(sub.component_sizes),
+                    "component_labels": list(sub.component_labels),
+                }
+                for sub in result.subgraphs
+            ],
+            "report": {
+                "num_vertices": result.report.num_vertices,
+                "num_edges": result.report.num_edges,
+                "supergraph_vertices": result.report.supergraph_vertices,
+                "reduced_vertices": result.report.reduced_vertices,
+                "dense_enough": result.report.dense_enough,
+                "total_seconds": result.report.total_seconds,
+            },
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    if not result.subgraphs:
+        print("no regions found (empty graph?)")
+        return 1
+    for rank, sub in enumerate(result.subgraphs, start=1):
+        vertices = ", ".join(sorted(map(str, sub.vertices))[:12])
+        suffix = "..." if sub.size > 12 else ""
+        print(f"#{rank}: X^2={sub.chi_square:.4f}  p={sub.p_value:.3e}  "
+              f"size={sub.size}  [{vertices}{suffix}]")
+    report = result.report
+    print(f"-- super-graph {report.supergraph_vertices} -> reduced "
+          f"{report.reduced_vertices}; {report.total_seconds:.3f}s total")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    if args.model == "er":
+        graph = gnm_random_graph(args.n, args.m, seed=args.seed)
+    elif args.model == "ba":
+        graph = barabasi_albert_graph(args.n, args.d, seed=args.seed)
+    else:
+        graph = holme_kim_graph(args.n, args.d, args.triads, seed=args.seed)
+    write_edge_list(graph, args.out, header=f"generated: {args.model}")
+    print(f"wrote {graph.num_vertices} vertices / {graph.num_edges} edges "
+          f"to {args.out}")
+
+    if args.labels_out:
+        if args.label_kind == "discrete":
+            labeling = DiscreteLabeling.random(
+                graph, uniform_probabilities(args.num_labels), seed=args.seed
+            )
+            doc = {
+                "type": "discrete",
+                "probabilities": list(labeling.probabilities),
+                "symbols": list(labeling.symbols),
+                "assignment": {
+                    str(v): labeling.label_of(v) for v in graph.vertices()
+                },
+            }
+        else:
+            labeling = ContinuousLabeling.random(
+                graph, args.dimensions, seed=args.seed
+            )
+            doc = {
+                "type": "continuous",
+                "scores": {
+                    str(v): list(labeling.z_score_of(v))
+                    for v in graph.vertices()
+                },
+            }
+        Path(args.labels_out).write_text(json.dumps(doc))
+        print(f"wrote {args.label_kind} labeling to {args.labels_out}")
+    return 0
+
+
+def _write_graph(graph: Graph, path: str) -> None:
+    if path.endswith(".json"):
+        write_json_graph(graph, path)
+    else:
+        write_edge_list(graph, path)
+
+
+def _write_discrete_labels(labeling, path: str) -> None:
+    doc = {
+        "type": "discrete",
+        "probabilities": list(labeling.probabilities),
+        "symbols": list(labeling.symbols),
+        "assignment": {
+            str(v): labeling.label_of(v) for v in labeling.vertices()
+        },
+    }
+    Path(path).write_text(json.dumps(doc))
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    if args.name == "northeast":
+        from repro.datasets.northeast import northeast_dataset
+        from repro.colocation.rulegraph import build_rule_instance
+
+        ne = northeast_dataset(seed=7 if args.seed is None else args.seed)
+        antecedent, consequent = args.rule.split(",")
+        rule = ne.rule(antecedent.strip(), consequent.strip())
+        graph, labeling = build_rule_instance(ne.dataset, rule)
+        _write_graph(graph, args.graph_out)
+        _write_discrete_labels(labeling, args.labels_out)
+        print(f"wrote the {rule} instance: {graph.num_vertices} sites / "
+              f"{graph.num_edges} edges to {args.graph_out}; labels to "
+              f"{args.labels_out}")
+        return 0
+    if args.name == "wnv":
+        from repro.datasets.wnv import wnv_dataset
+        from repro.outliers.scoring import z_scores_by_method
+
+        wnv = wnv_dataset(seed=11 if args.seed is None else args.seed)
+        scores = z_scores_by_method(wnv.units, args.method)
+        if not args.graph_out.endswith(".json"):
+            raise ReproError(
+                "WNV county names contain spaces; use a .json graph output"
+            )
+        write_json_graph(wnv.graph, args.graph_out)
+        doc = {
+            "type": "continuous",
+            "scores": {str(v): [scores[v]] for v in wnv.graph.vertices()},
+        }
+        Path(args.labels_out).write_text(json.dumps(doc))
+        print(f"wrote the WNV instance ({args.method}): "
+              f"{wnv.graph.num_vertices} counties to {args.graph_out}; "
+              f"z-scores to {args.labels_out}")
+        return 0
+    raise ReproError(f"unknown dataset {args.name!r}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Mine statistically significant connected subgraphs "
+        "(SIGMOD 2014 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    info = sub.add_parser("info", help="graph statistics and density regime")
+    info.add_argument("graph", help="edge list or .json graph document")
+    info.add_argument("--vertex-type", choices=_VERTEX_TYPES, default="int")
+    info.set_defaults(func=_cmd_info)
+
+    mine_cmd = sub.add_parser("mine", help="run the mining pipeline")
+    mine_cmd.add_argument("graph", help="edge list or .json graph document")
+    mine_cmd.add_argument("labels", help="labeling JSON document")
+    mine_cmd.add_argument("--vertex-type", choices=_VERTEX_TYPES, default="int")
+    mine_cmd.add_argument("--top", type=int, default=1, help="top-t regions")
+    mine_cmd.add_argument(
+        "--n-theta", type=int, default=20, help="reduction threshold"
+    )
+    mine_cmd.add_argument(
+        "--method", choices=("supergraph", "naive"), default="supergraph"
+    )
+    mine_cmd.add_argument(
+        "--polish", action="store_true", help="LMCS post-pass"
+    )
+    mine_cmd.add_argument("--json", action="store_true", help="JSON output")
+    mine_cmd.set_defaults(func=_cmd_mine)
+
+    gen = sub.add_parser("generate", help="write synthetic graphs/labelings")
+    gen.add_argument("model", choices=("er", "ba", "holme-kim"))
+    gen.add_argument("out", help="output edge-list path")
+    gen.add_argument("-n", type=int, required=True, help="vertices")
+    gen.add_argument("-m", type=int, default=0, help="edges (er)")
+    gen.add_argument("-d", type=int, default=2, help="attachment degree (ba)")
+    gen.add_argument(
+        "--triads", type=float, default=0.5, help="triad probability (holme-kim)"
+    )
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("--labels-out", help="also write a random labeling here")
+    gen.add_argument(
+        "--label-kind", choices=("discrete", "continuous"), default="discrete"
+    )
+    gen.add_argument("--num-labels", type=int, default=3)
+    gen.add_argument("--dimensions", type=int, default=1)
+    gen.set_defaults(func=_cmd_generate)
+
+    dataset = sub.add_parser(
+        "dataset",
+        help="export a synthetic evaluation dataset as graph + labels files",
+    )
+    dataset.add_argument("name", choices=("northeast", "wnv"))
+    dataset.add_argument("--graph-out", required=True)
+    dataset.add_argument("--labels-out", required=True)
+    dataset.add_argument(
+        "--rule", default="I,H", help="northeast: antecedent,consequent"
+    )
+    dataset.add_argument(
+        "--method", choices=("weighted_z", "avg_diff"), default="weighted_z",
+        help="wnv: outlier scoring method",
+    )
+    dataset.add_argument("--seed", type=int, default=None)
+    dataset.set_defaults(func=_cmd_dataset)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

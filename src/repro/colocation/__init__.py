@@ -1,0 +1,35 @@
+"""Co-location rule mining application (Sections 2.1 and 5.1).
+
+Spatial datasets with boolean features, size-2 co-location rules with
+confidence / participation-index prevalence, and the rule-to-graph
+transformation that lets :func:`repro.core.mine` find the contiguous
+regions where a rule is statistically significant.
+"""
+
+from repro.colocation.features import SpatialDataset
+from repro.colocation.rulegraph import (
+    RegionFinding,
+    build_rule_instance,
+    combined_feature_instance,
+    significant_rule_regions,
+)
+from repro.colocation.rules import (
+    ColocationRule,
+    mine_pair_rules,
+    participation_index,
+    participation_ratio,
+    rule_confidence,
+)
+
+__all__ = [
+    "ColocationRule",
+    "RegionFinding",
+    "SpatialDataset",
+    "build_rule_instance",
+    "combined_feature_instance",
+    "mine_pair_rules",
+    "participation_index",
+    "participation_ratio",
+    "rule_confidence",
+    "significant_rule_regions",
+]

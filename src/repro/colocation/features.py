@@ -1,0 +1,103 @@
+"""Spatial datasets with boolean features (the Section 2.1 setting).
+
+A :class:`SpatialDataset` bundles the three ingredients of co-location
+analysis: point locations, the neighbourhood graph over them (edges are the
+neighbourhood relationship ``N``), and the set of boolean spatial features
+present at each point.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.exceptions import DatasetError
+from repro.graph.graph import Graph
+
+__all__ = ["SpatialDataset"]
+
+
+class SpatialDataset:
+    """Point locations + neighbourhood graph + boolean features per point.
+
+    Vertices of ``graph`` must be the point indices ``0..len(points)-1``.
+    ``features[i]`` is the set of feature symbols present at point ``i``.
+    """
+
+    __slots__ = ("points", "graph", "_features", "_feature_universe")
+
+    def __init__(
+        self,
+        points: Sequence[tuple[float, float]],
+        graph: Graph,
+        features: Mapping[int, Iterable[str]],
+    ) -> None:
+        if graph.num_vertices != len(points):
+            raise DatasetError(
+                f"graph has {graph.num_vertices} vertices for {len(points)} points"
+            )
+        for i in range(len(points)):
+            if not graph.has_vertex(i):
+                raise DatasetError(f"graph is missing point index {i}")
+        normalised: dict[int, frozenset[str]] = {}
+        universe: set[str] = set()
+        for i in range(len(points)):
+            feats = frozenset(features.get(i, ()))
+            normalised[i] = feats
+            universe |= feats
+        self.points = tuple(points)
+        self.graph = graph
+        self._features = normalised
+        self._feature_universe = frozenset(universe)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_points(self) -> int:
+        """Number of spatial points."""
+        return len(self.points)
+
+    @property
+    def feature_universe(self) -> frozenset[str]:
+        """All feature symbols appearing anywhere in the dataset."""
+        return self._feature_universe
+
+    def features_of(self, point: int) -> frozenset[str]:
+        """The features present at a point."""
+        try:
+            return self._features[point]
+        except KeyError:
+            raise DatasetError(f"point {point} is not in the dataset") from None
+
+    def has_feature(self, point: int, feature: str) -> bool:
+        """Whether ``feature`` is present at ``point``."""
+        return feature in self.features_of(point)
+
+    def points_with(self, feature: str) -> list[int]:
+        """All points exhibiting ``feature`` (ascending index order)."""
+        return [i for i in range(self.num_points) if feature in self._features[i]]
+
+    def feature_count(self, feature: str) -> int:
+        """Number of points exhibiting ``feature``."""
+        return len(self.points_with(feature))
+
+    def neighborhood(self, point: int, *, closed: bool = True) -> frozenset[int]:
+        """The neighbourhood ``N(point)``, including the point when closed."""
+        nbrs = set(self.graph.neighbors(point))
+        if closed:
+            nbrs.add(point)
+        return frozenset(nbrs)
+
+    def feature_in_neighborhood(
+        self, point: int, feature: str, *, closed: bool = True
+    ) -> bool:
+        """Whether ``feature`` occurs at the point or (closed) around it."""
+        return any(
+            feature in self._features[j]
+            for j in self.neighborhood(point, closed=closed)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SpatialDataset(points={self.num_points}, "
+            f"edges={self.graph.num_edges}, "
+            f"features={len(self._feature_universe)})"
+        )

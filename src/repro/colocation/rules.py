@@ -1,0 +1,172 @@
+"""Co-location rule mining over spatial datasets (Section 2.1 substrate).
+
+A co-location rule ``X => Y`` states that wherever feature ``X`` occurs,
+feature ``Y`` tends to occur too.  We implement the size-2 rules the paper
+evaluates ("we only consider rules of size 2 ... since that provides the
+most basic understanding"), with the standard Shekhar-Huang prevalence
+measure (participation index) and rule confidence:
+
+* ``confidence(X => Y)`` — fraction of ``X`` points exhibiting ``Y``
+  (at the point itself, or within its neighbourhood when
+  ``scope="neighborhood"``);
+* ``participation ratio`` of a feature in a pair — fraction of its
+  instances with the other feature nearby;
+* ``participation index`` — the minimum of the two participation ratios.
+
+The confidence doubles as the null-model probability ``p_1`` when regions
+where the rule is statistically significant are mined (Section 5.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.exceptions import DatasetError
+from repro.colocation.features import SpatialDataset
+
+__all__ = [
+    "ColocationRule",
+    "mine_pair_rules",
+    "participation_index",
+    "participation_ratio",
+    "rule_confidence",
+]
+
+Scope = Literal["node", "neighborhood"]
+
+
+@dataclass(frozen=True, slots=True)
+class ColocationRule:
+    """A size-2 co-location rule ``antecedent => consequent``.
+
+    ``probability`` is the rule confidence, used as the null probability of
+    the "consequent present" label when mining significant regions.
+    """
+
+    antecedent: str
+    consequent: str
+    probability: float
+    support: int
+    participation_index: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise DatasetError(
+                f"rule probability must be in [0, 1], got {self.probability}"
+            )
+        if self.support < 0:
+            raise DatasetError(f"support must be >= 0, got {self.support}")
+
+    def __str__(self) -> str:
+        return (
+            f"{self.antecedent} => {self.consequent} "
+            f"({self.probability:.2f})"
+        )
+
+
+def _check_scope(scope: str) -> None:
+    if scope not in ("node", "neighborhood"):
+        raise DatasetError(f"unknown scope {scope!r}")
+
+
+def _exhibits(
+    dataset: SpatialDataset, point: int, feature: str, scope: Scope
+) -> bool:
+    if scope == "node":
+        return dataset.has_feature(point, feature)
+    return dataset.feature_in_neighborhood(point, feature, closed=True)
+
+
+def rule_confidence(
+    dataset: SpatialDataset,
+    antecedent: str,
+    consequent: str,
+    *,
+    scope: Scope = "node",
+) -> tuple[float, int]:
+    """Confidence and support of ``antecedent => consequent``.
+
+    Returns ``(confidence, support)`` where support is the number of
+    antecedent instances.  Raises when the antecedent never occurs.
+    """
+    _check_scope(scope)
+    instances = dataset.points_with(antecedent)
+    if not instances:
+        raise DatasetError(f"feature {antecedent!r} has no instances")
+    hits = sum(
+        1 for p in instances if _exhibits(dataset, p, consequent, scope)
+    )
+    return hits / len(instances), len(instances)
+
+
+def participation_ratio(
+    dataset: SpatialDataset, feature: str, other: str, *, scope: Scope = "neighborhood"
+) -> float:
+    """Fraction of ``feature`` instances participating in the pair.
+
+    With the standard neighbourhood scope this is the Shekhar-Huang
+    participation ratio ``pr(feature, {feature, other})``.
+    """
+    _check_scope(scope)
+    instances = dataset.points_with(feature)
+    if not instances:
+        raise DatasetError(f"feature {feature!r} has no instances")
+    hits = sum(1 for p in instances if _exhibits(dataset, p, other, scope))
+    return hits / len(instances)
+
+
+def participation_index(
+    dataset: SpatialDataset, feature_a: str, feature_b: str, *, scope: Scope = "neighborhood"
+) -> float:
+    """The prevalence of the pair: min of the two participation ratios."""
+    return min(
+        participation_ratio(dataset, feature_a, feature_b, scope=scope),
+        participation_ratio(dataset, feature_b, feature_a, scope=scope),
+    )
+
+
+def mine_pair_rules(
+    dataset: SpatialDataset,
+    *,
+    min_support: int = 1,
+    min_prevalence: float = 0.0,
+    scope: Scope = "node",
+) -> list[ColocationRule]:
+    """Mine all size-2 co-location rules meeting the thresholds.
+
+    Every ordered pair of distinct features ``(X, Y)`` with at least
+    ``min_support`` instances of ``X`` and a participation index of at
+    least ``min_prevalence`` yields a rule.  Rules are returned sorted by
+    descending confidence (ties broken lexicographically for determinism).
+    """
+    if min_support < 1:
+        raise DatasetError(f"min_support must be >= 1, got {min_support}")
+    if not 0.0 <= min_prevalence <= 1.0:
+        raise DatasetError(
+            f"min_prevalence must be in [0, 1], got {min_prevalence}"
+        )
+    features = sorted(dataset.feature_universe)
+    rules: list[ColocationRule] = []
+    for x in features:
+        instances = dataset.points_with(x)
+        if len(instances) < min_support:
+            continue
+        for y in features:
+            if y == x:
+                continue
+            confidence, support = rule_confidence(dataset, x, y, scope=scope)
+            prevalence = participation_index(dataset, x, y)
+            if prevalence < min_prevalence:
+                continue
+            rules.append(
+                ColocationRule(
+                    antecedent=x,
+                    consequent=y,
+                    probability=confidence,
+                    support=support,
+                    participation_index=prevalence,
+                )
+            )
+    rules.sort(key=lambda r: (-r.probability, r.antecedent, r.consequent))
+    return rules

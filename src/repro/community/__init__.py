@@ -1,0 +1,25 @@
+"""Community detection & dense-subgraph applications (the paper's §6).
+
+The conclusion of the paper names "community detection and dense subgraph
+mining" as further applications of significant-subgraph mining; this
+package implements both directions: label-propagation communities scored
+by the chi-square of their label composition (plus a per-community core
+miner), and dense-region mining via degree z-scores.
+"""
+
+from repro.community.dense import DenseRegion, mine_dense_subgraphs
+from repro.community.detection import label_propagation_communities
+from repro.community.significance import (
+    CommunityScore,
+    mine_community_core,
+    rank_communities,
+)
+
+__all__ = [
+    "CommunityScore",
+    "DenseRegion",
+    "label_propagation_communities",
+    "mine_community_core",
+    "mine_dense_subgraphs",
+    "rank_communities",
+]

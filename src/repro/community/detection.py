@@ -1,0 +1,66 @@
+"""Lightweight community detection (label propagation).
+
+The paper's conclusion names community detection as a natural further
+application of significant-subgraph mining.  This module supplies the
+substrate: an asynchronous label-propagation detector (Raghavan et al.'s
+classic algorithm) implemented from scratch, deterministic under a seed.
+The companion :mod:`repro.community.significance` module then asks the
+paper's question about the result — *which communities are statistically
+significant with respect to a vertex labeling?*
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from collections.abc import Hashable
+
+from repro.exceptions import GraphError
+from repro.graph.generators import resolve_rng
+from repro.graph.graph import Graph
+
+__all__ = ["label_propagation_communities"]
+
+
+def label_propagation_communities(
+    graph: Graph,
+    *,
+    max_rounds: int = 100,
+    seed: int | random.Random | None = None,
+) -> list[frozenset[Hashable]]:
+    """Partition the graph into communities by label propagation.
+
+    Every vertex starts in its own community; in random order, each vertex
+    repeatedly adopts the most frequent community among its neighbours
+    (ties broken by the smallest community id for determinism) until no
+    vertex changes or ``max_rounds`` passes.  Returns the communities as
+    vertex sets, largest first.
+    """
+    if max_rounds < 1:
+        raise GraphError(f"max_rounds must be >= 1, got {max_rounds}")
+    rng = resolve_rng(seed)
+    vertices = list(graph.vertices())
+    community: dict[Hashable, int] = {v: i for i, v in enumerate(vertices)}
+
+    for _ in range(max_rounds):
+        rng.shuffle(vertices)
+        changed = False
+        for v in vertices:
+            neighbours = graph.neighbors(v)
+            if not neighbours:
+                continue
+            votes = Counter(community[w] for w in neighbours)
+            top_count = max(votes.values())
+            winner = min(c for c, count in votes.items() if count == top_count)
+            if winner != community[v]:
+                community[v] = winner
+                changed = True
+        if not changed:
+            break
+
+    groups: dict[int, set[Hashable]] = {}
+    for v, c in community.items():
+        groups.setdefault(c, set()).add(v)
+    return sorted(
+        (frozenset(g) for g in groups.values()), key=len, reverse=True
+    )

@@ -1,0 +1,59 @@
+"""Contracting-edge predicates (Section 4.3).
+
+An edge is *contracting* when its endpoints may be clubbed into the same
+super-vertex:
+
+* **Discrete** (Section 4.3.1): the endpoints carry the same label.
+  Lemma 1 justifies this — once adding one vertex of a label does not hurt,
+  adding more of the same label only helps, so same-label neighbours always
+  belong together in a local optimum (Lemma 2).
+* **Continuous** (Section 4.3.2): the chi-square of the merged region
+  exceeds the chi-square of *both* endpoints
+  (``X^2_{(u,v)} > max(X^2_u, X^2_v)``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.labels.discrete import DiscreteLabeling
+from repro.stats.zscore import RegionScore
+
+__all__ = [
+    "continuous_merge_if_contracting",
+    "is_contracting_continuous",
+    "is_contracting_discrete",
+]
+
+
+def is_contracting_discrete(
+    labeling: DiscreteLabeling, u: Hashable, v: Hashable
+) -> bool:
+    """Whether edge ``(u, v)`` is contracting under a discrete labeling."""
+    return labeling.label_of(u) == labeling.label_of(v)
+
+
+def is_contracting_continuous(
+    score_u: RegionScore, score_v: RegionScore
+) -> bool:
+    """Whether an edge between two regions is contracting (Algorithm 2 line 8).
+
+    True iff the merged chi-square strictly exceeds both endpoint
+    chi-squares.
+    """
+    merged = score_u.merged(score_v)
+    return merged.chi_square() > max(score_u.chi_square(), score_v.chi_square())
+
+
+def continuous_merge_if_contracting(
+    score_u: RegionScore, score_v: RegionScore
+) -> RegionScore | None:
+    """Return the merged region score if the edge is contracting, else None.
+
+    Avoids computing the merge twice when the caller needs the merged
+    payload (Algorithm 2 lines 8-10).
+    """
+    merged = score_u.merged(score_v)
+    if merged.chi_square() > max(score_u.chi_square(), score_v.chi_square()):
+        return merged
+    return None

@@ -1,0 +1,115 @@
+"""Derived query variants built on TSSS (Section 2.1's closing remarks).
+
+The paper notes that "several other interesting problems can also be
+conceived of, e.g., finding the connected subgraphs whose significance is
+greater than a threshold or finding the most significant connected
+subgraph that exceeds a particular size" and that "the TSSS algorithm can
+be utilized for solving these cases" with a sufficiently large t.  This
+module packages exactly those reductions.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling
+from repro.core.result import MiningResult, SignificantSubgraph
+from repro.core.solver import mine
+from repro.stats.distributions import chi2_ppf
+
+__all__ = [
+    "chi_square_threshold_for_alpha",
+    "mine_above_threshold",
+    "mine_significant_at_level",
+    "mine_with_min_size",
+]
+
+Labeling = DiscreteLabeling | ContinuousLabeling
+
+
+def chi_square_threshold_for_alpha(labeling: Labeling, alpha: float) -> float:
+    """The chi-square value whose analytic p-value equals ``alpha``.
+
+    Uses the appropriate null distribution: chi2(l-1) for discrete labels,
+    chi2(k) for continuous ones.  Note the Section 2.1 caveat — the MSCS is
+    a maximum over dependent subgraphs, so this threshold is a lower bound
+    on true significance; see :func:`repro.core.randomization.permutation_test`
+    for the selection-corrected version.
+    """
+    if not 0.0 < alpha < 1.0:
+        raise GraphError(f"alpha must be in (0, 1), got {alpha}")
+    if isinstance(labeling, DiscreteLabeling):
+        df = labeling.num_labels - 1
+    elif isinstance(labeling, ContinuousLabeling):
+        df = labeling.dimensions
+    else:
+        raise TypeError(f"unsupported labeling type: {type(labeling).__name__}")
+    return chi2_ppf(1.0 - alpha, df)
+
+
+def mine_above_threshold(
+    graph: Graph,
+    labeling: Labeling,
+    threshold: float,
+    *,
+    max_regions: int = 64,
+    **mine_kwargs,
+) -> MiningResult:
+    """All vertex-disjoint regions with chi-square above ``threshold``.
+
+    Iterative-deletion TSSS with a statistic stopping rule instead of a
+    fixed t: mining proceeds until the next-best region falls below the
+    threshold (or ``max_regions`` is hit — the safety valve the paper's
+    "sufficiently large t" needs in practice).
+    """
+    if threshold < 0:
+        raise GraphError(f"threshold must be >= 0, got {threshold}")
+    if max_regions < 1:
+        raise GraphError(f"max_regions must be >= 1, got {max_regions}")
+    result = mine(graph, labeling, top_t=max_regions, **mine_kwargs)
+    kept: list[SignificantSubgraph] = [
+        sub for sub in result.subgraphs if sub.chi_square > threshold
+    ]
+    return MiningResult(subgraphs=tuple(kept), report=result.report)
+
+
+def mine_significant_at_level(
+    graph: Graph,
+    labeling: Labeling,
+    alpha: float = 0.05,
+    *,
+    max_regions: int = 64,
+    **mine_kwargs,
+) -> MiningResult:
+    """All vertex-disjoint regions analytically significant at ``alpha``."""
+    threshold = chi_square_threshold_for_alpha(labeling, alpha)
+    return mine_above_threshold(
+        graph, labeling, threshold, max_regions=max_regions, **mine_kwargs
+    )
+
+
+def mine_with_min_size(
+    graph: Graph,
+    labeling: Labeling,
+    min_size: int,
+    *,
+    max_regions: int = 64,
+    **mine_kwargs,
+) -> SignificantSubgraph | None:
+    """The most significant connected subgraph with at least ``min_size``
+    original vertices, or None if no connected region is that large.
+
+    The paper's reduction: take the TSSS with large enough t and pick the
+    first member exceeding the size bound.  (This differs subtly from
+    ``mine(..., min_size=...)``, which constrains the search itself; the
+    TSSS route answers "of the naturally significant disjoint regions,
+    which is the best large one?".)
+    """
+    if min_size < 1:
+        raise GraphError(f"min_size must be >= 1, got {min_size}")
+    result = mine(graph, labeling, top_t=max_regions, **mine_kwargs)
+    for sub in result.subgraphs:
+        if sub.size >= min_size:
+            return sub
+    return None

@@ -1,0 +1,61 @@
+"""Synthetic stand-ins for the paper's datasets.
+
+The real evaluation data — the ISRO North-East biodiversity survey, the
+CDC WNV county dataset, and the four SNAP community graphs — are either
+proprietary or too large for a pure-Python single process; these generators
+reproduce their schema, scale (where feasible) and the planted structures
+the evaluation narratives rely on.  See DESIGN.md §4 for the substitution
+rationale.
+"""
+
+from repro.datasets.northeast import (
+    ATTRIBUTE_SYMBOLS,
+    DEFAULT_NUM_SITES,
+    NortheastDataset,
+    northeast_dataset,
+)
+from repro.datasets.snaplike import (
+    SNAP_SPECS,
+    SnapSpec,
+    degree_zscore_labeling,
+    snap_like_graph,
+)
+from repro.datasets.spatial import (
+    SmoothField,
+    jittered_grid_points,
+    nearest_indices,
+    quantize_by_thresholds,
+    rank_normalize,
+    uniform_points,
+)
+from repro.datasets.wnv import (
+    DC_NAME,
+    DC_RING_NAMES,
+    NY_NAMES,
+    STL_NAME,
+    WnvDataset,
+    wnv_dataset,
+)
+
+__all__ = [
+    "ATTRIBUTE_SYMBOLS",
+    "DC_NAME",
+    "DC_RING_NAMES",
+    "DEFAULT_NUM_SITES",
+    "NY_NAMES",
+    "NortheastDataset",
+    "SNAP_SPECS",
+    "STL_NAME",
+    "SmoothField",
+    "SnapSpec",
+    "WnvDataset",
+    "degree_zscore_labeling",
+    "jittered_grid_points",
+    "nearest_indices",
+    "northeast_dataset",
+    "quantize_by_thresholds",
+    "rank_normalize",
+    "snap_like_graph",
+    "uniform_points",
+    "wnv_dataset",
+]

@@ -1,0 +1,174 @@
+"""Spatial building blocks for the synthetic datasets.
+
+Random point fields, smooth (spatially auto-correlated) scalar fields built
+from Gaussian bumps, and quantisation helpers.  The paper's real datasets
+are spatial surveys whose attributes vary smoothly over space with local
+anomalies; these primitives let the dataset generators reproduce that
+texture deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from collections.abc import Sequence
+
+from repro.exceptions import DatasetError
+from repro.graph.generators import resolve_rng
+
+__all__ = [
+    "SmoothField",
+    "jittered_grid_points",
+    "nearest_indices",
+    "quantize_by_thresholds",
+    "rank_normalize",
+    "uniform_points",
+]
+
+
+def uniform_points(
+    n: int, *, seed: int | random.Random | None = None
+) -> list[tuple[float, float]]:
+    """``n`` i.i.d. uniform points in the unit square."""
+    if n < 1:
+        raise DatasetError(f"need at least 1 point, got {n}")
+    rng = resolve_rng(seed)
+    return [(rng.random(), rng.random()) for _ in range(n)]
+
+
+def jittered_grid_points(
+    n: int, *, jitter: float = 0.3, seed: int | random.Random | None = None
+) -> list[tuple[float, float]]:
+    """``n`` points on a near-square grid with per-point jitter.
+
+    County centroids are roughly evenly spread; a jittered grid mimics
+    that while keeping Delaunay-like k-NN adjacency planar-looking.
+    ``jitter`` is the displacement as a fraction of the grid pitch.
+    """
+    if n < 1:
+        raise DatasetError(f"need at least 1 point, got {n}")
+    if not 0.0 <= jitter < 0.5:
+        raise DatasetError(f"jitter must be in [0, 0.5), got {jitter}")
+    rng = resolve_rng(seed)
+    side = math.ceil(math.sqrt(n))
+    pitch = 1.0 / side
+    points: list[tuple[float, float]] = []
+    for row in range(side):
+        for col in range(side):
+            if len(points) >= n:
+                break
+            x = (col + 0.5 + rng.uniform(-jitter, jitter)) * pitch
+            y = (row + 0.5 + rng.uniform(-jitter, jitter)) * pitch
+            points.append((x, y))
+    return points
+
+
+class SmoothField:
+    """A smooth scalar field over the unit square: a sum of Gaussian bumps.
+
+    ``value(x, y) = sum_b amplitude_b * exp(-||p - center_b||^2 / (2 s_b^2))``
+
+    Sampling a handful of random bumps produces the spatially
+    auto-correlated attribute surfaces (biodiversity, disturbance, case
+    density, ...) the real surveys exhibit.
+    """
+
+    __slots__ = ("_bumps",)
+
+    def __init__(
+        self, bumps: Sequence[tuple[float, float, float, float]]
+    ) -> None:
+        if not bumps:
+            raise DatasetError("a smooth field needs at least one bump")
+        for cx, cy, amplitude, scale in bumps:
+            if scale <= 0:
+                raise DatasetError(f"bump scale must be positive, got {scale}")
+        self._bumps = tuple(bumps)
+
+    @classmethod
+    def random(
+        cls,
+        *,
+        num_bumps: int = 8,
+        seed: int | random.Random | None = None,
+        amplitude_range: tuple[float, float] = (-1.0, 1.0),
+        scale_range: tuple[float, float] = (0.08, 0.3),
+    ) -> "SmoothField":
+        """A random field with ``num_bumps`` seeded Gaussian bumps."""
+        if num_bumps < 1:
+            raise DatasetError(f"need at least 1 bump, got {num_bumps}")
+        rng = resolve_rng(seed)
+        bumps = [
+            (
+                rng.random(),
+                rng.random(),
+                rng.uniform(*amplitude_range),
+                rng.uniform(*scale_range),
+            )
+            for _ in range(num_bumps)
+        ]
+        return cls(bumps)
+
+    def value(self, x: float, y: float) -> float:
+        """Evaluate the field at a point."""
+        total = 0.0
+        for cx, cy, amplitude, scale in self._bumps:
+            d2 = (x - cx) ** 2 + (y - cy) ** 2
+            total += amplitude * math.exp(-d2 / (2.0 * scale * scale))
+        return total
+
+    def sample(self, points: Sequence[tuple[float, float]]) -> list[float]:
+        """Evaluate the field at every point."""
+        return [self.value(x, y) for x, y in points]
+
+
+def rank_normalize(values: Sequence[float]) -> list[float]:
+    """Map values to their percentile ranks in [0, 1].
+
+    Percentile transformation makes quantile-based quantisation thresholds
+    exact regardless of the field's value distribution.  Ties are broken by
+    original position (deterministic).
+    """
+    n = len(values)
+    if n == 0:
+        raise DatasetError("cannot rank-normalise an empty sequence")
+    if n == 1:
+        return [0.5]
+    order = sorted(range(n), key=lambda i: (values[i], i))
+    ranks = [0.0] * n
+    for position, index in enumerate(order):
+        ranks[index] = position / (n - 1)
+    return ranks
+
+
+def quantize_by_thresholds(value: float, thresholds: Sequence[float]) -> int:
+    """The index of the first threshold bucket containing ``value``.
+
+    ``thresholds`` are the *upper* bounds of each bucket except the last,
+    e.g. ``[0.4, 0.8]`` buckets ``[0, 0.4] / (0.4, 0.8] / (0.8, inf)`` —
+    the Table 1 quantisation scheme for medicinal properties.
+    """
+    if not thresholds:
+        raise DatasetError("need at least one threshold")
+    if list(thresholds) != sorted(thresholds):
+        raise DatasetError("thresholds must be non-decreasing")
+    for index, upper in enumerate(thresholds):
+        if value <= upper:
+            return index
+    return len(thresholds)
+
+
+def nearest_indices(
+    points: Sequence[tuple[float, float]],
+    center: tuple[float, float],
+    count: int,
+) -> list[int]:
+    """Indices of the ``count`` points nearest ``center`` (a planted "ball")."""
+    if count < 1:
+        raise DatasetError(f"count must be >= 1, got {count}")
+    cx, cy = center
+    ranked = sorted(
+        range(len(points)),
+        key=lambda i: (points[i][0] - cx) ** 2 + (points[i][1] - cy) ** 2,
+    )
+    return ranked[:count]

@@ -1,0 +1,44 @@
+"""Exhaustive connected-subgraph enumeration and search (naïve algorithm).
+
+The paper's baseline examines every connected subgraph; this package makes
+that tractable on small graphs via bitmask recursion with incremental
+chi-square accumulators, and is reused by the solver as the final stage on
+reduced super-graphs.
+"""
+
+from repro.enumerate.accumulators import (
+    ChiSquareAccumulator,
+    ContinuousAccumulator,
+    DiscreteAccumulator,
+)
+from repro.enumerate.bitset import BitsetGraph, iter_bits, mask_of, popcount
+from repro.enumerate.connected import (
+    DEFAULT_LIMIT,
+    connected_subgraph_masks,
+    count_connected_subgraphs,
+    enumerate_connected_subsets,
+    reference_connected_subsets,
+)
+from repro.enumerate.search import (
+    SearchOutcome,
+    exhaustive_best_mask,
+    exhaustive_best_subset,
+)
+
+__all__ = [
+    "BitsetGraph",
+    "ChiSquareAccumulator",
+    "ContinuousAccumulator",
+    "DEFAULT_LIMIT",
+    "DiscreteAccumulator",
+    "SearchOutcome",
+    "connected_subgraph_masks",
+    "count_connected_subgraphs",
+    "enumerate_connected_subsets",
+    "exhaustive_best_mask",
+    "exhaustive_best_subset",
+    "iter_bits",
+    "mask_of",
+    "popcount",
+    "reference_connected_subsets",
+]

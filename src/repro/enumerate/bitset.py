@@ -1,0 +1,105 @@
+"""Bitset encoding of small graphs for exhaustive enumeration.
+
+The naïve algorithm only ever runs on graphs with a few dozen vertices (the
+reduced super-graph), where Python arbitrary-precision integers make
+excellent bitsets: a vertex set is an ``int`` with bit ``i`` set, adjacency
+is a list of neighbour masks, and set algebra is single machine operations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator, Sequence
+
+from repro.graph.graph import Graph
+
+__all__ = ["BitsetGraph", "iter_bits", "mask_of", "popcount"]
+
+
+def popcount(mask: int) -> int:
+    """Number of set bits in ``mask``."""
+    return mask.bit_count()
+
+
+def iter_bits(mask: int) -> Iterator[int]:
+    """Yield the indices of the set bits of ``mask`` in ascending order."""
+    while mask:
+        low = mask & -mask
+        yield low.bit_length() - 1
+        mask ^= low
+
+
+def mask_of(indices: Iterable[int]) -> int:
+    """The bitmask with exactly the given bit indices set."""
+    mask = 0
+    for i in indices:
+        if i < 0:
+            raise ValueError(f"bit indices must be non-negative, got {i}")
+        mask |= 1 << i
+    return mask
+
+
+class BitsetGraph:
+    """A graph re-indexed to ``0..n-1`` with bitmask adjacency.
+
+    Keeps the original vertex objects so enumeration results can be mapped
+    back (``vertex_set(mask)``).  Vertex order follows the source graph's
+    insertion order, which makes enumeration deterministic.
+    """
+
+    __slots__ = ("_vertices", "_index", "adjacency")
+
+    def __init__(self, graph: Graph) -> None:
+        self._vertices: tuple[Hashable, ...] = tuple(graph.vertices())
+        self._index: dict[Hashable, int] = {
+            v: i for i, v in enumerate(self._vertices)
+        }
+        adjacency = [0] * len(self._vertices)
+        for u, v in graph.edges():
+            ui, vi = self._index[u], self._index[v]
+            adjacency[ui] |= 1 << vi
+            adjacency[vi] |= 1 << ui
+        self.adjacency: Sequence[int] = adjacency
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices ``n``."""
+        return len(self._vertices)
+
+    @property
+    def vertices(self) -> tuple[Hashable, ...]:
+        """Original vertex objects in index order."""
+        return self._vertices
+
+    def index_of(self, vertex: Hashable) -> int:
+        """The bit index of an original vertex."""
+        return self._index[vertex]
+
+    def mask_of_vertices(self, vertices: Iterable[Hashable]) -> int:
+        """Bitmask of a collection of original vertices."""
+        return mask_of(self._index[v] for v in vertices)
+
+    def vertex_set(self, mask: int) -> frozenset[Hashable]:
+        """The original vertices corresponding to ``mask``."""
+        return frozenset(self._vertices[i] for i in iter_bits(mask))
+
+    def neighbors_mask(self, mask: int) -> int:
+        """Union of neighbours of every vertex in ``mask``, minus ``mask``."""
+        result = 0
+        for i in iter_bits(mask):
+            result |= self.adjacency[i]
+        return result & ~mask
+
+    def is_connected_mask(self, mask: int) -> bool:
+        """Whether ``mask`` induces a connected subgraph (empty -> False)."""
+        if mask == 0:
+            return False
+        start = mask & -mask
+        frontier = start
+        visited = start
+        while frontier:
+            reachable = 0
+            for i in iter_bits(frontier):
+                reachable |= self.adjacency[i]
+            frontier = reachable & mask & ~visited
+            visited |= frontier
+        return visited == mask

@@ -1,0 +1,150 @@
+"""Exhaustive maximum-chi-square search over connected subgraphs.
+
+This is the paper's *naïve algorithm* (Section 4.1) as an optimisation
+rather than a materialised enumeration: the recursion over connected vertex
+sets pushes/pops vertices through an incremental accumulator and keeps only
+the best set seen.  It runs on anything exposing bitmask adjacency, so the
+solver uses it both directly on (small) input graphs and on reduced
+super-graphs whose vertices carry merged payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable, Sequence
+
+from repro.exceptions import EnumerationLimitError
+from repro.enumerate.accumulators import ChiSquareAccumulator
+from repro.enumerate.bitset import BitsetGraph, iter_bits
+
+__all__ = ["SearchOutcome", "exhaustive_best_mask", "exhaustive_best_subset"]
+
+
+@dataclass(frozen=True, slots=True)
+class SearchOutcome:
+    """Result of an exhaustive search.
+
+    Attributes
+    ----------
+    mask:
+        Bitmask of the winning connected vertex set (0 if the graph is empty).
+    chi_square:
+        Its statistic.
+    explored:
+        Number of connected sets evaluated — the paper's exponential cost,
+        reported so benchmarks can show what the reduction saves.
+    """
+
+    mask: int
+    chi_square: float
+    explored: int
+
+
+def exhaustive_best_mask(
+    adjacency: Sequence[int],
+    accumulator: ChiSquareAccumulator,
+    *,
+    min_size: int = 1,
+    max_size: int | None = None,
+    limit: int | None = None,
+) -> SearchOutcome:
+    """Find the connected vertex set with the maximum accumulator statistic.
+
+    Ties are broken toward the set found first (deterministic given vertex
+    order).  ``min_size``/``max_size`` bound the *vertex count of the set in
+    this graph* (i.e. super-vertices count as one).  ``limit`` bounds the
+    number of evaluated sets, raising :class:`EnumerationLimitError` beyond.
+    """
+    n = len(adjacency)
+    if min_size < 1:
+        raise ValueError(f"min_size must be >= 1, got {min_size}")
+    if max_size is not None and max_size < min_size:
+        raise ValueError(f"max_size ({max_size}) must be >= min_size ({min_size})")
+    size_cap = n if max_size is None else min(max_size, n)
+
+    best_mask = 0
+    best_value = float("-inf")
+    explored = 0
+
+    def consider(mask: int, size: int) -> None:
+        nonlocal best_mask, best_value, explored
+        explored += 1
+        if limit is not None and explored > limit:
+            raise EnumerationLimitError(limit)
+        if size >= min_size:
+            value = accumulator.chi_square()
+            if value > best_value:
+                best_value = value
+                best_mask = mask
+
+    # Explicit stack instead of recursion: the DFS depth equals the size
+    # of the current set, which can reach n (e.g. a path graph) and blow
+    # Python's recursion limit.  Each frame is a *pending action*: either
+    # expand a state or pop a vertex from the accumulator on backtrack.
+    POP = -1
+    for root in range(n):
+        root_bit = 1 << root
+        accumulator.push(root)
+        consider(root_bit, 1)
+        # Stack frames: (vertex_to_pop,) sentinel or (subset, size, ext, fb).
+        stack: list[tuple[int, ...]] = [
+            (
+                root_bit,
+                1,
+                adjacency[root] & ~(root_bit - 1) & ~root_bit,
+                root_bit - 1,
+            )
+        ]
+        while stack:
+            frame = stack.pop()
+            if frame[0] == POP:
+                accumulator.pop(frame[1])
+                continue
+            subset, size, ext, fb = frame
+            if size >= size_cap or not ext:
+                continue
+            u_bit = ext & -ext
+            u = u_bit.bit_length() - 1
+            rest = ext ^ u_bit
+            # Sibling branch: same subset, u permanently forbidden.
+            stack.append((subset, size, rest, fb | u_bit))
+            # Child branch: include u now, schedule its pop for backtrack.
+            child_subset = subset | u_bit
+            child_ext = rest | (adjacency[u] & ~(child_subset | fb | rest))
+            accumulator.push(u)
+            consider(child_subset, size + 1)
+            stack.append((POP, u))
+            stack.append((child_subset, size + 1, child_ext, fb))
+        accumulator.pop(root)
+
+    if best_mask == 0:
+        return SearchOutcome(mask=0, chi_square=0.0, explored=explored)
+    return SearchOutcome(mask=best_mask, chi_square=best_value, explored=explored)
+
+
+def exhaustive_best_subset(
+    bitset: BitsetGraph,
+    accumulator: ChiSquareAccumulator,
+    *,
+    min_size: int = 1,
+    max_size: int | None = None,
+    limit: int | None = None,
+) -> tuple[frozenset[Hashable], float, int]:
+    """Convenience wrapper returning original vertex objects.
+
+    Returns ``(vertex_set, chi_square, explored)``; the vertex set is empty
+    when the graph has no vertices.
+    """
+    outcome = exhaustive_best_mask(
+        bitset.adjacency,
+        accumulator,
+        min_size=min_size,
+        max_size=max_size,
+        limit=limit,
+    )
+    return bitset.vertex_set(outcome.mask), outcome.chi_square, outcome.explored
+
+
+def masks_to_indices(mask: int) -> tuple[int, ...]:
+    """Expand a bitmask into its sorted vertex indices (helper for callers)."""
+    return tuple(iter_bits(mask))

@@ -1,0 +1,87 @@
+"""Terminal rendering of spatial datasets and mined regions.
+
+The paper's findings are inherently geographic ("a region in Manipur...",
+"two regions connected by a bridge"); a quick character-grid map makes the
+mined structure visible without a plotting stack.  Points are binned into
+a ``width x height`` grid; each cell shows the marker of the
+highest-priority group represented in it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["render_point_map", "render_region_map"]
+
+_BACKGROUND = "."
+_EMPTY = " "
+
+
+def render_point_map(
+    points: Sequence[tuple[float, float]],
+    groups: Mapping[str, Iterable[int]],
+    *,
+    width: int = 72,
+    height: int = 24,
+    background: Iterable[int] | None = None,
+) -> str:
+    """Render point groups on a character grid.
+
+    ``groups`` maps a single-character marker to the point indices it
+    covers; earlier entries take priority in shared cells.  Points in
+    ``background`` (default: all points) render as ``.``; empty cells as
+    spaces.  The y axis points up, as on a map.
+    """
+    if width < 2 or height < 2:
+        raise ExperimentError(f"grid must be at least 2x2, got {width}x{height}")
+    if not points:
+        raise ExperimentError("need at least one point")
+    for marker in groups:
+        if len(marker) != 1:
+            raise ExperimentError(f"markers must be single characters: {marker!r}")
+
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+
+    def cell(index: int) -> tuple[int, int]:
+        x, y = points[index]
+        col = min(width - 1, int((x - min_x) / span_x * (width - 1)))
+        row = min(height - 1, int((y - min_y) / span_y * (height - 1)))
+        return height - 1 - row, col  # y grows upward
+
+    grid = [[_EMPTY] * width for _ in range(height)]
+    background_indices = (
+        range(len(points)) if background is None else background
+    )
+    for index in background_indices:
+        r, c = cell(index)
+        grid[r][c] = _BACKGROUND
+    # Later groups must not overwrite earlier (higher-priority) ones.
+    claimed: set[tuple[int, int]] = set()
+    for marker, indices in groups.items():
+        for index in indices:
+            r, c = cell(index)
+            if (r, c) not in claimed:
+                grid[r][c] = marker
+                claimed.add((r, c))
+    return "\n".join("".join(row) for row in grid)
+
+
+def render_region_map(
+    points: Sequence[tuple[float, float]],
+    region: Iterable[int],
+    *,
+    width: int = 72,
+    height: int = 24,
+    marker: str = "#",
+) -> str:
+    """Render one mined region against the full point field."""
+    return render_point_map(
+        points, {marker: region}, width=width, height=height
+    )

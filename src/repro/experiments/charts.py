@@ -1,0 +1,106 @@
+"""ASCII line charts for benchmark series (terminal-native "figures").
+
+The figure benchmarks regenerate the paper's series; this module renders
+them as character plots so the *shape* — collapses, knees, crossovers — is
+visible straight from the benchmark output, no plotting stack required.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["ascii_chart"]
+
+_MARKERS = "*o+x#@%&"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    magnitude = abs(value)
+    if magnitude >= 1000 or magnitude < 0.01:
+        return f"{value:.1e}"
+    if magnitude >= 10:
+        return f"{value:.0f}"
+    return f"{value:.2f}"
+
+
+def ascii_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    width: int = 64,
+    height: int = 16,
+    title: str | None = None,
+    log_y: bool = False,
+) -> str:
+    """Plot one or more ``(x, y)`` series on a character grid.
+
+    Each series gets a marker from ``* o + x ...``; a legend line maps
+    markers to series names.  ``log_y`` plots log10(y) (all y must then be
+    positive).  Points sharing a cell keep the first-drawn series' marker.
+    """
+    if not series:
+        raise ExperimentError("need at least one series")
+    if width < 8 or height < 4:
+        raise ExperimentError(f"chart must be at least 8x4, got {width}x{height}")
+    if len(series) > len(_MARKERS):
+        raise ExperimentError(f"at most {len(_MARKERS)} series supported")
+
+    all_points = [p for pts in series.values() for p in pts]
+    if not all_points:
+        raise ExperimentError("series contain no points")
+
+    def y_of(raw: float) -> float:
+        if log_y:
+            if raw <= 0:
+                raise ExperimentError("log_y requires positive y values")
+            return math.log10(raw)
+        return raw
+
+    xs = [x for x, _ in all_points]
+    ys = [y_of(y) for _, y in all_points]
+    min_x, max_x = min(xs), max(xs)
+    min_y, max_y = min(ys), max(ys)
+    span_x = (max_x - min_x) or 1.0
+    span_y = (max_y - min_y) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, (name, points) in zip(_MARKERS, series.items()):
+        for x, y in points:
+            col = min(width - 1, int((x - min_x) / span_x * (width - 1)))
+            row = min(height - 1, int((y_of(y) - min_y) / span_y * (height - 1)))
+            r = height - 1 - row
+            if grid[r][col] == " ":
+                grid[r][col] = marker
+
+    top_tick = 10**max_y if log_y else max_y
+    bottom_tick = 10**min_y if log_y else min_y
+    lines = []
+    if title:
+        lines.append(title)
+    axis = "+" + "-" * width
+    label_width = max(len(_format_tick(top_tick)), len(_format_tick(bottom_tick)))
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = _format_tick(top_tick).rjust(label_width)
+        elif i == height - 1:
+            label = _format_tick(bottom_tick).rjust(label_width)
+        else:
+            label = " " * label_width
+        lines.append(f"{label} |{''.join(row)}")
+    lines.append(" " * label_width + " " + axis)
+    x_line = (
+        " " * label_width
+        + "  "
+        + _format_tick(min_x)
+        + _format_tick(max_x).rjust(width - len(_format_tick(min_x)))
+    )
+    lines.append(x_line)
+    legend = "   ".join(
+        f"{marker} {name}" for marker, name in zip(_MARKERS, series.keys())
+    )
+    lines.append(" " * label_width + " " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Timing and repetition harness shared by all benchmarks.
+
+The paper averages synthetic results over 10 runs and reports per-stage
+wall times (super-graph conversion / reduction / naïve search).  This
+module provides the small, deterministic utilities those experiments need:
+a timing wrapper, a repetition aggregator, and a stage-accounting record.
+"""
+
+from __future__ import annotations
+
+import math
+import statistics
+import time
+from dataclasses import dataclass, field
+from collections.abc import Callable, Iterable, Sequence
+from typing import Any, TypeVar
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["RepeatedMeasurement", "StageClock", "repeat_measurements", "timed"]
+
+T = TypeVar("T")
+
+
+def timed(fn: Callable[..., T], *args: Any, **kwargs: Any) -> tuple[T, float]:
+    """Call ``fn`` and return ``(result, wall_seconds)``."""
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+@dataclass(frozen=True, slots=True)
+class RepeatedMeasurement:
+    """Aggregate of a repeated scalar measurement."""
+
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean."""
+        return math.fsum(self.values) / len(self.values)
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observation."""
+        return min(self.values)
+
+    @property
+    def maximum(self) -> float:
+        """Largest observation."""
+        return max(self.values)
+
+    @property
+    def stdev(self) -> float:
+        """Sample standard deviation (0.0 for a single observation)."""
+        if len(self.values) < 2:
+            return 0.0
+        return statistics.stdev(self.values)
+
+    @property
+    def repetitions(self) -> int:
+        """Number of observations."""
+        return len(self.values)
+
+
+def repeat_measurements(
+    fn: Callable[[int], float], repetitions: int
+) -> RepeatedMeasurement:
+    """Run ``fn(rep_index)`` ``repetitions`` times and aggregate.
+
+    The repetition index doubles as a seed offset so runs are independent
+    but the whole experiment stays deterministic — the paper's
+    "averaged over 10 different runs" protocol.
+    """
+    if repetitions < 1:
+        raise ExperimentError(f"repetitions must be >= 1, got {repetitions}")
+    values = tuple(float(fn(i)) for i in range(repetitions))
+    return RepeatedMeasurement(values)
+
+
+@dataclass(slots=True)
+class StageClock:
+    """Accumulates named stage durations (Figure 2's stacked bars)."""
+
+    stages: dict[str, float] = field(default_factory=dict)
+
+    def add(self, stage: str, seconds: float) -> None:
+        """Accumulate time into a named stage."""
+        if seconds < 0:
+            raise ExperimentError(f"negative duration {seconds} for {stage!r}")
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    def measure(self, stage: str, fn: Callable[..., T], *args: Any, **kwargs: Any) -> T:
+        """Run ``fn`` while accumulating its wall time into ``stage``."""
+        result, seconds = timed(fn, *args, **kwargs)
+        self.add(stage, seconds)
+        return result
+
+    @property
+    def total(self) -> float:
+        """Total time across all stages."""
+        return math.fsum(self.stages.values())
+
+    def as_row(self, order: Sequence[str] | Iterable[str]) -> list[float]:
+        """Stage durations in a fixed column order (0.0 when absent)."""
+        return [self.stages.get(stage, 0.0) for stage in order]

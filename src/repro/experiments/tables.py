@@ -1,0 +1,82 @@
+"""Plain-text table and CSV rendering for benchmark output.
+
+Every benchmark prints the rows/series the corresponding paper table or
+figure reports; this module renders them as aligned ASCII tables (for the
+console) and CSV files (for downstream plotting).
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from collections.abc import Sequence
+from typing import Any
+
+from repro.exceptions import ExperimentError
+
+__all__ = ["format_cell", "format_table", "write_csv"]
+
+
+def format_cell(value: Any, *, float_digits: int = 4) -> str:
+    """Render one cell: floats rounded, sequences braced, None blank."""
+    if value is None:
+        return ""
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return f"{value:.1f}"
+        return f"{value:.{float_digits}g}"
+    if isinstance(value, (list, tuple, frozenset, set)):
+        inner = ", ".join(format_cell(v, float_digits=float_digits) for v in value)
+        return "{" + inner + "}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    *,
+    title: str | None = None,
+    float_digits: int = 4,
+) -> str:
+    """An aligned ASCII table with optional title."""
+    if not headers:
+        raise ExperimentError("a table needs at least one column")
+    rendered_rows = []
+    for row in rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells for {len(headers)} headers"
+            )
+        rendered_rows.append(
+            [format_cell(cell, float_digits=float_digits) for cell in row]
+        )
+    widths = [
+        max(len(header), *(len(r[i]) for r in rendered_rows)) if rendered_rows
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    divider = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(divider))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(divider)
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def write_csv(
+    path: str | Path, headers: Sequence[str], rows: Sequence[Sequence[Any]]
+) -> None:
+    """Persist table rows as CSV (for external plotting)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        for row in rows:
+            writer.writerow([format_cell(cell) for cell in row])

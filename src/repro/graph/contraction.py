@@ -1,0 +1,81 @@
+"""Quotient-graph (edge contraction) machinery.
+
+The paper's central device is merging vertices into *super-vertices* and
+keeping a super-edge wherever any original edge crossed between two groups.
+This module provides the topology-level quotient operation; statistic
+bookkeeping for super-vertices lives in :mod:`repro.core.supergraph`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.exceptions import GraphError, VertexNotFoundError
+from repro.graph.graph import Graph
+
+__all__ = ["quotient_graph", "validate_partition"]
+
+
+def validate_partition(
+    graph: Graph, partition: Iterable[Iterable[Hashable]]
+) -> list[frozenset[Hashable]]:
+    """Check that ``partition`` is a disjoint, exhaustive cover of the vertices.
+
+    Returns the partition normalised to a list of frozensets.  The paper
+    requires super-vertices to be "mutually exclusive and exhaustive"
+    (Section 4.3); violating either property is a programming error that we
+    surface loudly rather than silently mis-merging statistics.
+    """
+    blocks = [frozenset(block) for block in partition]
+    seen: set[Hashable] = set()
+    total = 0
+    for block in blocks:
+        if not block:
+            raise GraphError("partition blocks must be non-empty")
+        for v in block:
+            if not graph.has_vertex(v):
+                raise VertexNotFoundError(v)
+        if seen & block:
+            overlap = sorted(map(repr, seen & block))
+            raise GraphError(f"partition blocks overlap on {{{', '.join(overlap)}}}")
+        seen |= block
+        total += len(block)
+    if total != graph.num_vertices:
+        raise GraphError(
+            f"partition covers {total} vertices but the graph has "
+            f"{graph.num_vertices}; super-vertices must be exhaustive"
+        )
+    return blocks
+
+
+def quotient_graph(
+    graph: Graph,
+    partition: Iterable[Iterable[Hashable]],
+    *,
+    validate: bool = True,
+) -> tuple[Graph, dict[Hashable, int]]:
+    """Contract each partition block into a single vertex.
+
+    Returns ``(quotient, membership)`` where the quotient graph has integer
+    vertices ``0..len(partition)-1`` (block order preserved) and
+    ``membership`` maps each original vertex to its block index.  A quotient
+    edge ``(i, j)`` exists iff some original edge joins block ``i`` to block
+    ``j``; intra-block edges disappear, exactly as in the paper's super-graph
+    definition.
+    """
+    blocks = (
+        validate_partition(graph, partition)
+        if validate
+        else [frozenset(block) for block in partition]
+    )
+    membership: dict[Hashable, int] = {}
+    for index, block in enumerate(blocks):
+        for v in block:
+            membership[v] = index
+
+    quotient = Graph(range(len(blocks)))
+    for u, v in graph.edges():
+        bu, bv = membership[u], membership[v]
+        if bu != bv:
+            quotient.add_edge(bu, bv, exist_ok=True)
+    return quotient, membership

@@ -1,0 +1,260 @@
+"""Directed graphs and their connectivity (the paper's §6 outlook).
+
+The paper's conclusion lists directed graphs as future work.  The natural
+generalisations of "connected subgraph" are *weakly* connected (connected
+in the underlying undirected graph) and *strongly* connected (mutually
+reachable) vertex sets; :mod:`repro.core.directed` mines both.  This
+module provides the substrate: a :class:`DiGraph` with successor /
+predecessor adjacency, weak components, and Tarjan's strongly-connected
+components.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable, Iterator
+
+from repro.exceptions import (
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.graph import Graph
+
+__all__ = ["DiGraph"]
+
+
+class DiGraph:
+    """A simple directed graph (no self loops, no parallel arcs)."""
+
+    __slots__ = ("_succ", "_pred", "_num_edges")
+
+    def __init__(self, vertices: Iterable[Hashable] = ()) -> None:
+        self._succ: dict[Hashable, set[Hashable]] = {}
+        self._pred: dict[Hashable, set[Hashable]] = {}
+        self._num_edges = 0
+        for v in vertices:
+            self.add_vertex(v)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Hashable, Hashable]],
+        vertices: Iterable[Hashable] = (),
+    ) -> "DiGraph":
+        """Build from an arc list ``(tail, head)``; endpoints auto-added."""
+        graph = cls()
+        for v in vertices:
+            graph.add_vertex(v, exist_ok=True)
+        for u, v in edges:
+            graph.add_vertex(u, exist_ok=True)
+            graph.add_vertex(v, exist_ok=True)
+            graph.add_edge(u, v, exist_ok=True)
+        return graph
+
+    def add_vertex(self, v: Hashable, *, exist_ok: bool = False) -> None:
+        """Add vertex ``v``."""
+        if v in self._succ:
+            if exist_ok:
+                return
+            raise DuplicateVertexError(v)
+        self._succ[v] = set()
+        self._pred[v] = set()
+
+    def add_edge(self, u: Hashable, v: Hashable, *, exist_ok: bool = False) -> None:
+        """Add the arc ``u -> v``."""
+        if u == v:
+            raise SelfLoopError(u)
+        if u not in self._succ:
+            raise VertexNotFoundError(u)
+        if v not in self._succ:
+            raise VertexNotFoundError(v)
+        if v in self._succ[u]:
+            if exist_ok:
+                return
+            raise ValueError(f"arc ({u!r} -> {v!r}) already exists")
+        self._succ[u].add(v)
+        self._pred[v].add(u)
+        self._num_edges += 1
+
+    def remove_edge(self, u: Hashable, v: Hashable) -> None:
+        """Remove the arc ``u -> v``."""
+        if u not in self._succ or v not in self._succ[u]:
+            raise EdgeNotFoundError(u, v)
+        self._succ[u].discard(v)
+        self._pred[v].discard(u)
+        self._num_edges -= 1
+
+    def remove_vertex(self, v: Hashable) -> None:
+        """Remove vertex ``v`` and all incident arcs."""
+        if v not in self._succ:
+            raise VertexNotFoundError(v)
+        for w in self._succ[v]:
+            self._pred[w].discard(v)
+        for w in self._pred[v]:
+            self._succ[w].discard(v)
+        self._num_edges -= len(self._succ[v]) + len(self._pred[v])
+        del self._succ[v]
+        del self._pred[v]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._succ)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of arcs."""
+        return self._num_edges
+
+    def has_vertex(self, v: Hashable) -> bool:
+        """Whether ``v`` is a vertex."""
+        return v in self._succ
+
+    def has_edge(self, u: Hashable, v: Hashable) -> bool:
+        """Whether the arc ``u -> v`` exists."""
+        return u in self._succ and v in self._succ[u]
+
+    def successors(self, v: Hashable) -> frozenset[Hashable]:
+        """Out-neighbours of ``v``."""
+        if v not in self._succ:
+            raise VertexNotFoundError(v)
+        return frozenset(self._succ[v])
+
+    def predecessors(self, v: Hashable) -> frozenset[Hashable]:
+        """In-neighbours of ``v``."""
+        if v not in self._pred:
+            raise VertexNotFoundError(v)
+        return frozenset(self._pred[v])
+
+    def out_degree(self, v: Hashable) -> int:
+        """Number of out-neighbours."""
+        return len(self.successors(v))
+
+    def in_degree(self, v: Hashable) -> int:
+        """Number of in-neighbours."""
+        return len(self.predecessors(v))
+
+    def vertices(self) -> Iterator[Hashable]:
+        """Iterate over vertices in insertion order."""
+        return iter(self._succ)
+
+    def edges(self) -> Iterator[tuple[Hashable, Hashable]]:
+        """Iterate over arcs ``(tail, head)``."""
+        for u, outs in self._succ.items():
+            for v in outs:
+                yield (u, v)
+
+    def __contains__(self, v: Hashable) -> bool:
+        return v in self._succ
+
+    def __len__(self) -> int:
+        return len(self._succ)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"DiGraph(n={self.num_vertices}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Derived graphs / connectivity
+    # ------------------------------------------------------------------
+    def underlying_graph(self) -> Graph:
+        """The undirected graph obtained by forgetting arc directions.
+
+        Antiparallel arc pairs collapse to a single undirected edge; weak
+        connectivity of the digraph is plain connectivity here.
+        """
+        graph = Graph(self._succ.keys())
+        for u, v in self.edges():
+            graph.add_edge(u, v, exist_ok=True)
+        return graph
+
+    def induced_subgraph(self, vertices: Iterable[Hashable]) -> "DiGraph":
+        """The sub-digraph induced by ``vertices``."""
+        keep = set()
+        sub = DiGraph()
+        for v in vertices:
+            if v not in self._succ:
+                raise VertexNotFoundError(v)
+            if v not in keep:
+                keep.add(v)
+                sub.add_vertex(v)
+        for u in keep:
+            for v in self._succ[u]:
+                if v in keep:
+                    sub.add_edge(u, v)
+        return sub
+
+    def weakly_connected_components(self) -> list[frozenset[Hashable]]:
+        """Components of the underlying undirected graph."""
+        from repro.graph.components import connected_components
+
+        return connected_components(self.underlying_graph())
+
+    def strongly_connected_components(self) -> list[frozenset[Hashable]]:
+        """Tarjan's SCCs, iterative, in reverse topological order."""
+        index: dict[Hashable, int] = {}
+        lowlink: dict[Hashable, int] = {}
+        on_stack: set[Hashable] = set()
+        stack: list[Hashable] = []
+        components: list[frozenset[Hashable]] = []
+        counter = 0
+
+        for root in self.vertices():
+            if root in index:
+                continue
+            work: list[tuple[Hashable, Iterator[Hashable]]] = [
+                (root, iter(self._succ[root]))
+            ]
+            index[root] = lowlink[root] = counter
+            counter += 1
+            stack.append(root)
+            on_stack.add(root)
+            while work:
+                v, successors = work[-1]
+                advanced = False
+                for w in successors:
+                    if w not in index:
+                        index[w] = lowlink[w] = counter
+                        counter += 1
+                        stack.append(w)
+                        on_stack.add(w)
+                        work.append((w, iter(self._succ[w])))
+                        advanced = True
+                        break
+                    if w in on_stack:
+                        lowlink[v] = min(lowlink[v], index[w])
+                if advanced:
+                    continue
+                work.pop()
+                if work:
+                    parent = work[-1][0]
+                    lowlink[parent] = min(lowlink[parent], lowlink[v])
+                if lowlink[v] == index[v]:
+                    component = set()
+                    while True:
+                        w = stack.pop()
+                        on_stack.discard(w)
+                        component.add(w)
+                        if w == v:
+                            break
+                    components.append(frozenset(component))
+        return components
+
+    def is_strongly_connected_subset(self, vertices: Iterable[Hashable]) -> bool:
+        """Whether ``vertices`` induces a strongly connected sub-digraph."""
+        subset = list(dict.fromkeys(vertices))
+        if not subset:
+            return False
+        if len(subset) == 1:
+            if not self.has_vertex(subset[0]):
+                raise VertexNotFoundError(subset[0])
+            return True
+        sub = self.induced_subgraph(subset)
+        components = sub.strongly_connected_components()
+        return len(components) == 1

@@ -1,0 +1,81 @@
+"""Descriptive graph statistics used by the experiment harness.
+
+The paper's density condition — super-graphs collapse once
+``m > l * n * ln(n)`` (discrete) or ``m > 4 * n * ln(n)`` (continuous) —
+is surfaced here as :func:`density_threshold_edges` and
+:func:`is_dense_enough` so the solver can report whether the exactness
+regime applies to an input.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "average_degree",
+    "degree_histogram",
+    "density",
+    "density_threshold_edges",
+    "is_dense_enough",
+    "max_degree",
+]
+
+
+def average_degree(graph: Graph) -> float:
+    """Mean vertex degree ``2m / n`` (0.0 for the empty graph)."""
+    n = graph.num_vertices
+    if n == 0:
+        return 0.0
+    return 2.0 * graph.num_edges / n
+
+
+def max_degree(graph: Graph) -> int:
+    """Maximum vertex degree (0 for the empty graph)."""
+    return max((graph.degree(v) for v in graph.vertices()), default=0)
+
+
+def density(graph: Graph) -> float:
+    """Edge density ``m / C(n, 2)`` in [0, 1] (0.0 when n < 2)."""
+    n = graph.num_vertices
+    if n < 2:
+        return 0.0
+    return graph.num_edges / (n * (n - 1) / 2.0)
+
+
+def degree_histogram(graph: Graph) -> dict[int, int]:
+    """Map from degree value to the number of vertices with that degree."""
+    return dict(Counter(graph.degree(v) for v in graph.vertices()))
+
+
+def density_threshold_edges(n: int, *, num_labels: int | None = None) -> float:
+    """The paper's "dense enough" edge-count threshold.
+
+    For discrete labels (Conclusion 3) the threshold is ``l * n * ln(n)``;
+    for continuous labels (Conclusion 4, via Lemma 7's contraction
+    probability of 1/4) it is ``4 * n * ln(n)``.  Pass ``num_labels`` for
+    the discrete case and leave it None for the continuous case.
+    """
+    if n < 1:
+        raise GraphError(f"need n >= 1, got n={n}")
+    factor = 4 if num_labels is None else num_labels
+    if factor < 1:
+        raise GraphError(f"need at least one label, got {num_labels}")
+    if n == 1:
+        return 0.0
+    return factor * n * math.log(n)
+
+
+def is_dense_enough(graph: Graph, *, num_labels: int | None = None) -> bool:
+    """Whether the graph meets the paper's density condition.
+
+    When this holds, the super-graph is expected to collapse to roughly
+    ``l`` (discrete) or a small constant (continuous) super-vertices and the
+    pipeline is effectively exact and linear-time.
+    """
+    return graph.num_edges > density_threshold_edges(
+        graph.num_vertices, num_labels=num_labels
+    )

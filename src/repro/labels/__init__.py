@@ -1,0 +1,21 @@
+"""Vertex label models: discrete symbol labelings and continuous z-scores.
+
+A labeling is separate from the graph so one topology can carry many
+labelings (the Section 5.1 workflow evaluates many co-location rules over
+one spatial graph).  Both labeling types expose ``chi_square(vertices)`` —
+the single statistic the mining layer optimises.
+"""
+
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import (
+    DiscreteLabeling,
+    empirical_probabilities,
+    uniform_probabilities,
+)
+
+__all__ = [
+    "ContinuousLabeling",
+    "DiscreteLabeling",
+    "empirical_probabilities",
+    "uniform_probabilities",
+]

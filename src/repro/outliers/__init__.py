@@ -1,0 +1,32 @@
+"""Spatial outlier detection application (Sections 2.2 and 5.2).
+
+Weighted Z-value and Average Difference node scoring (Kou et al. [16]),
+node-level outlier ranking (Tables 3/4), and connected outlier *region*
+mining through the core pipeline (Tables 5/6).
+"""
+
+from repro.outliers.regions import (
+    OutlierNode,
+    OutlierRegion,
+    mine_outlier_regions,
+    rank_outlier_nodes,
+)
+from repro.outliers.scoring import (
+    SpatialUnits,
+    average_difference_z_scores,
+    inverse_distance_border_weights,
+    weighted_z_scores,
+    z_scores_by_method,
+)
+
+__all__ = [
+    "OutlierNode",
+    "OutlierRegion",
+    "SpatialUnits",
+    "average_difference_z_scores",
+    "inverse_distance_border_weights",
+    "mine_outlier_regions",
+    "rank_outlier_nodes",
+    "weighted_z_scores",
+    "z_scores_by_method",
+]

@@ -1,0 +1,75 @@
+"""Statistics substrate: chi-square, z-scores, distributions, p-values.
+
+Implements the paper's quantitative core — Eq. 1/2 (discrete chi-square),
+Eq. 3-6 (z-score scaling, standardisation and composition), Eq. 7/8
+(multi-dimensional chi-square) — plus from-scratch chi-square / normal /
+Cauchy distribution functions used for p-values and the Lemma 7 analysis.
+"""
+
+from repro.stats.chi_square import (
+    CountVector,
+    chi_square_statistic,
+    validate_probabilities,
+)
+from repro.stats.distributions import (
+    cauchy_cdf,
+    chi2_cdf,
+    chi2_mean,
+    chi2_pdf,
+    chi2_ppf,
+    chi2_sf,
+    chi2_variance,
+    lemma7_contracting_probability,
+    lemma7_contracting_range,
+    multivariate_standard_normal_pdf,
+    normal_cdf,
+    normal_pdf,
+    normal_sf,
+    regularized_gamma_p,
+    regularized_gamma_q,
+)
+from repro.stats.significance import (
+    continuous_p_value,
+    discrete_p_value,
+    exact_discrete_p_value,
+    is_significant,
+)
+from repro.stats.zscore import (
+    RegionScore,
+    combine_z_scores,
+    combined_region_z,
+    multi_dim_chi_square,
+    neighborhood_scaled_values,
+    standardize,
+)
+
+__all__ = [
+    "CountVector",
+    "RegionScore",
+    "cauchy_cdf",
+    "chi2_cdf",
+    "chi2_mean",
+    "chi2_pdf",
+    "chi2_ppf",
+    "chi2_sf",
+    "chi2_variance",
+    "chi_square_statistic",
+    "combine_z_scores",
+    "combined_region_z",
+    "continuous_p_value",
+    "discrete_p_value",
+    "exact_discrete_p_value",
+    "is_significant",
+    "lemma7_contracting_probability",
+    "lemma7_contracting_range",
+    "multi_dim_chi_square",
+    "multivariate_standard_normal_pdf",
+    "neighborhood_scaled_values",
+    "normal_cdf",
+    "normal_pdf",
+    "normal_sf",
+    "regularized_gamma_p",
+    "regularized_gamma_q",
+    "standardize",
+    "validate_probabilities",
+]

@@ -1,0 +1,247 @@
+"""The discrete chi-square statistic of the paper (Eq. 1 / Eq. 2).
+
+For a subgraph with ``n`` vertices, observed label counts
+``Y = (Y_1, ..., Y_l)`` and null model ``P = (p_1, ..., p_l)``::
+
+    X^2 = sum_i (Y_i - n p_i)^2 / (n p_i)  =  sum_i Y_i^2 / (n p_i)  -  n
+
+:class:`CountVector` keeps a count vector together with cached
+``sum_i Y_i^2 / p_i`` so that adding/removing a vertex or merging two
+vectors updates the statistic in O(1)/O(l) — the workhorse of both the
+naïve enumeration and the super-graph algorithms.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Sequence
+
+from repro.exceptions import LabelingError, ProbabilityError
+
+__all__ = [
+    "CountVector",
+    "chi_square_statistic",
+    "validate_probabilities",
+]
+
+
+def validate_probabilities(probabilities: Sequence[float]) -> tuple[float, ...]:
+    """Validate a discrete null model ``P`` and return it as a tuple.
+
+    Every ``p_i`` must be strictly inside (0, 1) — a zero-probability label
+    makes Eq. 2 undefined — and the vector must sum to 1 (within floating
+    point tolerance).
+    """
+    probs = tuple(float(p) for p in probabilities)
+    if len(probs) < 2:
+        raise ProbabilityError(
+            f"need at least 2 labels for a meaningful null model, got {len(probs)}"
+        )
+    for i, p in enumerate(probs):
+        if not 0.0 < p < 1.0:
+            raise ProbabilityError(
+                f"probability p_{i}={p} must lie strictly in (0, 1)"
+            )
+    total = math.fsum(probs)
+    if not math.isclose(total, 1.0, rel_tol=0.0, abs_tol=1e-9):
+        raise ProbabilityError(f"probabilities sum to {total!r}, expected 1.0")
+    return probs
+
+
+def chi_square_statistic(
+    counts: Sequence[int], probabilities: Sequence[float]
+) -> float:
+    """Eq. 2 evaluated directly on a count vector.
+
+    Returns 0.0 for the empty count vector (an empty subgraph deviates from
+    nothing).
+    """
+    probs = validate_probabilities(probabilities)
+    if len(counts) != len(probs):
+        raise LabelingError(
+            f"count vector has {len(counts)} entries but the null model has "
+            f"{len(probs)} labels"
+        )
+    n = 0
+    weighted = 0.0
+    for count, p in zip(counts, probs):
+        if count < 0:
+            raise LabelingError(f"counts must be non-negative, got {count}")
+        n += count
+        weighted += count * count / p
+    if n == 0:
+        return 0.0
+    return weighted / n - n
+
+
+class CountVector:
+    """A label count vector with O(1) incremental chi-square maintenance.
+
+    Parameters
+    ----------
+    probabilities:
+        The null model ``P``; validated once and shared by derived vectors.
+    counts:
+        Optional initial counts (defaults to all zeros).
+
+    Notes
+    -----
+    The cached quantity is ``S = sum_i Y_i^2 / p_i``; then
+    ``X^2 = S / n - n``.  Adding one vertex of label ``r`` changes ``S`` by
+    ``(2 Y_r + 1)/p_r`` and ``n`` by one, so updates are constant time.
+    """
+
+    __slots__ = ("_probs", "_counts", "_size", "_weighted_square_sum")
+
+    def __init__(
+        self,
+        probabilities: Sequence[float],
+        counts: Sequence[int] | None = None,
+    ) -> None:
+        self._probs = validate_probabilities(probabilities)
+        if counts is None:
+            self._counts = [0] * len(self._probs)
+        else:
+            if len(counts) != len(self._probs):
+                raise LabelingError(
+                    f"count vector has {len(counts)} entries but the null "
+                    f"model has {len(self._probs)} labels"
+                )
+            for c in counts:
+                if c < 0:
+                    raise LabelingError(f"counts must be non-negative, got {c}")
+            self._counts = [int(c) for c in counts]
+        self._size = sum(self._counts)
+        self._weighted_square_sum = math.fsum(
+            c * c / p for c, p in zip(self._counts, self._probs)
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def probabilities(self) -> tuple[float, ...]:
+        """The null model this vector is measured against."""
+        return self._probs
+
+    @property
+    def num_labels(self) -> int:
+        """Number of labels ``l``."""
+        return len(self._probs)
+
+    @property
+    def size(self) -> int:
+        """Total number of vertices counted, ``n``."""
+        return self._size
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """The observed counts ``Y`` as an immutable snapshot."""
+        return tuple(self._counts)
+
+    def count(self, label: int) -> int:
+        """The observed count of a single label index."""
+        self._check_label(label)
+        return self._counts[label]
+
+    def chi_square(self) -> float:
+        """The chi-square statistic of the current counts (Eq. 2)."""
+        if self._size == 0:
+            return 0.0
+        return self._weighted_square_sum / self._size - self._size
+
+    def expected_counts(self) -> tuple[float, ...]:
+        """The null-model expectations ``E_i = n p_i``."""
+        return tuple(self._size * p for p in self._probs)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def _check_label(self, label: int) -> None:
+        if not 0 <= label < len(self._probs):
+            raise LabelingError(
+                f"label index {label} out of range for {len(self._probs)} labels"
+            )
+
+    def add(self, label: int, multiplicity: int = 1) -> None:
+        """Add ``multiplicity`` vertices of ``label`` (O(1))."""
+        self._check_label(label)
+        if multiplicity < 0:
+            raise LabelingError(f"multiplicity must be >= 0, got {multiplicity}")
+        old = self._counts[label]
+        new = old + multiplicity
+        self._counts[label] = new
+        self._size += multiplicity
+        self._weighted_square_sum += (new * new - old * old) / self._probs[label]
+
+    def remove(self, label: int, multiplicity: int = 1) -> None:
+        """Remove ``multiplicity`` vertices of ``label`` (O(1))."""
+        self._check_label(label)
+        if multiplicity < 0:
+            raise LabelingError(f"multiplicity must be >= 0, got {multiplicity}")
+        old = self._counts[label]
+        if old < multiplicity:
+            raise LabelingError(
+                f"cannot remove {multiplicity} of label {label}: only {old} present"
+            )
+        new = old - multiplicity
+        self._counts[label] = new
+        self._size -= multiplicity
+        self._weighted_square_sum += (new * new - old * old) / self._probs[label]
+
+    # ------------------------------------------------------------------
+    # Combination (used when merging super-vertices)
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "CountVector") -> None:
+        if self._probs != other._probs:
+            raise LabelingError(
+                "cannot combine count vectors measured against different null models"
+            )
+
+    def merged(self, other: "CountVector") -> "CountVector":
+        """A new vector with element-wise summed counts (O(l))."""
+        self._check_compatible(other)
+        summed = [a + b for a, b in zip(self._counts, other._counts)]
+        return CountVector(self._probs, summed)
+
+    def merge_in_place(self, other: "CountVector") -> None:
+        """Fold ``other``'s counts into this vector (O(l))."""
+        self._check_compatible(other)
+        for label, count in enumerate(other._counts):
+            if count:
+                self.add(label, count)
+
+    def copy(self) -> "CountVector":
+        """An independent copy."""
+        return CountVector(self._probs, self._counts)
+
+    @classmethod
+    def from_labels(
+        cls, probabilities: Sequence[float], labels: Iterable[int]
+    ) -> "CountVector":
+        """Build a vector by counting an iterable of label indices."""
+        vector = cls(probabilities)
+        for label in labels:
+            vector.add(label)
+        return vector
+
+    @classmethod
+    def singleton(cls, probabilities: Sequence[float], label: int) -> "CountVector":
+        """The count vector of a single vertex with the given label."""
+        vector = cls(probabilities)
+        vector.add(label)
+        return vector
+
+    # ------------------------------------------------------------------
+    # Dunder support
+    # ------------------------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CountVector):
+            return NotImplemented
+        return self._probs == other._probs and self._counts == other._counts
+
+    def __hash__(self) -> int:
+        raise TypeError("CountVector objects are mutable and unhashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"CountVector(counts={self._counts}, chi_square={self.chi_square():.4f})"

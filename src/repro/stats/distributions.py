@@ -1,0 +1,279 @@
+"""Probability distributions implemented from first principles.
+
+The paper's significance machinery needs three distributions:
+
+* the **chi-square** distribution ``chi2(df)`` — the null distribution of
+  the discrete statistic (Eq. 2, ``df = l - 1``) and of the continuous
+  statistic (Eq. 8, ``df = k``); its survival function gives p-values;
+* the **standard normal** — the null distribution of node and region
+  z-scores (Section 2.2);
+* the **Cauchy(0, 1)** — the distribution of the ratio of two independent
+  standard normals, which drives the 1/4 contracting-edge probability of
+  Lemma 7.
+
+Everything is implemented on top of the regularised incomplete gamma
+function (series + continued-fraction evaluation, as in Numerical Recipes)
+so the library has no hard scipy dependency; the test suite cross-checks
+every function against scipy.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+__all__ = [
+    "cauchy_cdf",
+    "chi2_cdf",
+    "chi2_mean",
+    "chi2_pdf",
+    "chi2_ppf",
+    "chi2_sf",
+    "chi2_variance",
+    "lemma7_contracting_probability",
+    "lemma7_contracting_range",
+    "multivariate_standard_normal_pdf",
+    "normal_cdf",
+    "normal_pdf",
+    "normal_sf",
+    "regularized_gamma_p",
+    "regularized_gamma_q",
+]
+
+_MAX_ITERATIONS = 500
+_EPSILON = 3.0e-15
+_TINY = 1.0e-300
+
+
+def _gamma_p_series(a: float, x: float) -> float:
+    """Lower regularised incomplete gamma by its power series (x < a + 1)."""
+    if x <= 0.0:
+        return 0.0
+    term = 1.0 / a
+    total = term
+    denominator = a
+    for _ in range(_MAX_ITERATIONS):
+        denominator += 1.0
+        term *= x / denominator
+        total += term
+        if abs(term) < abs(total) * _EPSILON:
+            break
+    return total * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def _gamma_q_continued_fraction(a: float, x: float) -> float:
+    """Upper regularised incomplete gamma by Lentz's continued fraction."""
+    b = x + 1.0 - a
+    c = 1.0 / _TINY
+    d = 1.0 / b if b != 0.0 else 1.0 / _TINY
+    h = d
+    for i in range(1, _MAX_ITERATIONS + 1):
+        an = -i * (i - a)
+        b += 2.0
+        d = an * d + b
+        if abs(d) < _TINY:
+            d = _TINY
+        c = b + an / c
+        if abs(c) < _TINY:
+            c = _TINY
+        d = 1.0 / d
+        delta = d * c
+        h *= delta
+        if abs(delta - 1.0) < _EPSILON:
+            break
+    return h * math.exp(-x + a * math.log(x) - math.lgamma(a))
+
+
+def regularized_gamma_p(a: float, x: float) -> float:
+    """Lower regularised incomplete gamma function P(a, x).
+
+    ``P(a, x) = gamma(a, x) / Gamma(a)``, increasing from 0 at x=0 to 1.
+    """
+    if a <= 0.0:
+        raise ValueError(f"shape parameter must be positive, got a={a}")
+    if x < 0.0:
+        raise ValueError(f"argument must be non-negative, got x={x}")
+    if x == 0.0:
+        return 0.0
+    if x < a + 1.0:
+        return _gamma_p_series(a, x)
+    return 1.0 - _gamma_q_continued_fraction(a, x)
+
+
+def regularized_gamma_q(a: float, x: float) -> float:
+    """Upper regularised incomplete gamma function Q(a, x) = 1 - P(a, x)."""
+    if a <= 0.0:
+        raise ValueError(f"shape parameter must be positive, got a={a}")
+    if x < 0.0:
+        raise ValueError(f"argument must be non-negative, got x={x}")
+    if x == 0.0:
+        return 1.0
+    if x < a + 1.0:
+        return 1.0 - _gamma_p_series(a, x)
+    return _gamma_q_continued_fraction(a, x)
+
+
+# ----------------------------------------------------------------------
+# Chi-square distribution
+# ----------------------------------------------------------------------
+def _check_df(df: float) -> None:
+    if df <= 0:
+        raise ValueError(f"degrees of freedom must be positive, got df={df}")
+
+
+def chi2_cdf(x: float, df: float) -> float:
+    """CDF ``F(x)`` of the chi-square distribution with ``df`` dof."""
+    _check_df(df)
+    if x <= 0.0:
+        return 0.0
+    return regularized_gamma_p(df / 2.0, x / 2.0)
+
+
+def chi2_sf(x: float, df: float) -> float:
+    """Survival function ``1 - F(x)`` — the paper's p-value for a statistic.
+
+    Section 2.1: "If z is the X^2 value of an observed outcome, then its
+    p-value is 1 - F(z)."
+    """
+    _check_df(df)
+    if x <= 0.0:
+        return 1.0
+    return regularized_gamma_q(df / 2.0, x / 2.0)
+
+
+def chi2_pdf(x: float, df: float) -> float:
+    """Density of the chi-square distribution with ``df`` dof."""
+    _check_df(df)
+    if x < 0.0:
+        return 0.0
+    if x == 0.0:
+        if df < 2:
+            return math.inf
+        return 0.5 if df == 2 else 0.0
+    half = df / 2.0
+    log_pdf = (half - 1.0) * math.log(x) - x / 2.0 - half * math.log(2.0) - math.lgamma(half)
+    return math.exp(log_pdf)
+
+
+def chi2_ppf(q: float, df: float) -> float:
+    """Quantile function (inverse CDF) of chi2(df), by bisection.
+
+    Used to translate a significance level into a chi-square *threshold*
+    for the threshold-query variant of the mining problem (Section 2 of
+    the paper sketches it; :mod:`repro.core.queries` implements it).
+    """
+    _check_df(df)
+    if not 0.0 <= q < 1.0:
+        raise ValueError(f"quantile must be in [0, 1), got {q}")
+    if q == 0.0:
+        return 0.0
+    # Bracket the root: the mean + enough standard deviations always
+    # exceeds any fixed quantile; double until the CDF passes q.
+    low, high = 0.0, df + 10.0 * math.sqrt(2.0 * df) + 10.0
+    while chi2_cdf(high, df) < q:
+        high *= 2.0
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if chi2_cdf(mid, df) < q:
+            low = mid
+        else:
+            high = mid
+        if high - low <= 1e-12 * max(1.0, high):
+            break
+    return 0.5 * (low + high)
+
+
+def chi2_mean(df: float) -> float:
+    """Mean of chi2(df), which is df."""
+    _check_df(df)
+    return float(df)
+
+
+def chi2_variance(df: float) -> float:
+    """Variance of chi2(df), which is 2 df."""
+    _check_df(df)
+    return 2.0 * df
+
+
+# ----------------------------------------------------------------------
+# Standard normal distribution
+# ----------------------------------------------------------------------
+_SQRT2 = math.sqrt(2.0)
+_INV_SQRT_2PI = 1.0 / math.sqrt(2.0 * math.pi)
+
+
+def normal_cdf(x: float, mu: float = 0.0, sigma: float = 1.0) -> float:
+    """CDF of the normal distribution N(mu, sigma^2)."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    return 0.5 * (1.0 + math.erf((x - mu) / (sigma * _SQRT2)))
+
+
+def normal_sf(x: float, mu: float = 0.0, sigma: float = 1.0) -> float:
+    """Survival function of N(mu, sigma^2), computed via erfc for accuracy."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    return 0.5 * math.erfc((x - mu) / (sigma * _SQRT2))
+
+
+def normal_pdf(x: float, mu: float = 0.0, sigma: float = 1.0) -> float:
+    """Density of N(mu, sigma^2)."""
+    if sigma <= 0:
+        raise ValueError(f"sigma must be positive, got {sigma}")
+    z = (x - mu) / sigma
+    return _INV_SQRT_2PI / sigma * math.exp(-0.5 * z * z)
+
+
+def multivariate_standard_normal_pdf(z_vector: "Sequence[float]") -> float:
+    """Eq. 7: density of the k-dimensional standard normal at ``z_vector``.
+
+    ``f(z) = (2 pi)^(-k/2) exp(-sum z_j^2 / 2)`` — the chi-square statistic
+    appears as the negative exponent, which is the paper's argument for
+    "higher X^2 <=> less likely outcome" in the continuous setting.
+    """
+    k = len(z_vector)
+    if k == 0:
+        raise ValueError("need at least one dimension")
+    chi_square = math.fsum(z * z for z in z_vector)
+    return (2.0 * math.pi) ** (-k / 2.0) * math.exp(-chi_square / 2.0)
+
+
+# ----------------------------------------------------------------------
+# Cauchy distribution (Lemma 7)
+# ----------------------------------------------------------------------
+def cauchy_cdf(x: float, x0: float = 0.0, gamma: float = 1.0) -> float:
+    """CDF of the Cauchy distribution: ``arctan((x - x0)/gamma)/pi + 1/2``.
+
+    The ratio of two independent N(0, 1) variables is Cauchy(0, 1); the
+    appendix of the paper integrates this CDF over the contracting range
+    (Eq. 29-31) to obtain the 1/4 probability.
+    """
+    if gamma <= 0:
+        raise ValueError(f"scale must be positive, got {gamma}")
+    return math.atan((x - x0) / gamma) / math.pi + 0.5
+
+
+def lemma7_contracting_range(s1: int, s2: int) -> tuple[float, float]:
+    """The range of z-score ratios R for which an edge is contracting (k=1).
+
+    Eq. 29 of the paper: with ``s = sqrt(s2/s1)``, an edge between vertices
+    of sizes ``s1`` and ``s2`` is contracting iff
+    ``sqrt(s^2+1) - s < R < (sqrt(s^2+1) + 1)/s``.
+    """
+    if s1 < 1 or s2 < 1:
+        raise ValueError(f"vertex sizes must be positive, got {s1}, {s2}")
+    s = math.sqrt(s2 / s1)
+    lower = math.sqrt(s * s + 1.0) - s
+    upper = (math.sqrt(s * s + 1.0) + 1.0) / s
+    return lower, upper
+
+
+def lemma7_contracting_probability(s1: int, s2: int) -> float:
+    """Probability (under the null) that an edge is contracting, via Eq. 30.
+
+    The paper proves this is exactly 1/4 for every size pair; evaluating the
+    Cauchy CDF over :func:`lemma7_contracting_range` confirms it numerically
+    and is used by the Lemma 7 benchmark.
+    """
+    lower, upper = lemma7_contracting_range(s1, s2)
+    return cauchy_cdf(upper) - cauchy_cdf(lower)

@@ -1,0 +1,116 @@
+"""p-value helpers tying the chi-square statistic to significance levels.
+
+The paper (Section 2.1) approximates p-values through the chi-square
+distribution: for a discrete labeling with ``l`` labels the statistic is
+``chi2(l - 1)`` under the null; for a ``k``-dimensional continuous labeling
+it is ``chi2(k)`` (Section 2.2).  These helpers convert between statistic
+values and p-values for reporting — the mining algorithms themselves only
+compare raw statistics (higher X^2 <=> lower p-value).
+
+The paper's opening also notes that *exact* p-value computation "may
+require exponential number of steps", which is why the chi-square
+approximation is used at all; :func:`exact_discrete_p_value` implements
+that exact computation (full multinomial enumeration) for small regions,
+so the approximation's quality can be measured.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator, Sequence
+
+from repro.stats.chi_square import chi_square_statistic, validate_probabilities
+from repro.stats.distributions import chi2_sf
+
+__all__ = [
+    "continuous_p_value",
+    "discrete_p_value",
+    "exact_discrete_p_value",
+    "is_significant",
+]
+
+
+def discrete_p_value(chi_square: float, num_labels: int) -> float:
+    """p-value of a discrete-label statistic: ``1 - F(X^2)`` with l-1 dof."""
+    if num_labels < 2:
+        raise ValueError(f"need at least 2 labels, got {num_labels}")
+    return chi2_sf(chi_square, num_labels - 1)
+
+
+def continuous_p_value(chi_square: float, dimensions: int) -> float:
+    """p-value of a continuous-label statistic: ``1 - F(X^2)`` with k dof."""
+    if dimensions < 1:
+        raise ValueError(f"need at least 1 dimension, got {dimensions}")
+    return chi2_sf(chi_square, dimensions)
+
+
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
+    """All non-negative integer vectors of length ``parts`` summing to total."""
+    if parts == 1:
+        yield (total,)
+        return
+    for head in range(total + 1):
+        for tail in _compositions(total - head, parts - 1):
+            yield (head, *tail)
+
+
+def _log_multinomial_pmf(
+    counts: Sequence[int], log_probs: Sequence[float], log_n_factorial: float
+) -> float:
+    return (
+        log_n_factorial
+        - math.fsum(math.lgamma(c + 1) for c in counts)
+        + math.fsum(c * lp for c, lp in zip(counts, log_probs) if c)
+    )
+
+
+def exact_discrete_p_value(
+    counts: Sequence[int],
+    probabilities: Sequence[float],
+    *,
+    max_outcomes: int = 2_000_000,
+) -> float:
+    """Exact p-value of a discrete count vector by multinomial enumeration.
+
+    Sums the multinomial probabilities of every outcome with the same
+    total whose chi-square statistic is at least the observed one — the
+    computation the paper's introduction calls exponential, feasible here
+    for small regions (the number of outcomes is C(n+l-1, l-1)).
+
+    Raises :class:`ValueError` when the outcome count exceeds
+    ``max_outcomes``; fall back to :func:`discrete_p_value` then.
+    """
+    probs = validate_probabilities(probabilities)
+    if len(counts) != len(probs):
+        raise ValueError(
+            f"count vector has {len(counts)} entries for {len(probs)} labels"
+        )
+    n = sum(counts)
+    if n == 0:
+        return 1.0
+    l = len(probs)
+    outcomes = math.comb(n + l - 1, l - 1)
+    if outcomes > max_outcomes:
+        raise ValueError(
+            f"{outcomes} multinomial outcomes exceed the budget of "
+            f"{max_outcomes}; use the chi-square approximation instead"
+        )
+    observed = chi_square_statistic(counts, probs)
+    log_probs = [math.log(p) for p in probs]
+    log_n_factorial = math.lgamma(n + 1)
+    total = 0.0
+    for outcome in _compositions(n, l):
+        if chi_square_statistic(outcome, probs) >= observed - 1e-12:
+            total += math.exp(
+                _log_multinomial_pmf(outcome, log_probs, log_n_factorial)
+            )
+    return min(1.0, total)
+
+
+def is_significant(p_value: float, alpha: float = 0.05) -> bool:
+    """Whether a p-value clears the significance level ``alpha``."""
+    if not 0.0 < alpha < 1.0:
+        raise ValueError(f"alpha must be in (0, 1), got {alpha}")
+    if not 0.0 <= p_value <= 1.0:
+        raise ValueError(f"p-value must be in [0, 1], got {p_value}")
+    return p_value < alpha

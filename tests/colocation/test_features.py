@@ -1,0 +1,68 @@
+"""Unit tests for SpatialDataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.graph import Graph
+from repro.colocation.features import SpatialDataset
+
+
+@pytest.fixture
+def tiny_dataset():
+    points = [(0.0, 0.0), (0.1, 0.0), (0.2, 0.0), (0.9, 0.9)]
+    graph = Graph.from_edges([(0, 1), (1, 2)], vertices=[3])
+    features = {0: {"X"}, 1: {"X", "Y"}, 2: {"Y"}, 3: set()}
+    return SpatialDataset(points, graph, features)
+
+
+class TestConstruction:
+    def test_basic(self, tiny_dataset):
+        assert tiny_dataset.num_points == 4
+        assert tiny_dataset.feature_universe == frozenset({"X", "Y"})
+
+    def test_vertex_count_mismatch_rejected(self):
+        with pytest.raises(DatasetError):
+            SpatialDataset([(0, 0)], Graph([0, 1]), {})
+
+    def test_missing_vertex_rejected(self):
+        g = Graph([0])
+        with pytest.raises(DatasetError):
+            SpatialDataset([(0, 0), (1, 1)], g, {})
+
+    def test_missing_features_default_empty(self, tiny_dataset):
+        assert tiny_dataset.features_of(3) == frozenset()
+
+
+class TestQueries:
+    def test_features_of(self, tiny_dataset):
+        assert tiny_dataset.features_of(1) == frozenset({"X", "Y"})
+
+    def test_features_of_unknown_point(self, tiny_dataset):
+        with pytest.raises(DatasetError):
+            tiny_dataset.features_of(99)
+
+    def test_has_feature(self, tiny_dataset):
+        assert tiny_dataset.has_feature(0, "X")
+        assert not tiny_dataset.has_feature(0, "Y")
+
+    def test_points_with(self, tiny_dataset):
+        assert tiny_dataset.points_with("X") == [0, 1]
+        assert tiny_dataset.points_with("Z") == []
+
+    def test_feature_count(self, tiny_dataset):
+        assert tiny_dataset.feature_count("Y") == 2
+
+    def test_neighborhood_closed_and_open(self, tiny_dataset):
+        assert tiny_dataset.neighborhood(1) == frozenset({0, 1, 2})
+        assert tiny_dataset.neighborhood(1, closed=False) == frozenset({0, 2})
+
+    def test_feature_in_neighborhood(self, tiny_dataset):
+        # Point 0 has no Y itself but neighbour 1 does.
+        assert tiny_dataset.feature_in_neighborhood(0, "Y")
+        assert not tiny_dataset.feature_in_neighborhood(3, "Y")
+
+    def test_feature_in_open_neighborhood(self, tiny_dataset):
+        # Point 2 has Y itself; its only neighbour (1) also does.
+        assert tiny_dataset.feature_in_neighborhood(2, "X", closed=False)

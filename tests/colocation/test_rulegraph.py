@@ -1,0 +1,121 @@
+"""Unit tests for the rule-induced mining instance (Section 5.1 workflow)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.graph import Graph
+from repro.colocation.features import SpatialDataset
+from repro.colocation.rulegraph import (
+    build_rule_instance,
+    combined_feature_instance,
+    significant_rule_regions,
+)
+from repro.colocation.rules import ColocationRule
+
+
+@pytest.fixture
+def dataset():
+    # Two X-clusters: 0-1-2 (all with Y) and 4-5 (no Y); 3 is non-X glue.
+    points = [(i / 10, 0.0) for i in range(6)]
+    graph = Graph.path(6)
+    features = {
+        0: {"X", "Y"},
+        1: {"X", "Y"},
+        2: {"X", "Y"},
+        3: {"W"},
+        4: {"X"},
+        5: {"X"},
+    }
+    return SpatialDataset(points, graph, features)
+
+
+class TestBuildRuleInstance:
+    def test_induces_antecedent_subgraph(self, dataset):
+        rule = ColocationRule("X", "Y", 0.5, 5)
+        graph, labeling = build_rule_instance(dataset, rule)
+        assert set(graph.vertices()) == {0, 1, 2, 4, 5}
+        # Vertex 3 is gone, so 2-4 are disconnected.
+        assert not graph.has_edge(2, 4)
+        assert graph.has_edge(0, 1)
+
+    def test_labels_follow_consequent(self, dataset):
+        rule = ColocationRule("X", "Y", 0.5, 5)
+        _, labeling = build_rule_instance(dataset, rule)
+        assert labeling.label_of(0) == 1
+        assert labeling.label_of(4) == 0
+
+    def test_null_model_from_rule_probability(self, dataset):
+        rule = ColocationRule("X", "Y", 0.3, 5)
+        _, labeling = build_rule_instance(dataset, rule)
+        assert labeling.probabilities == (0.7, 0.3)
+
+    def test_degenerate_probability_rejected(self, dataset):
+        rule = ColocationRule("X", "Y", 1.0, 5)
+        with pytest.raises(DatasetError):
+            build_rule_instance(dataset, rule)
+
+    def test_missing_antecedent_rejected(self, dataset):
+        rule = ColocationRule("Q", "Y", 0.5, 1)
+        with pytest.raises(DatasetError):
+            build_rule_instance(dataset, rule)
+
+    def test_neighborhood_scope(self, dataset):
+        rule = ColocationRule("X", "Y", 0.5, 5)
+        _, labeling = build_rule_instance(dataset, rule, scope="neighborhood")
+        # Vertex 4 has no Y within the closed neighbourhood {3, 4, 5}.
+        assert labeling.label_of(4) == 0
+
+
+class TestCombinedFeatureInstance:
+    def test_both_features_required(self, dataset):
+        graph, labeling = combined_feature_instance(
+            dataset, "X", "Y", probability=0.3
+        )
+        assert graph.num_vertices == 6
+        assert labeling.label_of(0) == 1
+        assert labeling.label_of(4) == 0
+        assert labeling.label_of(3) == 0
+
+    def test_empirical_probability(self, dataset):
+        _, labeling = combined_feature_instance(dataset, "X", "Y")
+        assert labeling.probabilities[1] == pytest.approx(0.5)
+
+    def test_empirical_probability_clamped_when_absent(self, dataset):
+        _, labeling = combined_feature_instance(dataset, "X", "W")
+        assert 0.0 < labeling.probabilities[1] < 1.0
+
+    def test_explicit_probability_validated(self, dataset):
+        with pytest.raises(DatasetError):
+            combined_feature_instance(dataset, "X", "Y", probability=1.0)
+
+
+class TestSignificantRuleRegions:
+    def test_unlikely_rule_finds_y_cluster(self, dataset):
+        # With p(Y) = 0.1 the 0-1-2 all-Y cluster is the anomaly.
+        rule = ColocationRule("X", "Y", 0.1, 5)
+        findings, result = significant_rule_regions(dataset, rule)
+        assert findings[0].subgraph.vertices == frozenset({0, 1, 2})
+        assert findings[0].presence_ratio == pytest.approx(1.0)
+
+    def test_likely_rule_finds_absence_cluster(self, dataset):
+        rule = ColocationRule("X", "Y", 0.9, 5)
+        findings, _ = significant_rule_regions(dataset, rule)
+        assert findings[0].subgraph.vertices == frozenset({4, 5})
+        assert findings[0].presence_ratio == 0.0
+
+    def test_top_t_regions_disjoint(self, dataset):
+        rule = ColocationRule("X", "Y", 0.5, 5)
+        findings, _ = significant_rule_regions(dataset, rule, top_t=2)
+        assert len(findings) == 2
+        assert not (
+            findings[0].subgraph.vertices & findings[1].subgraph.vertices
+        )
+
+    def test_component_accessors(self, dataset):
+        rule = ColocationRule("X", "Y", 0.1, 5)
+        findings, _ = significant_rule_regions(dataset, rule)
+        f = findings[0]
+        assert sum(f.component_sizes) == f.subgraph.size
+        assert all(lbl in ("0", "1") for lbl in f.component_labels)

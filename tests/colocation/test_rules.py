@@ -1,0 +1,118 @@
+"""Unit tests for co-location rule mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DatasetError
+from repro.graph.graph import Graph
+from repro.colocation.features import SpatialDataset
+from repro.colocation.rules import (
+    ColocationRule,
+    mine_pair_rules,
+    participation_index,
+    participation_ratio,
+    rule_confidence,
+)
+
+
+@pytest.fixture
+def dataset():
+    # 0-1-2-3 path; X at {0,1,2}, Y at {1,3}.
+    points = [(i / 10, 0.0) for i in range(4)]
+    graph = Graph.path(4)
+    features = {0: {"X"}, 1: {"X", "Y"}, 2: {"X"}, 3: {"Y"}}
+    return SpatialDataset(points, graph, features)
+
+
+class TestColocationRule:
+    def test_str(self):
+        rule = ColocationRule("X", "Y", 0.8, 10)
+        assert str(rule) == "X => Y (0.80)"
+
+    def test_invalid_probability(self):
+        with pytest.raises(DatasetError):
+            ColocationRule("X", "Y", 1.5, 10)
+
+    def test_invalid_support(self):
+        with pytest.raises(DatasetError):
+            ColocationRule("X", "Y", 0.5, -1)
+
+
+class TestRuleConfidence:
+    def test_node_scope(self, dataset):
+        conf, support = rule_confidence(dataset, "X", "Y", scope="node")
+        assert support == 3
+        assert conf == pytest.approx(1 / 3)
+
+    def test_neighborhood_scope(self, dataset):
+        conf, _ = rule_confidence(dataset, "X", "Y", scope="neighborhood")
+        # 0 sees Y at 1; 1 has Y; 2 sees Y at 1 and 3 -> all three.
+        assert conf == pytest.approx(1.0)
+
+    def test_missing_antecedent(self, dataset):
+        with pytest.raises(DatasetError):
+            rule_confidence(dataset, "Z", "Y")
+
+    def test_invalid_scope(self, dataset):
+        with pytest.raises(DatasetError):
+            rule_confidence(dataset, "X", "Y", scope="bogus")  # type: ignore[arg-type]
+
+
+class TestParticipation:
+    def test_ratio(self, dataset):
+        # Every X instance has a Y within its closed neighbourhood.
+        assert participation_ratio(dataset, "X", "Y") == pytest.approx(1.0)
+        # Y instances: 1 (X at self), 3 (X at 2) -> 1.0 as well.
+        assert participation_ratio(dataset, "Y", "X") == pytest.approx(1.0)
+
+    def test_index_is_min(self, dataset):
+        pi = participation_index(dataset, "X", "Y")
+        assert pi == pytest.approx(
+            min(
+                participation_ratio(dataset, "X", "Y"),
+                participation_ratio(dataset, "Y", "X"),
+            )
+        )
+
+
+class TestMinePairRules:
+    def test_mines_all_ordered_pairs(self, dataset):
+        rules = mine_pair_rules(dataset)
+        pairs = {(r.antecedent, r.consequent) for r in rules}
+        assert pairs == {("X", "Y"), ("Y", "X")}
+
+    def test_sorted_by_confidence(self, dataset):
+        rules = mine_pair_rules(dataset)
+        confidences = [r.probability for r in rules]
+        assert confidences == sorted(confidences, reverse=True)
+
+    def test_min_support_filters(self, dataset):
+        rules = mine_pair_rules(dataset, min_support=3)
+        assert {r.antecedent for r in rules} == {"X"}
+
+    def test_min_prevalence_filters(self, dataset):
+        assert len(mine_pair_rules(dataset, min_prevalence=0.9)) == 2
+        features = {0: {"X"}, 1: {"Y"}, 2: {"X"}, 3: {"Y"}}
+        from repro.colocation.features import SpatialDataset
+        from repro.graph.graph import Graph
+
+        sparse = SpatialDataset(
+            [(i / 10, 0.0) for i in range(4)],
+            Graph.from_edges([(0, 1)], vertices=[2, 3]),
+            features,
+        )
+        # Only the 0-1 pair participates; prevalence 0.5 filters Y => X
+        # (one of two Y instances participates) but keeps nothing at 0.9.
+        assert mine_pair_rules(sparse, min_prevalence=0.9) == []
+
+    def test_invalid_thresholds(self, dataset):
+        with pytest.raises(DatasetError):
+            mine_pair_rules(dataset, min_support=0)
+        with pytest.raises(DatasetError):
+            mine_pair_rules(dataset, min_prevalence=2.0)
+
+    def test_neighborhood_scope_rules(self, dataset):
+        rules = mine_pair_rules(dataset, scope="neighborhood")
+        xy = next(r for r in rules if r.antecedent == "X")
+        assert xy.probability == pytest.approx(1.0)

@@ -1,0 +1,88 @@
+"""Unit tests for community significance scoring and core mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.labels.discrete import DiscreteLabeling
+from repro.community.significance import (
+    mine_community_core,
+    rank_communities,
+)
+
+
+@pytest.fixture
+def labeled_cliques():
+    """Two 4-cliques joined by an edge; the left one is label-1 heavy."""
+    g = Graph(range(8))
+    for base in (0, 4):
+        for i in range(base, base + 4):
+            for j in range(i + 1, base + 4):
+                g.add_edge(i, j)
+    g.add_edge(3, 4)
+    assignment = {0: 1, 1: 1, 2: 1, 3: 1, 4: 0, 5: 0, 6: 1, 7: 0}
+    labeling = DiscreteLabeling((0.8, 0.2), assignment)
+    return g, labeling
+
+
+class TestRankCommunities:
+    def test_deviant_community_first(self, labeled_cliques):
+        g, labeling = labeled_cliques
+        communities = [frozenset(range(4)), frozenset(range(4, 8))]
+        scores = rank_communities(labeling, communities)
+        assert scores[0].members == frozenset(range(4))
+        assert scores[0].chi_square > scores[1].chi_square
+        assert 0.0 <= scores[0].p_value <= scores[1].p_value
+
+    def test_statistic_matches_labeling(self, labeled_cliques):
+        g, labeling = labeled_cliques
+        scores = rank_communities(labeling, [range(4)])
+        assert scores[0].chi_square == pytest.approx(
+            labeling.chi_square(range(4))
+        )
+        assert scores[0].size == 4
+
+    def test_empty_community_rejected(self, labeled_cliques):
+        _, labeling = labeled_cliques
+        with pytest.raises(GraphError):
+            rank_communities(labeling, [[]])
+
+    def test_continuous_labeling_supported(self):
+        from repro.labels.continuous import ContinuousLabeling
+
+        labeling = ContinuousLabeling.from_scalar(
+            {0: 2.0, 1: 2.0, 2: -0.1, 3: 0.1}
+        )
+        scores = rank_communities(labeling, [[0, 1], [2, 3]])
+        assert scores[0].members == frozenset({0, 1})
+
+
+class TestMineCommunityCore:
+    def test_core_is_inside_community(self, labeled_cliques):
+        g, labeling = labeled_cliques
+        core = mine_community_core(g, labeling, range(4, 8))
+        assert core.vertices <= frozenset(range(4, 8))
+        # The lone label-1 vertex (6) is the deviation driver there.
+        assert 6 in core.vertices
+
+    def test_core_at_most_community(self, labeled_cliques):
+        g, labeling = labeled_cliques
+        core = mine_community_core(g, labeling, range(4))
+        assert core.vertices == frozenset(range(4))
+
+    def test_empty_community_rejected(self, labeled_cliques):
+        g, labeling = labeled_cliques
+        with pytest.raises(GraphError):
+            mine_community_core(g, labeling, [])
+
+    def test_end_to_end_with_detection(self, labeled_cliques):
+        from repro.community.detection import label_propagation_communities
+
+        g, labeling = labeled_cliques
+        communities = label_propagation_communities(g, seed=7)
+        scores = rank_communities(labeling, communities)
+        assert scores
+        core = mine_community_core(g, labeling, scores[0].members)
+        assert core.chi_square >= 0

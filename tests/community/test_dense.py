@@ -1,0 +1,55 @@
+"""Unit tests for dense-subgraph mining via degree z-scores."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+from repro.community.dense import mine_dense_subgraphs
+
+
+def planted_clique_graph(n: int = 60, clique: int = 10, seed: int = 5) -> Graph:
+    """Sparse random background with a planted clique on 0..clique-1."""
+    g = gnm_random_graph(n, 2 * n, seed=seed)
+    for i in range(clique):
+        for j in range(i + 1, clique):
+            g.add_edge(i, j, exist_ok=True)
+    return g
+
+
+class TestMineDenseSubgraphs:
+    def test_finds_planted_clique(self):
+        g = planted_clique_graph()
+        regions, result = mine_dense_subgraphs(g, top_t=1, n_theta=25)
+        top = regions[0]
+        clique_members = set(range(10))
+        assert len(clique_members & set(top.vertices)) >= 8
+
+    def test_region_reports_density(self):
+        g = planted_clique_graph()
+        regions, _ = mine_dense_subgraphs(g, top_t=1, n_theta=25)
+        top = regions[0]
+        assert 0.0 < top.internal_density <= 1.0
+        assert top.average_internal_degree > 0
+        assert top.size == len(top.vertices)
+
+    def test_dense_region_denser_than_graph(self):
+        from repro.graph.properties import density
+
+        g = planted_clique_graph()
+        regions, _ = mine_dense_subgraphs(g, top_t=1, n_theta=25)
+        assert regions[0].internal_density > 3 * density(g)
+
+    def test_top_t_disjoint(self):
+        g = planted_clique_graph(n=80, clique=8)
+        regions, _ = mine_dense_subgraphs(g, top_t=3, n_theta=25)
+        seen = set()
+        for r in regions:
+            assert not (seen & r.vertices)
+            seen |= r.vertices
+
+    def test_tiny_graph_rejected(self):
+        with pytest.raises(GraphError):
+            mine_dense_subgraphs(Graph([0, 1]))

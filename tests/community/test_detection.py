@@ -1,0 +1,67 @@
+"""Unit tests for label-propagation community detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.community.detection import label_propagation_communities
+
+
+def two_cliques_with_bridge(k: int = 5) -> Graph:
+    g = Graph(range(2 * k))
+    for base in (0, k):
+        for i in range(base, base + k):
+            for j in range(i + 1, base + k):
+                g.add_edge(i, j)
+    g.add_edge(k - 1, k)
+    return g
+
+
+class TestLabelPropagation:
+    def test_partition_covers_all_vertices(self):
+        g = two_cliques_with_bridge()
+        communities = label_propagation_communities(g, seed=1)
+        covered = set()
+        for c in communities:
+            assert not (covered & c)
+            covered |= c
+        assert covered == set(g.vertices())
+
+    def test_separates_two_cliques(self):
+        g = two_cliques_with_bridge(6)
+        communities = label_propagation_communities(g, seed=2)
+        # The two cliques must not end up merged into one community.
+        assert len(communities) >= 2
+        biggest = communities[0]
+        assert biggest <= set(range(6)) or biggest <= set(range(6, 12))
+
+    def test_single_clique_single_community(self):
+        g = Graph.complete(8)
+        communities = label_propagation_communities(g, seed=3)
+        assert communities == [frozenset(range(8))]
+
+    def test_isolated_vertices_stay_alone(self):
+        g = Graph.from_edges([(0, 1)], vertices=[5])
+        communities = label_propagation_communities(g, seed=4)
+        assert frozenset({5}) in communities
+
+    def test_sorted_by_size(self):
+        g = two_cliques_with_bridge(4)
+        communities = label_propagation_communities(g, seed=5)
+        sizes = [len(c) for c in communities]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_deterministic_given_seed(self):
+        g = two_cliques_with_bridge(5)
+        a = label_propagation_communities(g, seed=6)
+        b = label_propagation_communities(g, seed=6)
+        assert a == b
+
+    def test_invalid_rounds(self):
+        with pytest.raises(GraphError):
+            label_propagation_communities(Graph([0]), max_rounds=0)
+
+    def test_empty_graph(self):
+        assert label_propagation_communities(Graph(), seed=1) == []

@@ -1,0 +1,98 @@
+"""Unit tests for Algorithm 2 (continuous super-graph construction)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.core.construct_continuous import build_continuous_supergraph
+
+
+class TestBasics:
+    def test_all_contracting_chain(self):
+        # Identical positive scores along a path contract pairwise.
+        g = Graph.path(3)
+        lab = ContinuousLabeling.from_scalar({0: 2.0, 1: 2.0, 2: 2.0})
+        sg = build_continuous_supergraph(g, lab)
+        assert sg.num_super_vertices == 1
+        only = next(sg.super_vertices())
+        assert only.size == 3
+        assert only.chi_square == pytest.approx(36.0 / 3.0)
+
+    def test_opposite_signs_never_contract(self):
+        g = Graph.path(4)
+        lab = ContinuousLabeling.from_scalar({0: 2.0, 1: -2.0, 2: 2.0, 3: -2.0})
+        sg = build_continuous_supergraph(g, lab)
+        assert sg.num_super_vertices == 4
+        assert sg.num_super_edges == 3
+
+    def test_partition_is_valid(self):
+        g = gnm_random_graph(40, 120, seed=1)
+        lab = ContinuousLabeling.random(g, 2, seed=2)
+        sg = build_continuous_supergraph(g, lab)
+        sg.validate_against(g)
+
+    def test_merges_only_when_chi_square_improves(self):
+        g = gnm_random_graph(30, 80, seed=3)
+        lab = ContinuousLabeling.random(g, 1, seed=4)
+        sg = build_continuous_supergraph(g, lab)
+        # Post-condition of Algorithm 2: for every remaining super-edge the
+        # merge must NOT strictly dominate both endpoints (otherwise the
+        # final scan would have contracted it)... except where an earlier
+        # merge re-created the opportunity; at minimum every super-vertex's
+        # statistic must be >= the best of its members' singles.
+        for sv in sg.super_vertices():
+            best_single = max(
+                lab.vertex_chi_square(v) for v in sv.members
+            )
+            if sv.size > 1:
+                assert sv.chi_square >= best_single - 1e-9
+
+    def test_order_dependence_documented(self):
+        """The super-graph may differ across edge orders (Section 4.3.2)."""
+        g = gnm_random_graph(30, 100, seed=5)
+        lab = ContinuousLabeling.random(g, 1, seed=6)
+        sizes = {
+            build_continuous_supergraph(
+                g, lab, edge_order="shuffled", seed=s
+            ).num_super_vertices
+            for s in range(8)
+        }
+        # Not asserting inequality (could coincide), but all results must be
+        # valid partitions; spread is measured by the ablation benchmark.
+        assert all(1 <= s <= 30 for s in sizes)
+
+    def test_by_chi_square_order(self):
+        g = gnm_random_graph(25, 60, seed=7)
+        lab = ContinuousLabeling.random(g, 1, seed=8)
+        sg = build_continuous_supergraph(g, lab, edge_order="by_chi_square")
+        sg.validate_against(g)
+
+    def test_unknown_order_rejected(self):
+        g = Graph.path(3)
+        lab = ContinuousLabeling.random(g, 1, seed=1)
+        with pytest.raises(GraphError):
+            build_continuous_supergraph(g, lab, edge_order="bogus")  # type: ignore[arg-type]
+
+
+class TestConclusion4:
+    def test_dense_graph_collapses(self):
+        """Conclusion 4: m > 4 n ln n => few super-vertices."""
+        n = 120
+        m = min(int(4.5 * n * math.log(n)), n * (n - 1) // 2)
+        g = gnm_random_graph(n, m, seed=9)
+        lab = ContinuousLabeling.random(g, 2, seed=10)
+        sg = build_continuous_supergraph(g, lab)
+        assert sg.num_super_vertices <= 25
+
+    def test_sparse_graph_keeps_many(self):
+        n = 120
+        g = gnm_random_graph(n, n, seed=11)
+        lab = ContinuousLabeling.random(g, 2, seed=12)
+        sg = build_continuous_supergraph(g, lab)
+        assert sg.num_super_vertices > 25

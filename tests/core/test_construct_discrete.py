@@ -1,0 +1,97 @@
+"""Unit tests for Algorithm 1 (discrete super-graph construction)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graph.generators import gnm_random_graph, gnp_random_graph
+from repro.graph.graph import Graph
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.construct_discrete import build_discrete_supergraph
+
+
+class TestBasics:
+    def test_monochromatic_graph_collapses_to_one(self):
+        g = Graph.complete(6)
+        lab = DiscreteLabeling((0.5, 0.5), {v: 0 for v in g.vertices()})
+        sg = build_discrete_supergraph(g, lab)
+        assert sg.num_super_vertices == 1
+        assert sg.num_super_edges == 0
+        assert next(sg.super_vertices()).size == 6
+
+    def test_alternating_path_stays_apart(self):
+        g = Graph.path(4)
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1, 2: 0, 3: 1})
+        sg = build_discrete_supergraph(g, lab)
+        assert sg.num_super_vertices == 4
+        assert sg.num_super_edges == 3
+
+    def test_same_label_components_merge(self):
+        # 0-1 same label, 2-3 same label, 1-2 crossing.
+        g = Graph.path(4)
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 0, 2: 1, 3: 1})
+        sg = build_discrete_supergraph(g, lab)
+        assert sg.num_super_vertices == 2
+        assert sg.num_super_edges == 1
+        sizes = sorted(sv.size for sv in sg.super_vertices())
+        assert sizes == [2, 2]
+
+    def test_payload_counts_match_members(self):
+        g = Graph.path(3)
+        lab = DiscreteLabeling((0.3, 0.7), {0: 1, 1: 1, 2: 0})
+        sg = build_discrete_supergraph(g, lab)
+        merged = sg.super_of(0)
+        assert merged.payload.counts == (0, 2)
+        assert sg.super_of(2).payload.counts == (1, 0)
+
+    def test_partition_is_valid(self):
+        g = gnp_random_graph(30, 0.3, seed=1)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(3), seed=2)
+        sg = build_discrete_supergraph(g, lab)
+        sg.validate_against(g)
+
+    def test_uncovered_graph_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0})
+        with pytest.raises(LabelingError):
+            build_discrete_supergraph(g, lab)
+
+    def test_super_vertices_are_monochromatic(self):
+        g = gnp_random_graph(40, 0.2, seed=3)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(4), seed=4)
+        sg = build_discrete_supergraph(g, lab)
+        for sv in sg.super_vertices():
+            labels = {lab.label_of(v) for v in sv.members}
+            assert len(labels) == 1
+
+    def test_super_vertices_are_maximal(self):
+        """No super-edge may join two same-label super-vertices."""
+        g = gnp_random_graph(40, 0.25, seed=5)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(3), seed=6)
+        sg = build_discrete_supergraph(g, lab)
+        for u, v in sg.topology.edges():
+            label_u = lab.label_of(next(iter(sg.super_vertex(u).members)))
+            label_v = lab.label_of(next(iter(sg.super_vertex(v).members)))
+            assert label_u != label_v
+
+
+class TestConclusion3:
+    def test_dense_graph_collapses_to_l_super_vertices(self):
+        """Conclusion 3: m > l n ln n => about l super-vertices."""
+        n, l = 150, 3
+        m = int(l * n * math.log(n))
+        max_edges = n * (n - 1) // 2
+        g = gnm_random_graph(n, min(m, max_edges), seed=7)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(l), seed=8)
+        sg = build_discrete_supergraph(g, lab)
+        assert sg.num_super_vertices == l
+
+    def test_sparse_graph_keeps_many(self):
+        n = 150
+        g = gnm_random_graph(n, n, seed=9)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(5), seed=10)
+        sg = build_discrete_supergraph(g, lab)
+        assert sg.num_super_vertices > 20

@@ -1,0 +1,72 @@
+"""Unit tests for contracting-edge predicates."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.labels.discrete import DiscreteLabeling
+from repro.core.contracting import (
+    continuous_merge_if_contracting,
+    is_contracting_continuous,
+    is_contracting_discrete,
+)
+from repro.stats.zscore import RegionScore
+
+
+class TestDiscrete:
+    def test_same_label_contracting(self):
+        lab = DiscreteLabeling((0.5, 0.5), {0: 1, 1: 1, 2: 0})
+        assert is_contracting_discrete(lab, 0, 1)
+        assert not is_contracting_discrete(lab, 0, 2)
+
+
+class TestContinuous:
+    def test_same_sign_strong_scores_contract(self):
+        u = RegionScore.from_vertex((2.0,))
+        v = RegionScore.from_vertex((2.0,))
+        # Combined z = 4/sqrt(2) = 2.83, X^2 = 8 > 4 = both endpoints.
+        assert is_contracting_continuous(u, v)
+
+    def test_opposite_signs_do_not_contract(self):
+        u = RegionScore.from_vertex((2.0,))
+        v = RegionScore.from_vertex((-2.0,))
+        assert not is_contracting_continuous(u, v)
+
+    def test_strong_vs_weak_does_not_contract(self):
+        u = RegionScore.from_vertex((5.0,))
+        v = RegionScore.from_vertex((0.1,))
+        # Combined X^2 = (5.1)^2/2 = 13 < 25.
+        assert not is_contracting_continuous(u, v)
+
+    def test_merge_if_contracting_returns_merged(self):
+        u = RegionScore.from_vertex((1.5,))
+        v = RegionScore.from_vertex((1.5,))
+        merged = continuous_merge_if_contracting(u, v)
+        assert merged is not None
+        assert merged.size == 2
+        assert merged == u.merged(v)
+
+    def test_merge_if_not_contracting_returns_none(self):
+        u = RegionScore.from_vertex((3.0,))
+        v = RegionScore.from_vertex((-3.0,))
+        assert continuous_merge_if_contracting(u, v) is None
+
+    def test_multi_dimensional(self):
+        u = RegionScore.from_vertex((1.0, 1.0))
+        v = RegionScore.from_vertex((1.0, 1.0))
+        assert is_contracting_continuous(u, v)
+
+    def test_lemma7_monte_carlo(self):
+        """Lemma 7: under the null, P(contracting) ~ 1/4 (any k, any sizes)."""
+        rng = random.Random(7)
+        for k in (1, 3):
+            hits = 0
+            trials = 4000
+            for _ in range(trials):
+                u = RegionScore.from_vertex([rng.gauss(0, 1) for _ in range(k)])
+                v = RegionScore.from_vertex([rng.gauss(0, 1) for _ in range(k)])
+                if is_contracting_continuous(u, v):
+                    hits += 1
+            assert hits / trials == pytest.approx(0.25, abs=0.03)

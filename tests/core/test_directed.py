@@ -1,0 +1,102 @@
+"""Unit tests for directed-graph mining (weak and strong connectivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.digraph import DiGraph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling
+from repro.core.directed import mine_directed
+from repro.core.solver import mine
+
+
+@pytest.fixture
+def two_cycles():
+    """Two directed 3-cycles joined by one arc; left cycle is rare-label."""
+    g = DiGraph.from_edges(
+        [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)]
+    )
+    lab = DiscreteLabeling(
+        (0.8, 0.2), {0: 1, 1: 1, 2: 1, 3: 0, 4: 0, 5: 1}
+    )
+    return g, lab
+
+
+class TestWeakConnectivity:
+    def test_weak_equals_undirected_pipeline(self, two_cycles):
+        g, lab = two_cycles
+        directed = mine_directed(g, lab, connectivity="weak").best
+        undirected = mine(g.underlying_graph(), lab).best
+        assert directed.vertices == undirected.vertices
+        assert directed.chi_square == pytest.approx(undirected.chi_square)
+
+    def test_weak_region_can_ignore_direction(self):
+        # A directed path cannot be strongly connected, but weakly it is
+        # one minable region.
+        g = DiGraph.from_edges([(0, 1), (1, 2)])
+        lab = DiscreteLabeling((0.9, 0.1), {0: 1, 1: 1, 2: 1})
+        best = mine_directed(g, lab, connectivity="weak").best
+        assert best.vertices == frozenset({0, 1, 2})
+
+
+class TestStrongConnectivity:
+    def test_strong_region_is_strongly_connected(self, two_cycles):
+        g, lab = two_cycles
+        best = mine_directed(g, lab, connectivity="strong").best
+        assert g.is_strongly_connected_subset(best.vertices)
+
+    def test_strong_finds_rare_cycle(self, two_cycles):
+        g, lab = two_cycles
+        best = mine_directed(g, lab, connectivity="strong").best
+        # The all-rare 3-cycle {0,1,2} is the most significant strongly
+        # connected set (the weakly-optimal set spanning both cycles is
+        # not strongly connected: the bridge arc 2 -> 3 has no return).
+        assert best.vertices == frozenset({0, 1, 2})
+
+    def test_strong_never_beats_weak(self, two_cycles):
+        g, lab = two_cycles
+        strong = mine_directed(g, lab, connectivity="strong").best
+        weak = mine_directed(g, lab, connectivity="weak").best
+        assert strong.chi_square <= weak.chi_square + 1e-9
+
+    def test_strong_on_dag_yields_singletons(self):
+        g = DiGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        lab = DiscreteLabeling((0.7, 0.3), {0: 1, 1: 0, 2: 1})
+        result = mine_directed(g, lab, connectivity="strong", top_t=3)
+        assert all(sub.size == 1 for sub in result)
+
+    def test_strong_top_t_disjoint(self):
+        g = DiGraph.from_edges(
+            [(0, 1), (1, 0), (2, 3), (3, 2), (1, 2)]
+        )
+        lab = DiscreteLabeling((0.5, 0.5), {0: 1, 1: 1, 2: 0, 3: 0})
+        result = mine_directed(g, lab, connectivity="strong", top_t=2)
+        assert len(result) == 2
+        assert not (result[0].vertices & result[1].vertices)
+
+    def test_continuous_labeling(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+        lab = ContinuousLabeling.from_scalar({0: 2.0, 1: 2.5, 2: -3.0})
+        best = mine_directed(g, lab, connectivity="strong").best
+        assert best.vertices == frozenset({2}) or best.vertices == frozenset(
+            {0, 1}
+        )
+        assert best.z_score is not None
+
+    def test_invalid_connectivity(self, two_cycles):
+        g, lab = two_cycles
+        with pytest.raises(GraphError):
+            mine_directed(g, lab, connectivity="sideways")
+
+    def test_invalid_top_t(self, two_cycles):
+        g, lab = two_cycles
+        with pytest.raises(GraphError):
+            mine_directed(g, lab, connectivity="strong", top_t=0)
+
+    def test_empty_graph(self):
+        g = DiGraph()
+        lab = DiscreteLabeling((0.5, 0.5), {})
+        result = mine_directed(g, lab, connectivity="strong")
+        assert len(result) == 0

@@ -1,0 +1,95 @@
+"""Unit tests for the LMCS hill-climbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError, NotConnectedError
+from repro.graph.components import is_connected_subset
+from repro.graph.generators import gnp_random_graph
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.local_search import best_single_vertex, lmcs_local_search
+
+
+class TestSeeds:
+    def test_best_single_vertex_discrete(self, small_labeled):
+        graph, labeling = small_labeled
+        seed = best_single_vertex(graph, labeling)
+        # Label-1 vertices (p = 0.2) are individually most surprising.
+        assert labeling.label_of(seed) == 1
+
+    def test_best_single_vertex_continuous(self):
+        g = Graph.path(3)
+        lab = ContinuousLabeling.from_scalar({0: 0.5, 1: -3.0, 2: 1.0})
+        assert best_single_vertex(g, lab) == 1
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            best_single_vertex(Graph(), ContinuousLabeling.from_scalar({0: 1.0}))
+
+
+class TestLocalSearch:
+    def test_grows_to_obvious_region(self, small_labeled):
+        graph, labeling = small_labeled
+        result, value = lmcs_local_search(graph, labeling, [0])
+        assert result == frozenset({0, 1, 2})
+        assert value == pytest.approx(labeling.chi_square([0, 1, 2]))
+
+    def test_sheds_bad_vertices(self, small_labeled):
+        graph, labeling = small_labeled
+        # Start from the whole graph; the label-0 tail should be dropped.
+        result, value = lmcs_local_search(graph, labeling, list(graph.vertices()))
+        assert result == frozenset({0, 1, 2})
+
+    def test_result_is_connected(self):
+        g = gnp_random_graph(20, 0.3, seed=1)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(3), seed=2)
+        result, _ = lmcs_local_search(g, lab, [next(iter(g.vertices()))])
+        assert is_connected_subset(g, result)
+
+    def test_result_is_local_maximum(self):
+        """Definition 3: no single add/remove may improve the statistic."""
+        g = gnp_random_graph(15, 0.3, seed=3)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(2), seed=4)
+        result, value = lmcs_local_search(g, lab, [0])
+        frontier = set()
+        for v in result:
+            frontier |= set(g.neighbors(v))
+        frontier -= result
+        for v in frontier:
+            assert lab.chi_square(result | {v}) <= value + 1e-9
+        for v in result:
+            remaining = result - {v}
+            if remaining and is_connected_subset(g, remaining):
+                assert lab.chi_square(remaining) <= value + 1e-9
+
+    def test_never_decreases_from_seed(self):
+        g = gnp_random_graph(18, 0.35, seed=5)
+        lab = ContinuousLabeling.random(g, 2, seed=6)
+        for v in list(g.vertices())[:5]:
+            result, value = lmcs_local_search(g, lab, [v])
+            assert value >= lab.chi_square([v]) - 1e-9
+
+    def test_continuous_labeling(self):
+        g = Graph.path(5)
+        lab = ContinuousLabeling.from_scalar(
+            {0: 0.1, 1: 2.0, 2: 2.5, 3: 1.8, 4: -0.2}
+        )
+        result, value = lmcs_local_search(g, lab, [2])
+        assert result == frozenset({1, 2, 3})
+
+    def test_empty_seed_rejected(self, small_labeled):
+        graph, labeling = small_labeled
+        with pytest.raises(GraphError):
+            lmcs_local_search(graph, labeling, [])
+
+    def test_disconnected_seed_rejected(self, small_labeled):
+        graph, labeling = small_labeled
+        with pytest.raises(NotConnectedError):
+            lmcs_local_search(graph, labeling, [0, 5])
+
+    def test_unsupported_labeling_type(self, triangle):
+        with pytest.raises(TypeError):
+            lmcs_local_search(triangle, object(), [0])  # type: ignore[arg-type]

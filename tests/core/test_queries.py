@@ -1,0 +1,110 @@
+"""Unit tests for threshold / size query variants (Section 2.1 remarks)."""
+
+from __future__ import annotations
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.exceptions import GraphError
+from repro.graph.generators import gnp_random_graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.queries import (
+    chi_square_threshold_for_alpha,
+    mine_above_threshold,
+    mine_significant_at_level,
+    mine_with_min_size,
+)
+from repro.core.solver import mine
+
+
+@pytest.fixture
+def instance():
+    g = gnp_random_graph(25, 0.3, seed=61)
+    lab = DiscreteLabeling.random(g, uniform_probabilities(3), seed=62)
+    return g, lab
+
+
+class TestThresholdForAlpha:
+    def test_discrete_uses_l_minus_1_dof(self):
+        lab = DiscreteLabeling(uniform_probabilities(4), {})
+        threshold = chi_square_threshold_for_alpha(lab, 0.05)
+        assert threshold == pytest.approx(scipy_stats.chi2.ppf(0.95, 3), rel=1e-6)
+
+    def test_continuous_uses_k_dof(self):
+        lab = ContinuousLabeling({0: (0.0, 0.0)})
+        threshold = chi_square_threshold_for_alpha(lab, 0.01)
+        assert threshold == pytest.approx(scipy_stats.chi2.ppf(0.99, 2), rel=1e-6)
+
+    def test_invalid_alpha(self):
+        lab = ContinuousLabeling({0: (0.0,)})
+        with pytest.raises(GraphError):
+            chi_square_threshold_for_alpha(lab, 1.5)
+
+    def test_unsupported_labeling(self):
+        with pytest.raises(TypeError):
+            chi_square_threshold_for_alpha(object(), 0.05)  # type: ignore[arg-type]
+
+
+class TestMineAboveThreshold:
+    def test_all_results_exceed_threshold(self, instance):
+        g, lab = instance
+        threshold = 5.0
+        result = mine_above_threshold(g, lab, threshold, n_theta=30)
+        assert result.subgraphs  # this instance has significant regions
+        for sub in result:
+            assert sub.chi_square > threshold
+
+    def test_huge_threshold_empty(self, instance):
+        g, lab = instance
+        result = mine_above_threshold(g, lab, 1e9)
+        assert len(result) == 0
+
+    def test_zero_threshold_matches_tsss_prefix(self, instance):
+        g, lab = instance
+        thresholded = mine_above_threshold(g, lab, 0.0, max_regions=3)
+        plain = mine(g, lab, top_t=3)
+        assert [s.vertices for s in thresholded] == [
+            s.vertices for s in plain
+        ]
+
+    def test_invalid_arguments(self, instance):
+        g, lab = instance
+        with pytest.raises(GraphError):
+            mine_above_threshold(g, lab, -1.0)
+        with pytest.raises(GraphError):
+            mine_above_threshold(g, lab, 1.0, max_regions=0)
+
+
+class TestMineSignificantAtLevel:
+    def test_results_are_significant(self, instance):
+        g, lab = instance
+        result = mine_significant_at_level(g, lab, alpha=0.05, n_theta=30)
+        for sub in result:
+            assert sub.p_value < 0.05
+
+    def test_stricter_alpha_fewer_regions(self, instance):
+        g, lab = instance
+        loose = mine_significant_at_level(g, lab, alpha=0.2)
+        strict = mine_significant_at_level(g, lab, alpha=1e-6)
+        assert len(strict) <= len(loose)
+
+
+class TestMineWithMinSize:
+    def test_respects_size(self, instance):
+        g, lab = instance
+        sub = mine_with_min_size(g, lab, 5, n_theta=30)
+        assert sub is not None
+        assert sub.size >= 5
+
+    def test_none_when_impossible(self):
+        from repro.graph.graph import Graph
+
+        g = Graph([0, 1])  # two isolated vertices
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1})
+        assert mine_with_min_size(g, lab, 2) is None
+
+    def test_invalid_min_size(self, instance):
+        g, lab = instance
+        with pytest.raises(GraphError):
+            mine_with_min_size(g, lab, 0)

@@ -1,0 +1,75 @@
+"""Unit tests for the label-permutation significance test."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.graph.generators import gnp_random_graph, grid_graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling
+from repro.core.randomization import permutation_test
+
+
+class TestPermutationTest:
+    def test_planted_signal_is_significant(self):
+        # A strong planted block on a grid should beat nearly every
+        # permutation of its labels.
+        g = grid_graph(5, 5)
+        planted = {(r, c) for r in range(1, 4) for c in range(1, 4)}
+        lab = DiscreteLabeling(
+            (0.9, 0.1), {v: (1 if v in planted else 0) for v in g.vertices()}
+        )
+        result = permutation_test(g, lab, permutations=30, seed=1, n_theta=25)
+        assert result.p_value <= 2 / 31
+        assert result.observed_chi_square > max(result.null_chi_squares)
+
+    def test_null_data_is_not_significant(self):
+        g = gnp_random_graph(20, 0.3, seed=2)
+        lab = DiscreteLabeling.random(g, (0.5, 0.5), seed=3)
+        result = permutation_test(g, lab, permutations=40, seed=4)
+        # Data drawn from the null must not look extreme.
+        assert result.p_value > 0.05
+
+    def test_p_value_never_zero(self):
+        g = grid_graph(3, 3)
+        lab = DiscreteLabeling(
+            (0.99, 0.01), {v: 1 for v in g.vertices()}
+        )
+        result = permutation_test(g, lab, permutations=5, seed=5)
+        assert result.p_value >= 1 / 6
+
+    def test_continuous_resampling(self):
+        g = gnp_random_graph(15, 0.4, seed=6)
+        scores = {v: 0.1 for v in g.vertices()}
+        strong = list(g.vertices())[0]
+        scores[strong] = 8.0
+        lab = ContinuousLabeling.from_scalar(scores)
+        result = permutation_test(g, lab, permutations=30, seed=7)
+        assert result.p_value < 0.2
+        assert result.permutations == 30
+
+    def test_selection_effect_visible(self):
+        """The permutation p-value exceeds the naive analytic p-value:
+        maximising over subgraphs inflates the statistic under the null."""
+        from repro.stats.significance import discrete_p_value
+
+        g = gnp_random_graph(20, 0.3, seed=8)
+        lab = DiscreteLabeling.random(g, (0.5, 0.5), seed=9)
+        result = permutation_test(g, lab, permutations=40, seed=10)
+        analytic = discrete_p_value(result.observed_chi_square, 2)
+        assert result.p_value > analytic
+
+    def test_invalid_permutations(self):
+        g = grid_graph(2, 2)
+        lab = DiscreteLabeling((0.5, 0.5), {v: 0 for v in g.vertices()})
+        with pytest.raises(ExperimentError):
+            permutation_test(g, lab, permutations=0)
+
+    def test_unsupported_labeling(self):
+        g = grid_graph(2, 2)
+        from repro.core.randomization import _resample_labeling
+        import random
+
+        with pytest.raises(TypeError):
+            _resample_labeling(object(), random.Random(0))  # type: ignore[arg-type]

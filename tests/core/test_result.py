@@ -1,0 +1,75 @@
+"""Unit tests for result dataclasses."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.result import (
+    MiningResult,
+    PipelineReport,
+    SignificantSubgraph,
+    SubgraphComponent,
+)
+
+
+def make_subgraph(vertices, chi_square=5.0):
+    return SignificantSubgraph(
+        vertices=frozenset(vertices),
+        chi_square=chi_square,
+        p_value=0.01,
+        components=(
+            SubgraphComponent(size=len(vertices), label="1", chi_square=chi_square),
+        ),
+    )
+
+
+class TestSignificantSubgraph:
+    def test_size(self):
+        assert make_subgraph([1, 2, 3]).size == 3
+
+    def test_component_accessors(self):
+        sub = SignificantSubgraph(
+            vertices=frozenset({1, 2, 3}),
+            chi_square=2.0,
+            p_value=0.5,
+            components=(
+                SubgraphComponent(2, "0", 1.0),
+                SubgraphComponent(1, "1", 3.0),
+            ),
+        )
+        assert sub.component_sizes == (2, 1)
+        assert sub.component_labels == ("0", "1")
+
+    def test_frozen(self):
+        sub = make_subgraph([1])
+        with pytest.raises(AttributeError):
+            sub.chi_square = 10.0  # type: ignore[misc]
+
+
+class TestPipelineReport:
+    def test_total_seconds(self):
+        report = PipelineReport(
+            construction_seconds=1.0,
+            reduction_seconds=2.0,
+            search_seconds=3.0,
+        )
+        assert report.total_seconds == 6.0
+
+    def test_defaults(self):
+        report = PipelineReport()
+        assert report.rounds == 0
+        assert report.dense_enough is False
+
+
+class TestMiningResult:
+    def test_best_and_iteration(self):
+        subs = (make_subgraph([1, 2], 9.0), make_subgraph([3], 4.0))
+        result = MiningResult(subgraphs=subs)
+        assert result.best is subs[0]
+        assert len(result) == 2
+        assert list(result) == list(subs)
+        assert result[1] is subs[1]
+
+    def test_best_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            MiningResult(subgraphs=()).best

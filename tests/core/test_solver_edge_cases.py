@@ -1,0 +1,116 @@
+"""Edge-case and failure-injection tests for the solver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EnumerationLimitError, LabelingError
+from repro.graph.graph import Graph
+from repro.graph.generators import gnp_random_graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.solver import mine
+
+
+class TestFailureInjection:
+    def test_search_limit_bubbles_up(self):
+        g = Graph.complete(14)
+        lab = DiscreteLabeling.random(g, (0.5, 0.5), seed=1)
+        with pytest.raises(EnumerationLimitError):
+            mine(g, lab, method="naive", search_limit=100)
+
+    def test_partial_labeling_rejected_before_any_work(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1})
+        with pytest.raises(LabelingError):
+            mine(g, lab)
+
+    def test_labeling_superset_is_fine(self):
+        # The labeling may cover more vertices than the graph (top-t
+        # rounds rely on this).
+        g = Graph.from_edges([(0, 1)])
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1, 99: 0})
+        assert mine(g, lab).subgraphs
+
+
+class TestDisconnectedGraphs:
+    def test_mscs_within_one_component(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (10, 11)])
+        lab = DiscreteLabeling(
+            (0.9, 0.1), {0: 1, 1: 1, 2: 1, 10: 1, 11: 0}
+        )
+        best = mine(g, lab).best
+        assert best.vertices == frozenset({0, 1, 2})
+
+    def test_top_t_spans_components(self):
+        g = Graph.from_edges([(0, 1), (10, 11)])
+        lab = DiscreteLabeling((0.9, 0.1), {0: 1, 1: 1, 10: 1, 11: 1})
+        result = mine(g, lab, top_t=2)
+        assert len(result) == 2
+        found = {frozenset(sub.vertices) for sub in result}
+        assert found == {frozenset({0, 1}), frozenset({10, 11})}
+
+    def test_isolated_vertices_minable(self):
+        g = Graph([0, 1, 2])
+        lab = ContinuousLabeling.from_scalar({0: 1.0, 1: 5.0, 2: -2.0})
+        best = mine(g, lab).best
+        assert best.vertices == frozenset({1})
+
+
+class TestDeterminism:
+    def test_shuffled_edge_order_deterministic_with_seed(self):
+        g = gnp_random_graph(30, 0.3, seed=5)
+        lab = ContinuousLabeling.random(g, 1, seed=6)
+        a = mine(g, lab, edge_order="shuffled", seed=42).best
+        b = mine(g, lab, edge_order="shuffled", seed=42).best
+        assert a.vertices == b.vertices
+        assert a.chi_square == b.chi_square
+
+    def test_repeat_runs_identical(self):
+        g = gnp_random_graph(25, 0.35, seed=7)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(3), seed=8)
+        runs = [mine(g, lab, top_t=3) for _ in range(3)]
+        signatures = [
+            tuple(sorted(map(str, sub.vertices)) for sub in run)
+            for run in runs
+        ]
+        assert signatures[0] == signatures[1] == signatures[2]
+
+
+class TestSingletonAndTiny:
+    def test_single_vertex_graph(self):
+        g = Graph([0])
+        lab = DiscreteLabeling((0.9, 0.1), {0: 1})
+        best = mine(g, lab).best
+        assert best.vertices == frozenset({0})
+        assert best.chi_square == pytest.approx(
+            lab.chi_square([0])
+        )
+
+    def test_two_vertices_no_edge(self):
+        g = Graph([0, 1])
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1})
+        result = mine(g, lab, top_t=5)
+        assert len(result) == 2
+        assert all(sub.size == 1 for sub in result)
+
+    def test_n_theta_one(self):
+        # Everything collapses to a single super-vertex; the result is the
+        # whole (connected) graph.
+        g = Graph.path(6)
+        lab = DiscreteLabeling.random(g, (0.5, 0.5), seed=9)
+        best = mine(g, lab, n_theta=1).best
+        assert best.vertices == frozenset(range(6))
+
+
+class TestComponentsOrdering:
+    def test_bfs_order_renders_chains_endpoint_first(self):
+        # A chain of three monochromatic segments: components must come out
+        # in path order, never bridge-first.
+        g = Graph.path(9)
+        assignment = {v: (0 if v < 3 else 1 if v < 6 else 0) for v in range(9)}
+        lab = DiscreteLabeling((0.7, 0.3), assignment)
+        best = mine(g, lab).best
+        if len(best.components) == 3:
+            sizes = best.component_sizes
+            assert sizes[1] == 3  # the middle segment sits in the middle

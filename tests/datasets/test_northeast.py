@@ -1,0 +1,165 @@
+"""Tests for the synthetic North-East biodiversity dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.northeast import (
+    ATTRIBUTE_SYMBOLS,
+    NortheastDataset,
+    northeast_dataset,
+)
+from repro.exceptions import DatasetError
+from repro.graph.components import is_connected_subset
+
+
+@pytest.fixture(scope="module")
+def ne() -> NortheastDataset:
+    return northeast_dataset(seed=7)
+
+
+class TestSchema:
+    def test_site_count(self, ne):
+        assert ne.dataset.num_points == 1202
+
+    def test_every_site_has_one_symbol_per_attribute(self, ne):
+        for i in range(ne.dataset.num_points):
+            feats = ne.dataset.features_of(i)
+            for attribute, symbols in ATTRIBUTE_SYMBOLS.items():
+                assert len(feats & set(symbols)) == 1, (i, attribute)
+
+    def test_symbol_universe_is_a_through_n(self, ne):
+        assert ne.dataset.feature_universe <= set("ABCDEFGHIJKLMN")
+
+    def test_graph_density_comparable_to_paper(self, ne):
+        # The paper's largest rule graph averages ~13.7 neighbours.
+        avg = 2 * ne.graph.num_edges / ne.graph.num_vertices
+        assert 10 < avg < 18
+
+    def test_deterministic(self):
+        a = northeast_dataset(seed=3, num_sites=400)
+        b = northeast_dataset(seed=3, num_sites=400)
+        assert a.dataset.features_of(10) == b.dataset.features_of(10)
+
+    def test_small_instance_scales_plantings(self):
+        small = northeast_dataset(seed=1, num_sites=400)
+        assert small.dataset.num_points == 400
+        assert 20 <= len(small.planted["i_no_h"]) <= 45
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            northeast_dataset(num_sites=100)
+
+
+class TestPlantedStructures:
+    def test_planted_regions_disjoint(self, ne):
+        seen = set()
+        for name, members in ne.planted.items():
+            assert not (seen & members), name
+            seen |= members
+
+    def test_i_no_h_is_contiguous_i_without_h(self, ne):
+        members = ne.planted["i_no_h"]
+        assert is_connected_subset(ne.graph, members)
+        for i in members:
+            feats = ne.dataset.features_of(i)
+            assert "I" in feats and "H" not in feats
+
+    def test_i_with_d_labels(self, ne):
+        for i in ne.planted["i_with_d"]:
+            feats = ne.dataset.features_of(i)
+            assert "I" in feats and "D" in feats
+
+    def test_bridge_labels(self, ne):
+        for i in ne.planted["bridge_left"] | ne.planted["bridge_right"]:
+            feats = ne.dataset.features_of(i)
+            assert "I" in feats and "B" in feats
+        for i in ne.planted["bridge_mid"]:
+            feats = ne.dataset.features_of(i)
+            assert "I" in feats and "A" in feats
+
+    def test_bridge_is_connected_island_in_i_graph(self, ne):
+        i_nodes = set(ne.dataset.points_with("I"))
+        bridge = ne.bridge_vertices
+        sub = ne.graph.induced_subgraph(i_nodes)
+        assert is_connected_subset(sub, bridge)
+        # The moat: no I-node outside the bridge touches it.
+        outside = i_nodes - bridge
+        for v in bridge:
+            assert not (set(ne.graph.neighbors(v)) & outside)
+
+    def test_strip_is_the_only_connector(self, ne):
+        i_nodes = set(ne.dataset.points_with("I"))
+        sub = ne.graph.induced_subgraph(i_nodes)
+        without_strip = ne.bridge_vertices - ne.planted["bridge_mid"]
+        assert not is_connected_subset(sub, without_strip)
+
+    def test_combined_label_regions(self, ne):
+        for i in ne.planted["ak"]:
+            feats = ne.dataset.features_of(i)
+            assert "A" in feats and "K" in feats
+        for i in ne.planted["cg"]:
+            feats = ne.dataset.features_of(i)
+            assert "C" in feats and "G" in feats
+
+    def test_calibrated_rule_lookup(self, ne):
+        rule = ne.rule("I", "H")
+        assert rule.probability == pytest.approx(0.85)
+        with pytest.raises(DatasetError):
+            ne.rule("Z", "Q")
+
+    def test_background_h_rate_near_calibration(self, ne):
+        planted = frozenset().union(*ne.planted.values())
+        background_i = [
+            i
+            for i in ne.dataset.points_with("I")
+            if i not in planted
+        ]
+        h_rate = sum(
+            1 for i in background_i if "H" in ne.dataset.features_of(i)
+        ) / len(background_i)
+        assert h_rate == pytest.approx(0.85, abs=0.05)
+
+
+class TestMiningRecovery:
+    """The headline claim: the pipeline recovers the planted structures."""
+
+    def test_i_no_h_region_recovered(self, ne):
+        from repro.colocation.rulegraph import significant_rule_regions
+
+        findings, _ = significant_rule_regions(
+            ne.dataset, ne.rule("I", "H"), top_t=1, n_theta=15
+        )
+        best = findings[0]
+        assert best.presence_ratio == 0.0
+        assert ne.planted["i_no_h"] <= best.subgraph.vertices
+
+    def test_i_with_d_region_recovered(self, ne):
+        from repro.colocation.rulegraph import significant_rule_regions
+
+        findings, _ = significant_rule_regions(
+            ne.dataset, ne.rule("I", "D"), top_t=1, n_theta=15
+        )
+        best = findings[0]
+        assert best.presence_ratio == 1.0
+        assert ne.planted["i_with_d"] <= best.subgraph.vertices
+
+    def test_bridge_recovered_with_structure(self, ne):
+        from repro.colocation.rulegraph import significant_rule_regions
+
+        findings, _ = significant_rule_regions(
+            ne.dataset, ne.rule("I", "A"), top_t=1, n_theta=15
+        )
+        best = findings[0]
+        # Region-bridge-region: >= 3 components with both labels present.
+        assert len(best.component_sizes) >= 3
+        assert set(best.component_labels) == {"0", "1"}
+        assert best.subgraph.vertices == ne.bridge_vertices
+
+    def test_combined_ak_region_recovered(self, ne):
+        from repro.colocation.rulegraph import combined_feature_instance
+        from repro.core.solver import mine
+
+        graph, labeling = combined_feature_instance(ne.dataset, "A", "K")
+        best = mine(graph, labeling, n_theta=15).best
+        assert ne.planted["ak"] <= best.vertices

@@ -1,0 +1,85 @@
+"""Tests for the SNAP-shaped scalability graphs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.snaplike import (
+    SNAP_SPECS,
+    degree_zscore_labeling,
+    snap_like_graph,
+)
+from repro.exceptions import DatasetError
+from repro.graph.components import is_connected
+from repro.graph.graph import Graph
+
+
+class TestSpecs:
+    def test_table7_values(self):
+        spec = SNAP_SPECS["com-DBLP"]
+        assert spec.nodes == 317_080
+        assert spec.edges == 1_049_866
+        assert spec.average_degree == pytest.approx(3.31, abs=0.01)
+
+    def test_all_four_graphs_present(self):
+        assert set(SNAP_SPECS) == {
+            "com-DBLP",
+            "com-Youtube",
+            "com-LiveJournal",
+            "com-Orkut",
+        }
+
+    def test_orkut_densest(self):
+        degrees = {name: s.average_degree for name, s in SNAP_SPECS.items()}
+        assert max(degrees, key=degrees.get) == "com-Orkut"
+
+
+class TestSnapLikeGraph:
+    def test_scaled_node_count(self):
+        g = snap_like_graph("com-DBLP", scale=100, seed=1)
+        assert g.num_vertices == 317_080 // 100
+
+    def test_average_degree_preserved(self):
+        for name in ("com-DBLP", "com-Youtube"):
+            g = snap_like_graph(name, scale=200, seed=2)
+            ours = g.num_edges / g.num_vertices
+            target = SNAP_SPECS[name].average_degree
+            assert ours == pytest.approx(target, rel=0.35)
+
+    def test_connected(self):
+        g = snap_like_graph("com-Youtube", scale=500, seed=3)
+        assert is_connected(g)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatasetError):
+            snap_like_graph("com-Bogus")
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(DatasetError):
+            snap_like_graph("com-DBLP", scale=0)
+
+    def test_minimum_size_floor(self):
+        g = snap_like_graph("com-DBLP", scale=10**9, seed=4)
+        assert g.num_vertices == 100
+
+
+class TestDegreeZscoreLabeling:
+    def test_standardised(self):
+        g = snap_like_graph("com-DBLP", scale=500, seed=5)
+        lab = degree_zscore_labeling(g)
+        zs = [lab.z_score_of(v)[0] for v in g.vertices()]
+        mean = sum(zs) / len(zs)
+        var = sum((z - mean) ** 2 for z in zs) / (len(zs) - 1)
+        assert mean == pytest.approx(0.0, abs=1e-9)
+        assert var == pytest.approx(1.0, rel=1e-9)
+
+    def test_hubs_get_high_z(self):
+        g = Graph.star(10)
+        lab = degree_zscore_labeling(g)
+        assert lab.z_score_of(0)[0] > lab.z_score_of(1)[0]
+
+    def test_degenerate_graphs_rejected(self):
+        with pytest.raises(DatasetError):
+            degree_zscore_labeling(Graph([0]))
+        with pytest.raises(DatasetError):
+            degree_zscore_labeling(Graph([0, 1]))

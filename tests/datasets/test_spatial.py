@@ -1,0 +1,117 @@
+"""Unit tests for spatial dataset building blocks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.spatial import (
+    SmoothField,
+    jittered_grid_points,
+    nearest_indices,
+    quantize_by_thresholds,
+    rank_normalize,
+    uniform_points,
+)
+from repro.exceptions import DatasetError
+
+
+class TestPointFields:
+    def test_uniform_points_in_unit_square(self):
+        pts = uniform_points(100, seed=1)
+        assert len(pts) == 100
+        assert all(0 <= x <= 1 and 0 <= y <= 1 for x, y in pts)
+
+    def test_uniform_points_deterministic(self):
+        assert uniform_points(10, seed=2) == uniform_points(10, seed=2)
+
+    def test_uniform_points_invalid(self):
+        with pytest.raises(DatasetError):
+            uniform_points(0)
+
+    def test_jittered_grid_count_and_bounds(self):
+        pts = jittered_grid_points(50, seed=3)
+        assert len(pts) == 50
+        assert all(0 <= x <= 1 and 0 <= y <= 1 for x, y in pts)
+
+    def test_jittered_grid_spread(self):
+        # Points must be roughly evenly spread: no two coincide.
+        pts = jittered_grid_points(100, seed=4)
+        assert len(set(pts)) == 100
+
+    def test_jitter_bounds(self):
+        with pytest.raises(DatasetError):
+            jittered_grid_points(10, jitter=0.5)
+
+
+class TestSmoothField:
+    def test_single_bump_peak_at_center(self):
+        field = SmoothField([(0.5, 0.5, 1.0, 0.1)])
+        assert field.value(0.5, 0.5) == pytest.approx(1.0)
+        assert field.value(0.9, 0.9) < 0.01
+
+    def test_superposition(self):
+        field = SmoothField([(0.0, 0.0, 1.0, 0.2), (1.0, 1.0, 2.0, 0.2)])
+        assert field.value(1.0, 1.0) > field.value(0.0, 0.0)
+
+    def test_random_field_deterministic(self):
+        a = SmoothField.random(seed=5)
+        b = SmoothField.random(seed=5)
+        assert a.value(0.3, 0.7) == b.value(0.3, 0.7)
+
+    def test_sample(self):
+        field = SmoothField.random(seed=6)
+        pts = [(0.1, 0.1), (0.9, 0.9)]
+        assert field.sample(pts) == [field.value(*p) for p in pts]
+
+    def test_invalid_parameters(self):
+        with pytest.raises(DatasetError):
+            SmoothField([])
+        with pytest.raises(DatasetError):
+            SmoothField([(0.5, 0.5, 1.0, 0.0)])
+        with pytest.raises(DatasetError):
+            SmoothField.random(num_bumps=0)
+
+
+class TestRankNormalize:
+    def test_uniform_ranks(self):
+        ranks = rank_normalize([10.0, 30.0, 20.0])
+        assert ranks == [0.0, 1.0, 0.5]
+
+    def test_ties_broken_by_position(self):
+        ranks = rank_normalize([1.0, 1.0])
+        assert sorted(ranks) == [0.0, 1.0]
+
+    def test_single_value(self):
+        assert rank_normalize([7.0]) == [0.5]
+
+    def test_empty_rejected(self):
+        with pytest.raises(DatasetError):
+            rank_normalize([])
+
+
+class TestQuantize:
+    def test_table1_medicinal_scheme(self):
+        thresholds = (0.4, 0.8)
+        assert quantize_by_thresholds(0.0, thresholds) == 0
+        assert quantize_by_thresholds(0.4, thresholds) == 0
+        assert quantize_by_thresholds(0.41, thresholds) == 1
+        assert quantize_by_thresholds(0.8, thresholds) == 1
+        assert quantize_by_thresholds(0.99, thresholds) == 2
+
+    def test_unsorted_thresholds_rejected(self):
+        with pytest.raises(DatasetError):
+            quantize_by_thresholds(0.5, (0.8, 0.4))
+
+    def test_empty_thresholds_rejected(self):
+        with pytest.raises(DatasetError):
+            quantize_by_thresholds(0.5, ())
+
+
+class TestNearestIndices:
+    def test_returns_closest(self):
+        pts = [(0.0, 0.0), (0.1, 0.0), (1.0, 1.0)]
+        assert nearest_indices(pts, (0.0, 0.0), 2) == [0, 1]
+
+    def test_count_validated(self):
+        with pytest.raises(DatasetError):
+            nearest_indices([(0, 0)], (0, 0), 0)

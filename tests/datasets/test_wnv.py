@@ -1,0 +1,121 @@
+"""Tests for the synthetic WNV county dataset."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.wnv import (
+    DC_NAME,
+    DC_RING_NAMES,
+    NY_NAMES,
+    STL_NAME,
+    wnv_dataset,
+)
+from repro.exceptions import DatasetError
+from repro.graph.components import is_connected, is_connected_subset
+
+
+@pytest.fixture(scope="module")
+def wnv():
+    return wnv_dataset(seed=11)
+
+
+class TestSchema:
+    def test_county_count(self, wnv):
+        assert wnv.graph.num_vertices == 3109
+
+    def test_graph_connected(self, wnv):
+        assert is_connected(wnv.graph)
+
+    def test_average_degree_comparable_to_paper(self, wnv):
+        # Paper: 2 x 8871 / 3109 ~ 5.7 neighbours per county.
+        avg = 2 * wnv.graph.num_edges / wnv.graph.num_vertices
+        assert 4.5 < avg < 8.5
+
+    def test_planted_names_present(self, wnv):
+        for name in (DC_NAME, STL_NAME, *DC_RING_NAMES, *NY_NAMES):
+            assert wnv.graph.has_vertex(name)
+
+    def test_deterministic(self):
+        a = wnv_dataset(seed=2, num_counties=300)
+        b = wnv_dataset(seed=2, num_counties=300)
+        assert a.units.value_of(DC_NAME) == b.units.value_of(DC_NAME)
+        assert a.graph.num_edges == b.graph.num_edges
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            wnv_dataset(num_counties=50)
+
+    def test_geometry_complete(self, wnv):
+        for v in list(wnv.graph.vertices())[:50]:
+            assert v in wnv.units.centroids
+            assert wnv.units.areas is not None and v in wnv.units.areas
+
+
+class TestPlantedStructure:
+    def test_dc_is_extreme(self, wnv):
+        assert wnv.units.value_of(DC_NAME) == pytest.approx(0.0776)
+        background = [
+            wnv.units.value_of(v)
+            for v in wnv.graph.vertices()
+            if str(v).startswith("County-")
+        ]
+        assert wnv.units.value_of(DC_NAME) > 5 * max(background)
+
+    def test_ring_adjacent_to_dc_and_depressed(self, wnv):
+        for name in DC_RING_NAMES:
+            assert wnv.graph.has_edge(DC_NAME, name)
+            assert wnv.units.value_of(name) < 0.001
+
+    def test_ring_connected_without_dc(self, wnv):
+        g = wnv.graph.copy()
+        g.remove_vertex(DC_NAME)
+        assert is_connected_subset(g, DC_RING_NAMES)
+
+    def test_ny_block_connected_and_elevated(self, wnv):
+        assert is_connected_subset(wnv.graph, NY_NAMES)
+        for name in NY_NAMES:
+            assert 0.012 < wnv.units.value_of(name) < 0.02
+
+    def test_planted_ground_truth_keys(self, wnv):
+        assert set(wnv.planted) == {"dc", "dc_ring", "stl", "ny"}
+
+
+class TestMiningRecovery:
+    @pytest.mark.parametrize("method", ["weighted_z", "avg_diff"])
+    def test_dc_is_top_node_and_top_region(self, wnv, method):
+        from repro.outliers import mine_outlier_regions, rank_outlier_nodes
+
+        nodes = rank_outlier_nodes(wnv.units, method=method, top=1)
+        assert nodes[0].unit == DC_NAME
+        regions, _ = mine_outlier_regions(
+            wnv.units, method=method, top_t=1, n_theta=20
+        )
+        assert regions[0].units == frozenset({DC_NAME})
+
+    def test_ring_is_second_region_weighted(self, wnv):
+        from repro.outliers import mine_outlier_regions
+
+        regions, _ = mine_outlier_regions(
+            wnv.units, method="weighted_z", top_t=2, n_theta=20
+        )
+        assert frozenset(DC_RING_NAMES) == regions[1].units
+        assert regions[1].z_score < 0
+
+    def test_ring_region_found_by_avg_diff(self, wnv):
+        from repro.outliers import mine_outlier_regions
+
+        regions, _ = mine_outlier_regions(
+            wnv.units, method="avg_diff", top_t=3, n_theta=20
+        )
+        ring = set(DC_RING_NAMES)
+        assert any(ring <= set(r.units) for r in regions[1:])
+
+    def test_ny_region_in_top_five(self, wnv):
+        from repro.outliers import mine_outlier_regions
+
+        regions, _ = mine_outlier_regions(
+            wnv.units, method="weighted_z", top_t=5, n_theta=20
+        )
+        ny = set(NY_NAMES)
+        assert any(len(ny & set(r.units)) >= 5 for r in regions)

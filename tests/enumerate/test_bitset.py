@@ -1,0 +1,63 @@
+"""Unit tests for bitset graph encoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.enumerate.bitset import BitsetGraph, iter_bits, mask_of, popcount
+from repro.graph.graph import Graph
+
+
+class TestBitHelpers:
+    def test_popcount(self):
+        assert popcount(0) == 0
+        assert popcount(0b1011) == 3
+
+    def test_iter_bits(self):
+        assert list(iter_bits(0b10110)) == [1, 2, 4]
+        assert list(iter_bits(0)) == []
+
+    def test_mask_of(self):
+        assert mask_of([0, 3]) == 0b1001
+        assert mask_of([]) == 0
+
+    def test_mask_of_negative_rejected(self):
+        with pytest.raises(ValueError):
+            mask_of([-1])
+
+
+class TestBitsetGraph:
+    def test_indexing_follows_insertion_order(self):
+        g = Graph.from_edges([("b", "c"), ("a", "b")])
+        bs = BitsetGraph(g)
+        assert bs.vertices == ("b", "c", "a")
+        assert bs.index_of("b") == 0
+
+    def test_adjacency_masks(self, triangle):
+        bs = BitsetGraph(triangle)
+        assert bs.adjacency[0] == 0b110
+        assert bs.adjacency[1] == 0b101
+        assert bs.adjacency[2] == 0b011
+
+    def test_vertex_set_round_trip(self, path4):
+        bs = BitsetGraph(path4)
+        mask = bs.mask_of_vertices([1, 3])
+        assert bs.vertex_set(mask) == frozenset({1, 3})
+
+    def test_neighbors_mask(self, path4):
+        bs = BitsetGraph(path4)
+        mask = bs.mask_of_vertices([1, 2])
+        nbrs = bs.neighbors_mask(mask)
+        assert bs.vertex_set(nbrs) == frozenset({0, 3})
+
+    def test_is_connected_mask(self, path4):
+        bs = BitsetGraph(path4)
+        assert bs.is_connected_mask(bs.mask_of_vertices([0, 1, 2]))
+        assert not bs.is_connected_mask(bs.mask_of_vertices([0, 2]))
+        assert not bs.is_connected_mask(0)
+        assert bs.is_connected_mask(bs.mask_of_vertices([3]))
+
+    def test_empty_graph(self):
+        bs = BitsetGraph(Graph())
+        assert bs.num_vertices == 0
+        assert bs.vertex_set(0) == frozenset()

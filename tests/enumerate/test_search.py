@@ -1,0 +1,148 @@
+"""Unit tests for the exhaustive MSCS search (vs enumerate-everything oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import EnumerationLimitError
+from repro.enumerate.accumulators import ContinuousAccumulator, DiscreteAccumulator
+from repro.enumerate.bitset import BitsetGraph
+from repro.enumerate.connected import enumerate_connected_subsets
+from repro.enumerate.search import exhaustive_best_mask, exhaustive_best_subset
+from repro.graph.generators import gnp_random_graph
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+
+
+def brute_force_best_discrete(graph, labeling):
+    """Oracle: evaluate chi-square over every connected subset directly."""
+    best_value, best_set = float("-inf"), frozenset()
+    for subset in enumerate_connected_subsets(graph):
+        value = labeling.chi_square(subset)
+        if value > best_value:
+            best_value, best_set = value, subset
+    return best_set, best_value
+
+
+def discrete_accumulator_for(graph, labeling):
+    bitset = BitsetGraph(graph)
+    payloads = []
+    for v in bitset.vertices:
+        counts = [0] * labeling.num_labels
+        counts[labeling.label_of(v)] = 1
+        payloads.append(tuple(counts))
+    return bitset, DiscreteAccumulator(labeling.probabilities, payloads)
+
+
+class TestDiscreteSearch:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        g = gnp_random_graph(10, 0.35, seed=seed)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(3), seed=seed + 50)
+        bitset, acc = discrete_accumulator_for(g, lab)
+        subset, value, _ = exhaustive_best_subset(bitset, acc)
+        _, oracle_value = brute_force_best_discrete(g, lab)
+        assert value == pytest.approx(oracle_value)
+        assert lab.chi_square(subset) == pytest.approx(oracle_value)
+
+    def test_known_instance(self, small_labeled):
+        graph, labeling = small_labeled
+        bitset, acc = discrete_accumulator_for(graph, labeling)
+        subset, value, _ = exhaustive_best_subset(bitset, acc)
+        # The rare-label triangle is the most significant region.
+        assert subset == frozenset({0, 1, 2})
+        assert value == pytest.approx(labeling.chi_square([0, 1, 2]))
+
+    def test_explored_counts_all_connected_sets(self, triangle):
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1, 2: 0})
+        bitset, acc = discrete_accumulator_for(triangle, lab)
+        outcome = exhaustive_best_mask(bitset.adjacency, acc)
+        assert outcome.explored == 7
+
+    def test_empty_graph(self):
+        bitset, acc = discrete_accumulator_for(
+            Graph(), DiscreteLabeling((0.5, 0.5), {})
+        )
+        subset, value, explored = exhaustive_best_subset(bitset, acc)
+        assert subset == frozenset()
+        assert value == 0.0
+        assert explored == 0
+
+    def test_limit_enforced(self):
+        g = Graph.complete(12)
+        lab = DiscreteLabeling.random(g, (0.5, 0.5), seed=1)
+        bitset, acc = discrete_accumulator_for(g, lab)
+        with pytest.raises(EnumerationLimitError):
+            exhaustive_best_mask(bitset.adjacency, acc, limit=50)
+
+    def test_min_size_respected(self, small_labeled):
+        graph, labeling = small_labeled
+        bitset, acc = discrete_accumulator_for(graph, labeling)
+        outcome = exhaustive_best_mask(bitset.adjacency, acc, min_size=5)
+        assert bin(outcome.mask).count("1") >= 5
+
+    def test_max_size_respected(self, small_labeled):
+        graph, labeling = small_labeled
+        bitset, acc = discrete_accumulator_for(graph, labeling)
+        outcome = exhaustive_best_mask(bitset.adjacency, acc, max_size=2)
+        assert bin(outcome.mask).count("1") <= 2
+
+    def test_invalid_bounds(self, small_labeled):
+        graph, labeling = small_labeled
+        bitset, acc = discrete_accumulator_for(graph, labeling)
+        with pytest.raises(ValueError):
+            exhaustive_best_mask(bitset.adjacency, acc, min_size=0)
+        with pytest.raises(ValueError):
+            exhaustive_best_mask(bitset.adjacency, acc, min_size=3, max_size=2)
+
+
+class TestContinuousSearch:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_brute_force(self, seed):
+        g = gnp_random_graph(10, 0.35, seed=seed + 100)
+        lab = ContinuousLabeling.random(g, 2, seed=seed + 200)
+        bitset = BitsetGraph(g)
+        acc = ContinuousAccumulator(
+            [(lab.z_score_of(v), 1) for v in bitset.vertices]
+        )
+        subset, value, _ = exhaustive_best_subset(bitset, acc)
+        best_value = max(
+            lab.chi_square(s) for s in enumerate_connected_subsets(g)
+        )
+        assert value == pytest.approx(best_value)
+        assert lab.chi_square(subset) == pytest.approx(value)
+
+    def test_single_strong_vertex_wins(self):
+        g = Graph.path(3)
+        lab = ContinuousLabeling.from_scalar({0: 10.0, 1: -0.1, 2: 0.1})
+        bitset = BitsetGraph(g)
+        acc = ContinuousAccumulator(
+            [(lab.z_score_of(v), 1) for v in bitset.vertices]
+        )
+        subset, value, _ = exhaustive_best_subset(bitset, acc)
+        assert subset == frozenset({0})
+        assert value == pytest.approx(100.0)
+
+
+class TestDeepGraphs:
+    def test_long_path_does_not_recurse(self):
+        """The DFS depth equals the region size; a long path must not hit
+        Python's recursion limit (regression: the search is iterative)."""
+        n = 2500
+        g = Graph.path(n)
+        lab = DiscreteLabeling((0.5, 0.5), {v: v % 2 for v in range(n)})
+        bitset, acc = discrete_accumulator_for(g, lab)
+        subset, value, explored = exhaustive_best_subset(bitset, acc)
+        # A path on n vertices has n(n+1)/2 connected subsets.
+        assert explored == n * (n + 1) // 2
+        assert value == pytest.approx(1.0)
+
+    def test_push_pop_balance_after_search(self):
+        g = gnp_random_graph(12, 0.4, seed=77)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(2), seed=78)
+        bitset, acc = discrete_accumulator_for(g, lab)
+        exhaustive_best_subset(bitset, acc)
+        # The accumulator must end exactly where it started: empty.
+        assert acc.chi_square() == 0.0
+        assert acc.size == 0

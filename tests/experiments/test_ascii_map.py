@@ -1,0 +1,62 @@
+"""Unit tests for the ASCII spatial map renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.ascii_map import render_point_map, render_region_map
+
+
+POINTS = [(0.0, 0.0), (1.0, 0.0), (0.0, 1.0), (1.0, 1.0), (0.5, 0.5)]
+
+
+class TestRenderPointMap:
+    def test_grid_dimensions(self):
+        art = render_point_map(POINTS, {}, width=10, height=5)
+        lines = art.splitlines()
+        assert len(lines) == 5
+        assert all(len(line) == 10 for line in lines)
+
+    def test_background_dots(self):
+        art = render_point_map(POINTS, {}, width=10, height=5)
+        assert art.count(".") == 5
+
+    def test_markers_override_background(self):
+        art = render_point_map(POINTS, {"#": [4]}, width=11, height=5)
+        assert art.count("#") == 1
+        assert art.count(".") == 4
+
+    def test_y_axis_points_up(self):
+        # Point (0, 1) must land on the first (top) line.
+        art = render_point_map(POINTS, {"^": [2]}, width=10, height=5)
+        assert "^" in art.splitlines()[0]
+
+    def test_priority_of_earlier_groups(self):
+        art = render_point_map(
+            POINTS, {"A": [4], "B": [4]}, width=11, height=5
+        )
+        assert "A" in art
+        assert "B" not in art
+
+    def test_degenerate_all_same_point(self):
+        art = render_point_map([(0.5, 0.5)] * 3, {}, width=4, height=4)
+        assert art.count(".") == 1
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ExperimentError):
+            render_point_map([], {})
+        with pytest.raises(ExperimentError):
+            render_point_map(POINTS, {}, width=1)
+        with pytest.raises(ExperimentError):
+            render_point_map(POINTS, {"##": [0]})
+
+
+class TestRenderRegionMap:
+    def test_region_marked(self):
+        art = render_region_map(POINTS, [0, 1], width=12, height=6)
+        assert art.count("#") == 2
+
+    def test_custom_marker(self):
+        art = render_region_map(POINTS, [3], marker="@", width=12, height=6)
+        assert "@" in art

@@ -1,0 +1,69 @@
+"""Unit tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.charts import ascii_chart
+
+SERIES = {"a": [(0.0, 1.0), (1.0, 2.0), (2.0, 4.0)]}
+
+
+class TestAsciiChart:
+    def test_dimensions(self):
+        chart = ascii_chart(SERIES, width=20, height=6)
+        lines = chart.splitlines()
+        # height rows + axis + x labels + legend.
+        assert len(lines) == 6 + 3
+
+    def test_title_prepended(self):
+        chart = ascii_chart(SERIES, title="hello")
+        assert chart.splitlines()[0] == "hello"
+
+    def test_markers_present(self):
+        chart = ascii_chart(SERIES, width=20, height=6)
+        assert chart.count("*") >= 3 + 1  # points + legend entry
+
+    def test_legend_lists_all_series(self):
+        chart = ascii_chart(
+            {"first": [(0, 1)], "second": [(1, 2)]}, width=20, height=6
+        )
+        legend = chart.splitlines()[-1]
+        assert "first" in legend and "second" in legend
+
+    def test_extremes_on_correct_rows(self):
+        chart = ascii_chart(SERIES, width=20, height=6)
+        rows = chart.splitlines()
+        # Max y (4.0) on the top plot row; min y (1.0) on the bottom one.
+        assert "*" in rows[0]
+        assert "*" in rows[5]
+
+    def test_log_scale(self):
+        series = {"s": [(0, 1.0), (1, 10.0), (2, 100.0)]}
+        chart = ascii_chart(series, width=20, height=7, log_y=True)
+        # On a log scale the three points are evenly spaced vertically:
+        # rows 0, 3, 6 of the plot area.
+        star_rows = [
+            i for i, line in enumerate(chart.splitlines()) if "*" in line
+        ][:3]
+        assert star_rows[1] - star_rows[0] == star_rows[2] - star_rows[1]
+
+    def test_log_scale_rejects_non_positive(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart({"s": [(0, 0.0)]}, log_y=True)
+
+    def test_constant_series_ok(self):
+        chart = ascii_chart({"flat": [(0, 5.0), (1, 5.0)]}, width=12, height=4)
+        assert "*" in chart
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ExperimentError):
+            ascii_chart({})
+        with pytest.raises(ExperimentError):
+            ascii_chart({"s": []})
+        with pytest.raises(ExperimentError):
+            ascii_chart(SERIES, width=4)
+        too_many = {str(i): [(0, 1)] for i in range(9)}
+        with pytest.raises(ExperimentError):
+            ascii_chart(too_many)

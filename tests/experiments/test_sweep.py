@@ -1,0 +1,60 @@
+"""Unit tests for the sweep driver."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.sweep import SweepPoint, edge_count_range, run_sweep
+
+
+class TestRunSweep:
+    def test_basic_sweep(self):
+        points = run_sweep(
+            [1, 2, 3],
+            lambda p, rep: {"double": 2.0 * p, "rep": float(rep)},
+            repetitions=2,
+        )
+        assert [pt.parameter for pt in points] == [1, 2, 3]
+        assert points[1].mean("double") == 4.0
+        assert points[0].measurements["rep"].values == (0.0, 1.0)
+
+    def test_unknown_metric_raises(self):
+        points = run_sweep([1], lambda p, r: {"x": 1.0}, repetitions=1)
+        with pytest.raises(ExperimentError):
+            points[0].mean("zzz")
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(ExperimentError):
+            run_sweep([], lambda p, r: {})
+
+    def test_sweep_point_dataclass(self):
+        pt = SweepPoint(parameter=5, measurements={})
+        assert pt.parameter == 5
+
+
+class TestEdgeCountRange:
+    def test_values_scale_with_n_log_n(self):
+        n = 100
+        counts = edge_count_range(n, factor_of_n_log_n=(1, 2))
+        base = n * math.log(n)
+        assert counts[0] == int(base)
+        assert counts[1] == int(2 * base)
+
+    def test_capped_at_max_edges(self):
+        counts = edge_count_range(10, factor_of_n_log_n=(100,))
+        assert counts[0] == 45
+
+    def test_floor_at_spanning_tree(self):
+        counts = edge_count_range(50, factor_of_n_log_n=(0.001,))
+        assert counts[0] == 49
+
+    def test_sorted_and_deduped(self):
+        counts = edge_count_range(100, factor_of_n_log_n=(2, 1, 2))
+        assert counts == sorted(set(counts))
+
+    def test_invalid_n(self):
+        with pytest.raises(ExperimentError):
+            edge_count_range(1)

@@ -1,0 +1,71 @@
+"""Unit tests for table rendering."""
+
+from __future__ import annotations
+
+import csv
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.tables import format_cell, format_table, write_csv
+
+
+class TestFormatCell:
+    def test_none_blank(self):
+        assert format_cell(None) == ""
+
+    def test_bool(self):
+        assert format_cell(True) == "yes"
+        assert format_cell(False) == "no"
+
+    def test_float_rounding(self):
+        assert format_cell(3.14159, float_digits=3) == "3.14"
+
+    def test_whole_float(self):
+        assert format_cell(4.0) == "4.0"
+
+    def test_sequence_braced(self):
+        assert format_cell((48, 3, 42)) == "{48, 3, 42}"
+
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+
+class TestFormatTable:
+    def test_alignment_and_divider(self):
+        table = format_table(["a", "bb"], [[1, 2], [33, 44]])
+        lines = table.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", "+"}
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        table = format_table(["x"], [[1]], title="Table 2")
+        assert table.splitlines()[0] == "Table 2"
+
+    def test_empty_rows_ok(self):
+        table = format_table(["col"], [])
+        assert "col" in table
+
+    def test_no_headers_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_table([], [])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_table(["a", "b"], [[1]])
+
+
+class TestWriteCsv:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "out" / "data.csv"
+        write_csv(path, ["m", "value"], [[10, 1.5], [20, 2.0]])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["m", "value"]
+        assert rows[1] == ["10", "1.5"]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = tmp_path / "a" / "b" / "c.csv"
+        write_csv(path, ["x"], [])
+        assert path.exists()

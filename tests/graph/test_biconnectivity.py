@@ -1,0 +1,115 @@
+"""Unit tests for articulation points and bi-connectivity."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.biconnectivity import (
+    articulation_points,
+    biconnected_components,
+    is_biconnected,
+    is_biconnected_subset,
+)
+from repro.graph.graph import Graph
+
+
+class TestArticulationPoints:
+    def test_triangle_has_none(self, triangle):
+        assert articulation_points(triangle) == frozenset()
+
+    def test_path_interior_vertices(self, path4):
+        assert articulation_points(path4) == frozenset({1, 2})
+
+    def test_star_center(self):
+        g = Graph.star(4)
+        assert articulation_points(g) == frozenset({0})
+
+    def test_two_triangles_sharing_a_vertex(self):
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        )
+        assert articulation_points(g) == frozenset({2})
+
+    def test_disconnected_graph(self, two_components):
+        assert articulation_points(two_components) == frozenset()
+
+    def test_bridge_edge_graph(self):
+        # Two triangles joined by an edge: both endpoints of the bridge cut.
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        )
+        assert articulation_points(g) == frozenset({2, 3})
+
+
+class TestIsBiconnected:
+    def test_cycle_biconnected(self):
+        assert is_biconnected(Graph.cycle(5))
+
+    def test_path_not_biconnected(self, path4):
+        assert not is_biconnected(path4)
+
+    def test_single_vertex_biconnected(self):
+        assert is_biconnected(Graph([0]))
+
+    def test_single_edge_biconnected(self):
+        assert is_biconnected(Graph.from_edges([(0, 1)]))
+
+    def test_empty_graph_not_biconnected(self):
+        assert not is_biconnected(Graph())
+
+    def test_disconnected_not_biconnected(self, two_components):
+        assert not is_biconnected(two_components)
+
+    def test_subset_variant(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)])
+        assert is_biconnected_subset(g, [0, 1, 2])
+        assert not is_biconnected_subset(g, [0, 2, 3])
+
+
+class TestBiconnectedComponents:
+    def test_triangle_single_component(self, triangle):
+        comps = biconnected_components(triangle)
+        assert comps == [frozenset({0, 1, 2})]
+
+    def test_path_components_are_edges(self, path4):
+        comps = {frozenset(c) for c in biconnected_components(path4)}
+        assert comps == {
+            frozenset({0, 1}),
+            frozenset({1, 2}),
+            frozenset({2, 3}),
+        }
+
+    def test_shared_vertex_appears_in_both(self):
+        g = Graph.from_edges(
+            [(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]
+        )
+        comps = {frozenset(c) for c in biconnected_components(g)}
+        assert comps == {frozenset({0, 1, 2}), frozenset({2, 3, 4})}
+
+
+class TestNetworkxOracle:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4])
+    def test_articulation_points_match(self, seed):
+        import networkx as nx
+
+        from repro.graph.generators import gnm_random_graph
+
+        g = gnm_random_graph(30, 45, seed=seed)
+        nxg = nx.Graph(g.edge_list())
+        nxg.add_nodes_from(g.vertices())
+        assert articulation_points(g) == frozenset(nx.articulation_points(nxg))
+
+    @pytest.mark.parametrize("seed", [5, 6])
+    def test_biconnected_components_match(self, seed):
+        import networkx as nx
+
+        from repro.graph.generators import gnm_random_graph
+
+        g = gnm_random_graph(25, 40, seed=seed)
+        nxg = nx.Graph(g.edge_list())
+        ours = {frozenset(c) for c in biconnected_components(g)}
+        theirs = {
+            frozenset(v for e in comp for v in e)
+            for comp in nx.biconnected_component_edges(nxg)
+        }
+        assert ours == theirs

@@ -1,0 +1,154 @@
+"""Unit tests for the directed-graph substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def cycle3() -> DiGraph:
+    return DiGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+
+
+@pytest.fixture
+def dag() -> DiGraph:
+    return DiGraph.from_edges([(0, 1), (0, 2), (1, 3), (2, 3)])
+
+
+class TestStructure:
+    def test_counts(self, cycle3):
+        assert cycle3.num_vertices == 3
+        assert cycle3.num_edges == 3
+
+    def test_direction_respected(self, cycle3):
+        assert cycle3.has_edge(0, 1)
+        assert not cycle3.has_edge(1, 0)
+
+    def test_successors_and_predecessors(self, dag):
+        assert dag.successors(0) == frozenset({1, 2})
+        assert dag.predecessors(3) == frozenset({1, 2})
+        assert dag.out_degree(0) == 2
+        assert dag.in_degree(0) == 0
+
+    def test_antiparallel_arcs_allowed(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0)])
+        assert g.num_edges == 2
+
+    def test_self_loop_rejected(self):
+        g = DiGraph([0])
+        with pytest.raises(SelfLoopError):
+            g.add_edge(0, 0)
+
+    def test_duplicate_vertex_and_arc(self):
+        g = DiGraph([0, 1])
+        with pytest.raises(DuplicateVertexError):
+            g.add_vertex(0)
+        g.add_edge(0, 1)
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1)
+        g.add_edge(0, 1, exist_ok=True)
+
+    def test_missing_vertex_operations(self):
+        g = DiGraph([0])
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(0, 9)
+        with pytest.raises(VertexNotFoundError):
+            g.successors(9)
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex(9)
+
+    def test_remove_edge(self, cycle3):
+        cycle3.remove_edge(0, 1)
+        assert not cycle3.has_edge(0, 1)
+        with pytest.raises(EdgeNotFoundError):
+            cycle3.remove_edge(0, 1)
+
+    def test_remove_vertex_cleans_arcs(self, dag):
+        dag.remove_vertex(1)
+        assert dag.num_vertices == 3
+        assert dag.num_edges == 2
+        assert not dag.has_edge(0, 1)
+
+    def test_edges_iteration(self, cycle3):
+        assert set(cycle3.edges()) == {(0, 1), (1, 2), (2, 0)}
+
+    def test_contains_len(self, cycle3):
+        assert 0 in cycle3
+        assert 9 not in cycle3
+        assert len(cycle3) == 3
+
+
+class TestDerived:
+    def test_underlying_graph_collapses_antiparallel(self):
+        g = DiGraph.from_edges([(0, 1), (1, 0), (1, 2)])
+        u = g.underlying_graph()
+        assert u.num_edges == 2
+        assert u.has_edge(0, 1)
+
+    def test_induced_subgraph(self, dag):
+        sub = dag.induced_subgraph([0, 1, 3])
+        assert sub.num_vertices == 3
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 3)
+        assert not sub.has_vertex(2)
+
+    def test_induced_missing_vertex(self, dag):
+        with pytest.raises(VertexNotFoundError):
+            dag.induced_subgraph([0, 99])
+
+
+class TestConnectivity:
+    def test_weak_components(self):
+        g = DiGraph.from_edges([(0, 1), (2, 3)])
+        comps = {frozenset(c) for c in g.weakly_connected_components()}
+        assert comps == {frozenset({0, 1}), frozenset({2, 3})}
+
+    def test_scc_of_cycle(self, cycle3):
+        assert cycle3.strongly_connected_components() == [frozenset({0, 1, 2})]
+
+    def test_scc_of_dag_is_singletons(self, dag):
+        comps = dag.strongly_connected_components()
+        assert all(len(c) == 1 for c in comps)
+        assert len(comps) == 4
+
+    def test_scc_mixed(self):
+        # A 3-cycle feeding a 2-cycle through a bridge arc.
+        g = DiGraph.from_edges(
+            [(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 3)]
+        )
+        comps = {frozenset(c) for c in g.strongly_connected_components()}
+        assert comps == {frozenset({0, 1, 2}), frozenset({3, 4})}
+
+    def test_scc_matches_networkx(self):
+        import networkx as nx
+        import random
+
+        rng = random.Random(3)
+        g = DiGraph(range(25))
+        for _ in range(80):
+            u, v = rng.randrange(25), rng.randrange(25)
+            if u != v and not g.has_edge(u, v):
+                g.add_edge(u, v)
+        nxg = nx.DiGraph(list(g.edges()))
+        nxg.add_nodes_from(g.vertices())
+        ours = {frozenset(c) for c in g.strongly_connected_components()}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+        assert ours == theirs
+
+    def test_is_strongly_connected_subset(self, cycle3):
+        assert cycle3.is_strongly_connected_subset([0, 1, 2])
+        assert not cycle3.is_strongly_connected_subset([0, 1])
+        assert cycle3.is_strongly_connected_subset([0])
+        assert not cycle3.is_strongly_connected_subset([])
+
+    def test_subset_missing_vertex(self, cycle3):
+        with pytest.raises(VertexNotFoundError):
+            cycle3.is_strongly_connected_subset([99])

@@ -1,0 +1,231 @@
+"""Unit tests for the core Graph data structure."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import (
+    DuplicateVertexError,
+    EdgeNotFoundError,
+    SelfLoopError,
+    VertexNotFoundError,
+)
+from repro.graph.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+        assert list(g.vertices()) == []
+        assert list(g.edges()) == []
+
+    def test_vertices_from_iterable(self):
+        g = Graph(["a", "b", "c"])
+        assert g.num_vertices == 3
+        assert g.has_vertex("a")
+        assert not g.has_vertex("d")
+
+    def test_from_edges_adds_endpoints(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+
+    def test_from_edges_collapses_duplicates(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_from_edges_with_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], vertices=[5, 6])
+        assert g.num_vertices == 4
+        assert g.degree(5) == 0
+
+    def test_complete_graph(self):
+        g = Graph.complete(5)
+        assert g.num_vertices == 5
+        assert g.num_edges == 10
+        assert all(g.degree(v) == 4 for v in g.vertices())
+
+    def test_path_graph(self):
+        g = Graph.path(4)
+        assert g.num_edges == 3
+        assert g.degree(0) == 1
+        assert g.degree(1) == 2
+
+    def test_cycle_graph(self):
+        g = Graph.cycle(5)
+        assert g.num_edges == 5
+        assert all(g.degree(v) == 2 for v in g.vertices())
+
+    def test_cycle_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            Graph.cycle(2)
+
+    def test_star_graph(self):
+        g = Graph.star(4)
+        assert g.num_vertices == 5
+        assert g.degree(0) == 4
+        assert g.degree(3) == 1
+
+
+class TestMutation:
+    def test_add_vertex(self):
+        g = Graph()
+        g.add_vertex("x")
+        assert g.has_vertex("x")
+
+    def test_add_duplicate_vertex_raises(self):
+        g = Graph(["x"])
+        with pytest.raises(DuplicateVertexError):
+            g.add_vertex("x")
+
+    def test_add_duplicate_vertex_exist_ok(self):
+        g = Graph(["x"])
+        g.add_vertex("x", exist_ok=True)
+        assert g.num_vertices == 1
+
+    def test_add_edge(self):
+        g = Graph([0, 1])
+        g.add_edge(0, 1)
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        assert g.num_edges == 1
+
+    def test_add_edge_missing_vertex_raises(self):
+        g = Graph([0])
+        with pytest.raises(VertexNotFoundError):
+            g.add_edge(0, 1)
+
+    def test_self_loop_rejected(self):
+        g = Graph([0])
+        with pytest.raises(SelfLoopError):
+            g.add_edge(0, 0)
+
+    def test_duplicate_edge_raises(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            g.add_edge(0, 1)
+
+    def test_duplicate_edge_exist_ok(self):
+        g = Graph.from_edges([(0, 1)])
+        g.add_edge(0, 1, exist_ok=True)
+        assert g.num_edges == 1
+
+    def test_remove_edge(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        g.remove_edge(0, 1)
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph([0, 1])
+        with pytest.raises(EdgeNotFoundError):
+            g.remove_edge(0, 1)
+
+    def test_remove_vertex_removes_incident_edges(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        g.remove_vertex(1)
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+        assert g.has_edge(0, 2)
+
+    def test_remove_missing_vertex_raises(self):
+        g = Graph()
+        with pytest.raises(VertexNotFoundError):
+            g.remove_vertex("nope")
+
+    def test_remove_vertices_bulk(self):
+        g = Graph.complete(4)
+        g.remove_vertices([0, 1])
+        assert g.num_vertices == 2
+        assert g.num_edges == 1
+
+
+class TestQueries:
+    def test_neighbors_snapshot_is_immutable(self, triangle):
+        nbrs = triangle.neighbors(0)
+        assert nbrs == frozenset({1, 2})
+        with pytest.raises(AttributeError):
+            nbrs.add(3)  # type: ignore[attr-defined]
+
+    def test_neighbors_missing_vertex(self, triangle):
+        with pytest.raises(VertexNotFoundError):
+            triangle.neighbors(99)
+
+    def test_degree(self, path4):
+        assert path4.degree(0) == 1
+        assert path4.degree(2) == 2
+
+    def test_degree_missing_vertex(self, path4):
+        with pytest.raises(VertexNotFoundError):
+            path4.degree(99)
+
+    def test_edges_yields_each_once(self):
+        g = Graph.complete(4)
+        edges = list(g.edges())
+        assert len(edges) == 6
+        normalized = {frozenset(e) for e in edges}
+        assert len(normalized) == 6
+
+    def test_contains_and_len_and_iter(self, triangle):
+        assert 0 in triangle
+        assert 99 not in triangle
+        assert len(triangle) == 3
+        assert sorted(triangle) == [0, 1, 2]
+
+    def test_equality(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+        b.remove_edge(0, 1)
+        assert a != b
+
+    def test_unhashable(self, triangle):
+        with pytest.raises(TypeError):
+            hash(triangle)
+
+
+class TestDerived:
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_vertex(0)
+        assert triangle.num_vertices == 3
+        assert clone.num_vertices == 2
+
+    def test_induced_subgraph(self):
+        g = Graph.complete(5)
+        sub = g.induced_subgraph([0, 1, 2])
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 3
+
+    def test_induced_subgraph_missing_vertex(self, triangle):
+        with pytest.raises(VertexNotFoundError):
+            triangle.induced_subgraph([0, 99])
+
+    def test_induced_subgraph_duplicates_collapsed(self, triangle):
+        sub = triangle.induced_subgraph([0, 0, 1])
+        assert sub.num_vertices == 2
+
+    def test_edge_list_deterministic(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        assert g.edge_list() == g.edge_list()
+
+    def test_adjacency_snapshot(self, triangle):
+        adj = triangle.adjacency()
+        assert adj[0] == frozenset({1, 2})
+
+
+class TestNetworkxOracle:
+    def test_matches_networkx_on_random_graph(self):
+        import networkx as nx
+
+        from repro.graph.generators import gnm_random_graph
+
+        g = gnm_random_graph(40, 120, seed=5)
+        nxg = nx.Graph(g.edge_list())
+        nxg.add_nodes_from(g.vertices())
+        assert g.num_vertices == nxg.number_of_nodes()
+        assert g.num_edges == nxg.number_of_edges()
+        for v in g.vertices():
+            assert g.degree(v) == nxg.degree(v)

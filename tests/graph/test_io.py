@@ -1,0 +1,109 @@
+"""Unit tests for graph persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    graph_from_json_dict,
+    graph_to_json_dict,
+    read_edge_list,
+    read_json_graph,
+    write_edge_list,
+    write_json_graph,
+)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path)
+        loaded = read_edge_list(path)
+        assert loaded == g
+
+    def test_header_written_as_comments(self, tmp_path):
+        g = Graph.from_edges([(0, 1)])
+        path = tmp_path / "graph.txt"
+        write_edge_list(g, path, header="source: test\nsecond line")
+        lines = path.read_text().splitlines()
+        assert lines[0] == "# source: test"
+        assert lines[1] == "# second line"
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% another\n0 1\n1 2\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 2
+
+    def test_self_loops_and_duplicates_dropped(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 0\n0 1\n1 0\n")
+        g = read_edge_list(path)
+        assert g.num_edges == 1
+
+    def test_bad_token_count(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("0 1 2\n")
+        with pytest.raises(GraphError, match="two tokens"):
+            read_edge_list(path)
+
+    def test_bad_vertex_type(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("a b\n")
+        with pytest.raises(GraphError):
+            read_edge_list(path)
+
+    def test_string_vertex_type(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("alice bob\n")
+        g = read_edge_list(path, vertex_type=str)
+        assert g.has_edge("alice", "bob")
+
+
+class TestJson:
+    def test_round_trip_without_labels(self, tmp_path):
+        g = Graph.from_edges([("x", "y"), ("y", "z")])
+        path = tmp_path / "g.json"
+        write_json_graph(g, path)
+        loaded, labels = read_json_graph(path)
+        assert loaded == g
+        assert labels is None
+
+    def test_round_trip_with_labels(self, tmp_path):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        labels = {0: "A", 1: "B", 2: "A"}
+        path = tmp_path / "g.json"
+        write_json_graph(g, path, labels=labels)
+        loaded, loaded_labels = read_json_graph(path)
+        assert loaded == g
+        assert loaded_labels == labels
+
+    def test_missing_labels_rejected(self):
+        g = Graph.from_edges([(0, 1)])
+        with pytest.raises(GraphError, match="missing"):
+            graph_to_json_dict(g, labels={0: "A"})
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(GraphError, match="format"):
+            graph_from_json_dict({"format": "bogus"})
+
+    def test_label_length_mismatch_rejected(self):
+        doc = {
+            "format": "repro-graph/1",
+            "vertices": [0, 1],
+            "edges": [[0, 1]],
+            "labels": ["A"],
+        }
+        with pytest.raises(GraphError, match="length"):
+            graph_from_json_dict(doc)
+
+    def test_tuple_vertices_survive(self, tmp_path):
+        # Grid vertices are (row, col) tuples; JSON lists round back to tuples.
+        g = Graph.from_edges([((0, 0), (0, 1))])
+        path = tmp_path / "g.json"
+        write_json_graph(g, path)
+        loaded, _ = read_json_graph(path)
+        assert loaded.has_edge((0, 0), (0, 1))

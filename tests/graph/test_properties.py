@@ -1,0 +1,77 @@
+"""Unit tests for descriptive graph statistics and density thresholds."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.graph.graph import Graph
+from repro.graph.properties import (
+    average_degree,
+    degree_histogram,
+    density,
+    density_threshold_edges,
+    is_dense_enough,
+    max_degree,
+)
+
+
+class TestBasicStats:
+    def test_average_degree(self, triangle):
+        assert average_degree(triangle) == 2.0
+
+    def test_average_degree_empty(self):
+        assert average_degree(Graph()) == 0.0
+
+    def test_max_degree(self):
+        g = Graph.star(5)
+        assert max_degree(g) == 5
+
+    def test_max_degree_empty(self):
+        assert max_degree(Graph()) == 0
+
+    def test_density_complete(self):
+        assert density(Graph.complete(5)) == 1.0
+
+    def test_density_empty_edges(self):
+        assert density(Graph([0, 1, 2])) == 0.0
+
+    def test_density_small_graphs(self):
+        assert density(Graph()) == 0.0
+        assert density(Graph([0])) == 0.0
+
+    def test_degree_histogram(self, path4):
+        assert degree_histogram(path4) == {1: 2, 2: 2}
+
+
+class TestDensityThreshold:
+    def test_discrete_threshold_formula(self):
+        n, l = 100, 5
+        assert density_threshold_edges(n, num_labels=l) == pytest.approx(
+            l * n * math.log(n)
+        )
+
+    def test_continuous_threshold_formula(self):
+        n = 100
+        assert density_threshold_edges(n) == pytest.approx(4 * n * math.log(n))
+
+    def test_single_vertex_threshold_zero(self):
+        assert density_threshold_edges(1) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(GraphError):
+            density_threshold_edges(0)
+        with pytest.raises(GraphError):
+            density_threshold_edges(10, num_labels=0)
+
+    def test_is_dense_enough_true_for_complete(self):
+        # K30 has 435 edges; threshold for l=2 is 2*30*ln 30 ~ 204.
+        assert is_dense_enough(Graph.complete(30), num_labels=2)
+
+    def test_is_dense_enough_false_for_path(self):
+        assert not is_dense_enough(Graph.path(30), num_labels=2)
+
+    def test_is_dense_enough_continuous(self):
+        assert not is_dense_enough(Graph.path(100))

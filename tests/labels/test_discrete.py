@@ -1,0 +1,138 @@
+"""Unit tests for DiscreteLabeling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.graph.graph import Graph
+from repro.labels.discrete import (
+    DiscreteLabeling,
+    empirical_probabilities,
+    uniform_probabilities,
+)
+
+
+class TestUniformProbabilities:
+    def test_values(self):
+        assert uniform_probabilities(4) == (0.25, 0.25, 0.25, 0.25)
+
+    def test_invalid(self):
+        with pytest.raises(LabelingError):
+            uniform_probabilities(1)
+
+
+class TestEmpiricalProbabilities:
+    def test_simple_fractions(self):
+        probs = empirical_probabilities([0, 0, 1, 1], 2, smoothing=0.0)
+        assert probs == (0.5, 0.5)
+
+    def test_smoothing_keeps_positive(self):
+        probs = empirical_probabilities([0, 0, 0], 2, smoothing=0.5)
+        assert 0 < probs[1] < probs[0]
+        assert sum(probs) == pytest.approx(1.0)
+
+    def test_unsmoothed_zero_count_rejected(self):
+        with pytest.raises(LabelingError):
+            empirical_probabilities([0, 0], 2, smoothing=0.0)
+
+    def test_empty_observations_rejected(self):
+        with pytest.raises(LabelingError):
+            empirical_probabilities([], 2)
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(LabelingError):
+            empirical_probabilities([5], 2)
+
+
+class TestDiscreteLabeling:
+    def test_basic_accessors(self):
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1}, symbols=("lo", "hi"))
+        assert lab.num_labels == 2
+        assert lab.label_of(0) == 0
+        assert lab.symbol_of(1) == "hi"
+        assert lab.num_vertices == 2
+        assert sorted(lab.vertices()) == [0, 1]
+
+    def test_default_symbols(self):
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0})
+        assert lab.symbols == ("0", "1")
+
+    def test_out_of_range_label_rejected(self):
+        with pytest.raises(LabelingError):
+            DiscreteLabeling((0.5, 0.5), {0: 2})
+
+    def test_symbol_count_mismatch_rejected(self):
+        with pytest.raises(LabelingError):
+            DiscreteLabeling((0.5, 0.5), {}, symbols=("a",))
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(LabelingError):
+            DiscreteLabeling((0.5, 0.5), {}, symbols=("a", "a"))
+
+    def test_unlabeled_vertex_rejected(self):
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0})
+        with pytest.raises(LabelingError):
+            lab.label_of(99)
+
+    def test_count_vector_and_chi_square(self):
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1, 2: 1, 3: 1})
+        cv = lab.count_vector([1, 2, 3])
+        assert cv.counts == (0, 3)
+        assert lab.chi_square([1, 2, 3]) == pytest.approx(3.0)
+
+    def test_global_counts(self):
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1, 2: 1})
+        assert lab.global_counts() == (1, 2)
+
+    def test_validate_covers(self, triangle):
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1, 2: 0})
+        lab.validate_covers(triangle)  # no raise
+        partial = DiscreteLabeling((0.5, 0.5), {0: 0})
+        with pytest.raises(LabelingError):
+            partial.validate_covers(triangle)
+
+    def test_restricted_to(self):
+        lab = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1, 2: 0})
+        sub = lab.restricted_to([0, 1])
+        assert sub.num_vertices == 2
+        assert sub.probabilities == lab.probabilities
+
+    def test_expected_fraction(self):
+        lab = DiscreteLabeling((0.3, 0.7), {})
+        assert lab.expected_fraction(0) == 0.3
+        with pytest.raises(LabelingError):
+            lab.expected_fraction(5)
+
+    def test_from_symbols(self):
+        lab = DiscreteLabeling.from_symbols(
+            (0.5, 0.5), {"x": "B", "y": "A"}, symbols=("A", "B")
+        )
+        assert lab.label_of("x") == 1
+        assert lab.symbol_of("y") == "A"
+
+    def test_from_symbols_unknown_rejected(self):
+        with pytest.raises(LabelingError):
+            DiscreteLabeling.from_symbols((0.5, 0.5), {"x": "Z"}, symbols=("A", "B"))
+
+    def test_random_labeling_covers_graph(self):
+        g = Graph.complete(50)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(3), seed=1)
+        lab.validate_covers(g)
+        assert lab.num_vertices == 50
+
+    def test_random_labeling_deterministic(self):
+        g = Graph.complete(20)
+        a = DiscreteLabeling.random(g, (0.5, 0.5), seed=4)
+        b = DiscreteLabeling.random(g, (0.5, 0.5), seed=4)
+        assert a.as_dict() == b.as_dict()
+
+    def test_random_labeling_frequencies(self):
+        g = Graph(range(3000))
+        lab = DiscreteLabeling.random(g, (0.2, 0.8), seed=5)
+        counts = lab.global_counts()
+        assert counts[0] / 3000 == pytest.approx(0.2, abs=0.03)
+
+    def test_surprise_of_monotone(self):
+        lab = DiscreteLabeling((0.9, 0.1), {0: 1, 1: 1, 2: 1, 3: 0})
+        assert lab.surprise_of([0, 1, 2]) > lab.surprise_of([3])

@@ -1,0 +1,71 @@
+"""Unit tests for outlier node ranking and region mining."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.graph import Graph
+from repro.outliers.regions import mine_outlier_regions, rank_outlier_nodes
+from repro.outliers.scoring import SpatialUnits
+
+
+@pytest.fixture
+def units():
+    """A grid-ish graph with one hot unit and a cool coherent pair."""
+    graph = Graph.from_edges(
+        [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (1, 4)]
+    )
+    values = {0: 1.0, 1: 1.1, 2: 9.0, 3: 1.0, 4: 0.9, 5: 1.05}
+    centroids = {
+        0: (0, 0), 1: (1, 0), 2: (2, 0), 3: (2, 1), 4: (1, 1), 5: (0, 1)
+    }
+    return SpatialUnits(graph=graph, values=values, centroids=centroids)
+
+
+class TestRankOutlierNodes:
+    def test_spike_ranks_first(self, units):
+        rows = rank_outlier_nodes(units, method="weighted_z", top=3)
+        assert rows[0].unit == 2
+        assert rows[0].z_score > 0
+        assert rows[0].chi_square == pytest.approx(rows[0].z_score ** 2)
+
+    def test_rows_sorted_by_magnitude(self, units):
+        rows = rank_outlier_nodes(units, method="avg_diff", top=6)
+        magnitudes = [abs(r.z_score) for r in rows]
+        assert magnitudes == sorted(magnitudes, reverse=True)
+
+    def test_row_carries_value_and_neighbor_average(self, units):
+        rows = rank_outlier_nodes(units, top=1)
+        assert rows[0].value == 9.0
+        assert rows[0].neighbor_average == pytest.approx((1.1 + 1.0) / 2)
+
+    def test_top_limits_rows(self, units):
+        assert len(rank_outlier_nodes(units, top=2)) == 2
+
+    def test_invalid_top(self, units):
+        with pytest.raises(ValueError):
+            rank_outlier_nodes(units, top=0)
+
+
+class TestMineOutlierRegions:
+    def test_spike_is_top_region(self, units):
+        regions, result = mine_outlier_regions(units, top_t=2)
+        assert 2 in regions[0].units
+        assert regions[0].chi_square >= regions[1].chi_square
+
+    def test_regions_disjoint(self, units):
+        regions, _ = mine_outlier_regions(units, top_t=3)
+        seen = set()
+        for r in regions:
+            assert not (seen & r.units)
+            seen |= r.units
+
+    def test_region_stats_consistent(self, units):
+        regions, _ = mine_outlier_regions(units, top_t=1)
+        r = regions[0]
+        assert r.size == len(r.units)
+        assert r.chi_square == pytest.approx(r.z_score**2)
+
+    def test_report_attached(self, units):
+        _, result = mine_outlier_regions(units, top_t=1)
+        assert result.report.num_vertices == 6

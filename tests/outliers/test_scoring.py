@@ -1,0 +1,137 @@
+"""Unit tests for spatial outlier scoring."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import DatasetError, LabelingError
+from repro.graph.graph import Graph
+from repro.outliers.scoring import (
+    SpatialUnits,
+    average_difference_z_scores,
+    inverse_distance_border_weights,
+    weighted_z_scores,
+    z_scores_by_method,
+)
+
+
+@pytest.fixture
+def units():
+    """A 5-unit path with one obvious spike in the middle."""
+    graph = Graph.path(5)
+    values = {0: 1.0, 1: 1.2, 2: 10.0, 3: 0.8, 4: 1.1}
+    centroids = {i: (float(i), 0.0) for i in range(5)}
+    return SpatialUnits(graph=graph, values=values, centroids=centroids)
+
+
+class TestSpatialUnits:
+    def test_missing_value_rejected(self):
+        with pytest.raises(DatasetError):
+            SpatialUnits(
+                graph=Graph([0]), values={}, centroids={0: (0.0, 0.0)}
+            )
+
+    def test_missing_centroid_rejected(self):
+        with pytest.raises(DatasetError):
+            SpatialUnits(graph=Graph([0]), values={0: 1.0}, centroids={})
+
+    def test_border_length_default(self, units):
+        assert units.border_length(0, 1) == 1.0
+
+    def test_border_length_lookup_symmetric(self):
+        units = SpatialUnits(
+            graph=Graph.from_edges([("a", "b")]),
+            values={"a": 1.0, "b": 2.0},
+            centroids={"a": (0, 0), "b": (1, 0)},
+            border_lengths={("a", "b"): 3.5},
+        )
+        assert units.border_length("a", "b") == 3.5
+        assert units.border_length("b", "a") == 3.5
+
+    def test_centroid_distance(self, units):
+        assert units.centroid_distance(0, 3) == pytest.approx(3.0)
+
+    def test_neighbor_average(self, units):
+        assert units.neighbor_average(2) == pytest.approx(1.0)
+
+    def test_neighbor_average_isolated_nan(self):
+        units = SpatialUnits(
+            graph=Graph([0]), values={0: 1.0}, centroids={0: (0, 0)}
+        )
+        assert math.isnan(units.neighbor_average(0))
+
+
+class TestWeights:
+    def test_inverse_distance(self, units):
+        weights = inverse_distance_border_weights(units, 2)
+        # Unit borders of length 1 at distance 1 -> weight 1 each.
+        assert weights == {1: 1.0, 3: 1.0}
+
+    def test_border_scales_weight(self):
+        units = SpatialUnits(
+            graph=Graph.from_edges([(0, 1), (0, 2)]),
+            values={0: 1.0, 1: 2.0, 2: 3.0},
+            centroids={0: (0, 0), 1: (1, 0), 2: (2, 0)},
+            border_lengths={(0, 1): 4.0},
+        )
+        weights = inverse_distance_border_weights(units, 0)
+        assert weights[1] == pytest.approx(4.0)
+        assert weights[2] == pytest.approx(0.5)
+
+    def test_coincident_centroids_rejected(self):
+        units = SpatialUnits(
+            graph=Graph.from_edges([(0, 1)]),
+            values={0: 1.0, 1: 2.0},
+            centroids={0: (0, 0), 1: (0, 0)},
+        )
+        with pytest.raises(DatasetError):
+            inverse_distance_border_weights(units, 0)
+
+
+class TestScoring:
+    def test_spike_gets_top_positive_z(self, units):
+        for scores in (weighted_z_scores(units), average_difference_z_scores(units)):
+            assert max(scores, key=scores.get) == 2
+            assert scores[2] > 1.0
+
+    def test_neighbors_of_spike_depressed(self, units):
+        scores = weighted_z_scores(units)
+        assert scores[1] < 0
+        assert scores[3] < 0
+
+    def test_scores_standardised(self, units):
+        for scores in (weighted_z_scores(units), average_difference_z_scores(units)):
+            values = list(scores.values())
+            assert sum(values) == pytest.approx(0.0, abs=1e-10)
+            var = sum(v * v for v in values) / (len(values) - 1)
+            assert var == pytest.approx(1.0)
+
+    def test_methods_differ_with_skewed_geometry(self):
+        # Unit 0 is extremely close to its high-valued neighbour 1 but far
+        # from 2; weighted z sees mostly 1, avg diff averages both equally.
+        graph = Graph.from_edges([(0, 1), (0, 2), (1, 2), (2, 3), (1, 3)])
+        values = {0: 0.0, 1: 10.0, 2: 0.0, 3: 1.0}
+        centroids = {0: (0, 0), 1: (0.01, 0), 2: (5, 0), 3: (5, 5)}
+        units = SpatialUnits(graph=graph, values=values, centroids=centroids)
+        wz = weighted_z_scores(units)
+        ad = average_difference_z_scores(units)
+        assert wz[0] != pytest.approx(ad[0], abs=1e-6)
+
+    def test_dispatch(self, units):
+        assert z_scores_by_method(units, "weighted_z") == weighted_z_scores(units)
+        assert z_scores_by_method(units, "avg_diff") == average_difference_z_scores(
+            units
+        )
+        with pytest.raises(LabelingError):
+            z_scores_by_method(units, "bogus")
+
+    def test_isolated_unit_keeps_raw_value(self):
+        units = SpatialUnits(
+            graph=Graph.from_edges([(0, 1)], vertices=[2]),
+            values={0: 1.0, 1: 2.0, 2: 30.0},
+            centroids={0: (0, 0), 1: (1, 0), 2: (9, 9)},
+        )
+        scores = weighted_z_scores(units)
+        assert max(scores, key=scores.get) == 2

@@ -1,0 +1,74 @@
+"""Property-based tests for the directed-graph substrate."""
+
+from __future__ import annotations
+
+import networkx as nx
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+
+
+@st.composite
+def digraphs(draw, max_vertices=12):
+    n = draw(st.integers(1, max_vertices))
+    possible = [(i, j) for i in range(n) for j in range(n) if i != j]
+    arcs = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+        if possible
+        else st.just([])
+    )
+    return DiGraph.from_edges(arcs, vertices=range(n))
+
+
+class TestDiGraphProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(digraphs())
+    def test_scc_matches_networkx(self, graph):
+        nxg = nx.DiGraph(list(graph.edges()))
+        nxg.add_nodes_from(graph.vertices())
+        ours = {frozenset(c) for c in graph.strongly_connected_components()}
+        theirs = {frozenset(c) for c in nx.strongly_connected_components(nxg)}
+        assert ours == theirs
+
+    @settings(max_examples=60, deadline=None)
+    @given(digraphs())
+    def test_sccs_partition_the_vertices(self, graph):
+        seen: set = set()
+        for component in graph.strongly_connected_components():
+            assert not (seen & component)
+            seen |= component
+        assert seen == set(graph.vertices())
+
+    @settings(max_examples=60, deadline=None)
+    @given(digraphs())
+    def test_weak_components_refine_sccs(self, graph):
+        """Every SCC lies inside a single weak component."""
+        weak = graph.weakly_connected_components()
+        lookup = {}
+        for i, component in enumerate(weak):
+            for v in component:
+                lookup[v] = i
+        for scc in graph.strongly_connected_components():
+            assert len({lookup[v] for v in scc}) == 1
+
+    @settings(max_examples=60, deadline=None)
+    @given(digraphs())
+    def test_each_scc_verifies_strongly_connected(self, graph):
+        for scc in graph.strongly_connected_components():
+            assert graph.is_strongly_connected_subset(scc)
+
+    @settings(max_examples=60, deadline=None)
+    @given(digraphs())
+    def test_degree_sums_match_edge_count(self, graph):
+        out_total = sum(graph.out_degree(v) for v in graph.vertices())
+        in_total = sum(graph.in_degree(v) for v in graph.vertices())
+        assert out_total == in_total == graph.num_edges
+
+    @settings(max_examples=40, deadline=None)
+    @given(digraphs())
+    def test_underlying_graph_edge_bound(self, graph):
+        underlying = graph.underlying_graph()
+        assert underlying.num_edges <= graph.num_edges
+        for u, v in graph.edges():
+            assert underlying.has_edge(u, v)

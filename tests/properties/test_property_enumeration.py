@@ -1,0 +1,60 @@
+"""Property-based tests for connected-subgraph enumeration."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.enumerate.connected import (
+    enumerate_connected_subsets,
+    reference_connected_subsets,
+)
+from repro.graph.components import is_connected_subset
+from repro.graph.graph import Graph
+
+
+@st.composite
+def small_graphs(draw, max_vertices=8):
+    n = draw(st.integers(1, max_vertices))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(
+        st.lists(st.sampled_from(possible), max_size=len(possible), unique=True)
+        if possible
+        else st.just([])
+    )
+    return Graph.from_edges(edges, vertices=range(n))
+
+
+class TestEnumerationProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs())
+    def test_matches_brute_force_oracle(self, graph):
+        ours = set(enumerate_connected_subsets(graph))
+        assert ours == reference_connected_subsets(graph)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs())
+    def test_every_emitted_set_is_connected(self, graph):
+        for subset in enumerate_connected_subsets(graph):
+            assert is_connected_subset(graph, subset)
+
+    @settings(max_examples=60, deadline=None)
+    @given(small_graphs())
+    def test_no_duplicates(self, graph):
+        subsets = list(enumerate_connected_subsets(graph))
+        assert len(subsets) == len(set(subsets))
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs(), st.integers(1, 4), st.integers(4, 8))
+    def test_size_bounds_respected(self, graph, lo, hi):
+        for subset in enumerate_connected_subsets(
+            graph, min_size=lo, max_size=hi
+        ):
+            assert lo <= len(subset) <= hi
+
+    @settings(max_examples=40, deadline=None)
+    @given(small_graphs())
+    def test_singletons_always_present(self, graph):
+        subsets = set(enumerate_connected_subsets(graph))
+        for v in graph.vertices():
+            assert frozenset({v}) in subsets

@@ -1,0 +1,120 @@
+"""Property-based tests for the paper's lemmas (1, 2, 8)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.stats.chi_square import CountVector
+
+
+@st.composite
+def null_models(draw, min_labels=2, max_labels=5):
+    l = draw(st.integers(min_labels, max_labels))
+    raw = draw(st.lists(st.floats(0.05, 1.0), min_size=l, max_size=l))
+    total = math.fsum(raw)
+    return tuple(x / total for x in raw)
+
+
+@st.composite
+def lemma1_cases(draw):
+    probs = draw(null_models())
+    counts = draw(
+        st.lists(
+            st.integers(0, 20), min_size=len(probs), max_size=len(probs)
+        )
+    )
+    label = draw(st.integers(0, len(probs) - 1))
+    return probs, counts, label
+
+
+class TestLemma1:
+    """Adding a vertex of label r without losing X^2 implies adding a
+    second one of the same label strictly increases X^2."""
+
+    @settings(max_examples=300)
+    @given(lemma1_cases())
+    def test_second_addition_increases(self, case):
+        probs, counts, label = case
+        if sum(counts) == 0:
+            return
+        base = CountVector(probs, counts)
+        z0 = base.chi_square()
+        plus1 = base.copy()
+        plus1.add(label)
+        z1 = plus1.chi_square()
+        if z1 >= z0 - 1e-12:  # hypothesis of the lemma
+            plus2 = plus1.copy()
+            plus2.add(label)
+            z2 = plus2.chi_square()
+            assert z2 > z1 - 1e-9
+
+    @settings(max_examples=200)
+    @given(lemma1_cases())
+    def test_explicit_bound_from_eq13(self, case):
+        """Eq. 13: Z2 >= Z1 + (2/p_r - 2)/(t + 1) under the hypothesis."""
+        probs, counts, label = case
+        if sum(counts) == 0:
+            return
+        base = CountVector(probs, counts)
+        z0 = base.chi_square()
+        plus1 = base.copy()
+        plus1.add(label)
+        z1 = plus1.chi_square()
+        if z1 >= z0 - 1e-12:
+            t = plus1.size
+            plus2 = plus1.copy()
+            plus2.add(label)
+            z2 = plus2.chi_square()
+            bound = z1 + (2.0 / probs[label] - 2.0) / (t + 1)
+            assert z2 >= bound - 1e-6
+
+
+class TestLemma8Bounds:
+    @settings(max_examples=200)
+    @given(null_models(), st.data())
+    def test_merge_bounded_by_sum(self, probs, data):
+        l = len(probs)
+        counts_a = data.draw(
+            st.lists(st.integers(0, 15), min_size=l, max_size=l)
+        )
+        counts_b = data.draw(
+            st.lists(st.integers(0, 15), min_size=l, max_size=l)
+        )
+        if sum(counts_a) == 0 or sum(counts_b) == 0:
+            return
+        a = CountVector(probs, counts_a)
+        b = CountVector(probs, counts_b)
+        merged = a.merged(b)
+        assert -1e-9 <= merged.chi_square() <= (
+            a.chi_square() + b.chi_square() + 1e-7
+        )
+
+
+class TestLemma2ViaRandomInstances:
+    """Every bi-connected LMCS of G has an equivalent subgraph in G_s.
+
+    Verified indirectly: the discrete pipeline (without reduction) returns
+    exactly the naive optimum whenever the naive optimum is bi-connected.
+    """
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_pipeline_exact_when_optimum_biconnected(self, seed):
+        import pytest
+
+        from repro.graph.biconnectivity import is_biconnected_subset
+        from repro.graph.generators import gnp_random_graph
+        from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+        from repro.core.solver import mine
+
+        g = gnp_random_graph(10, 0.45, seed=seed)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(3), seed=seed + 1)
+        naive = mine(g, lab, method="naive").best
+        if not is_biconnected_subset(g, naive.vertices):
+            return
+        pipeline = mine(g, lab, method="supergraph", n_theta=10**9).best
+        assert pipeline.chi_square == pytest.approx(naive.chi_square)

@@ -1,0 +1,109 @@
+"""Property-based tests for super-graph construction invariants."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.components import is_connected_subset
+from repro.graph.generators import gnm_random_graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.construct_continuous import build_continuous_supergraph
+from repro.core.construct_discrete import build_discrete_supergraph
+from repro.core.reduce import reduce_supergraph
+
+
+@st.composite
+def graph_params(draw):
+    n = draw(st.integers(5, 30))
+    max_edges = n * (n - 1) // 2
+    m = draw(st.integers(0, min(max_edges, 3 * n)))
+    seed = draw(st.integers(0, 10_000))
+    return n, m, seed
+
+
+class TestDiscreteSupergraphProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params(), st.integers(2, 4))
+    def test_partition_properties(self, params, l):
+        n, m, seed = params
+        g = gnm_random_graph(n, m, seed=seed)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(l), seed=seed + 1)
+        sg = build_discrete_supergraph(g, lab)
+        sg.validate_against(g)
+        # Each block induces a connected, monochromatic subgraph.
+        for sv in sg.super_vertices():
+            assert is_connected_subset(g, sv.members)
+            assert len({lab.label_of(v) for v in sv.members}) == 1
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params(), st.integers(2, 4))
+    def test_conclusion1_super_subgraphs_map_to_connected(self, params, l):
+        """Conclusion 1: connected super-subgraphs correspond to connected
+        original subgraphs."""
+        from repro.enumerate.connected import enumerate_connected_subsets
+
+        n, m, seed = params
+        g = gnm_random_graph(n, min(m, 2 * n), seed=seed)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(l), seed=seed + 1)
+        sg = build_discrete_supergraph(g, lab)
+        if sg.num_super_vertices > 12:
+            return
+        for super_subset in enumerate_connected_subsets(sg.topology):
+            original = sg.original_vertices(super_subset)
+            assert is_connected_subset(g, original)
+
+    @settings(max_examples=40, deadline=None)
+    @given(graph_params(), st.integers(2, 3))
+    def test_chi_square_of_payload_matches_labeling(self, params, l):
+        n, m, seed = params
+        g = gnm_random_graph(n, m, seed=seed)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(l), seed=seed + 2)
+        sg = build_discrete_supergraph(g, lab)
+        for sv in sg.super_vertices():
+            assert sv.chi_square == pytest.approx(
+                lab.chi_square(sv.members), rel=1e-8, abs=1e-8
+            )
+
+
+class TestContinuousSupergraphProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params(), st.integers(1, 3))
+    def test_partition_and_connectivity(self, params, k):
+        n, m, seed = params
+        g = gnm_random_graph(n, m, seed=seed)
+        lab = ContinuousLabeling.random(g, k, seed=seed + 3)
+        sg = build_continuous_supergraph(g, lab)
+        sg.validate_against(g)
+        for sv in sg.super_vertices():
+            assert is_connected_subset(g, sv.members)
+
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params(), st.integers(1, 3))
+    def test_payload_matches_labeling(self, params, k):
+        n, m, seed = params
+        g = gnm_random_graph(n, m, seed=seed)
+        lab = ContinuousLabeling.random(g, k, seed=seed + 4)
+        sg = build_continuous_supergraph(g, lab)
+        for sv in sg.super_vertices():
+            assert sv.chi_square == pytest.approx(
+                lab.chi_square(sv.members), rel=1e-8, abs=1e-8
+            )
+
+
+class TestReductionProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(graph_params(), st.integers(1, 8))
+    def test_reduction_keeps_partition_valid(self, params, n_theta):
+        n, m, seed = params
+        g = gnm_random_graph(n, m, seed=seed)
+        lab = ContinuousLabeling.random(g, 1, seed=seed + 5)
+        sg = build_continuous_supergraph(g, lab)
+        reduce_supergraph(sg, n_theta)
+        sg.validate_against(g)
+        # Every surviving block still induces a connected subgraph: merges
+        # only happen along super-edges.
+        for sv in sg.super_vertices():
+            assert is_connected_subset(g, sv.members)

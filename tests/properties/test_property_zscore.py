@@ -1,0 +1,89 @@
+"""Property-based tests for z-score composition (Eq. 5/6/8) and RegionScore."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.stats.zscore import RegionScore, combine_z_scores, combined_region_z
+
+finite_floats = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def z_vector_lists(draw, min_vertices=1, max_vertices=12, max_dims=4):
+    k = draw(st.integers(1, max_dims))
+    n = draw(st.integers(min_vertices, max_vertices))
+    return [
+        tuple(draw(finite_floats) for _ in range(k)) for _ in range(n)
+    ]
+
+
+class TestRegionScoreProperties:
+    @given(z_vector_lists())
+    def test_chi_square_non_negative(self, vectors):
+        assert RegionScore.from_vertices(vectors).chi_square() >= 0.0
+
+    @given(z_vector_lists())
+    def test_chi_square_equals_eq8_of_z_vector(self, vectors):
+        score = RegionScore.from_vertices(vectors)
+        z = score.z_vector()
+        assert score.chi_square() == pytest.approx(
+            math.fsum(v * v for v in z), rel=1e-9, abs=1e-9
+        )
+
+    @given(z_vector_lists(), z_vector_lists())
+    def test_merge_matches_eq6(self, left, right):
+        k = len(left[0])
+        right = [v[:k] + (0.0,) * max(0, k - len(v)) for v in right]
+        a = RegionScore.from_vertices(left)
+        b = RegionScore.from_vertices(right)
+        merged = a.merged(b)
+        for j in range(k):
+            expected = combine_z_scores(
+                a.z_vector()[j], a.size, b.z_vector()[j], b.size
+            )
+            assert merged.z_vector()[j] == pytest.approx(
+                expected, rel=1e-9, abs=1e-9
+            )
+
+    @given(z_vector_lists(), z_vector_lists(), z_vector_lists())
+    def test_merge_associative(self, xs, ys, zs):
+        k = len(xs[0])
+        ys = [v[:k] + (0.0,) * max(0, k - len(v)) for v in ys]
+        zs = [v[:k] + (0.0,) * max(0, k - len(v)) for v in zs]
+        a = RegionScore.from_vertices(xs)
+        b = RegionScore.from_vertices(ys)
+        c = RegionScore.from_vertices(zs)
+        left = a.merged(b).merged(c)
+        right = a.merged(b.merged(c))
+        assert left.size == right.size
+        for u, v in zip(left.raw_sums, right.raw_sums):
+            assert u == pytest.approx(v, rel=1e-9, abs=1e-9)
+
+    @given(z_vector_lists(min_vertices=2))
+    def test_lemma8_subadditivity_continuous(self, vectors):
+        """Lemma 8: X^2(merged) <= X^2(a) + X^2(b) (Cauchy-Schwarz)."""
+        split = len(vectors) // 2
+        a = RegionScore.from_vertices(vectors[:split] or vectors[:1])
+        b = RegionScore.from_vertices(vectors[split:] or vectors[-1:])
+        merged = a.merged(b)
+        assert merged.chi_square() <= a.chi_square() + b.chi_square() + 1e-6
+
+    @given(z_vector_lists())
+    def test_with_without_roundtrip(self, vectors):
+        score = RegionScore.from_vertices(vectors)
+        extra = tuple(1.5 for _ in range(score.dimensions))
+        back = score.with_vertex(extra).without_vertex(extra)
+        assert back.size == score.size
+        for u, v in zip(back.raw_sums, score.raw_sums):
+            assert u == pytest.approx(v, rel=1e-9, abs=1e-9)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=20))
+    def test_eq5_equals_from_vertices(self, zs):
+        direct = combined_region_z(zs)
+        score = RegionScore.from_vertices([(z,) for z in zs])
+        assert score.z_vector()[0] == pytest.approx(direct, rel=1e-9, abs=1e-9)

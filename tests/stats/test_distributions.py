@@ -1,0 +1,209 @@
+"""Unit tests for the from-scratch distribution functions (scipy oracle)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.distributions import (
+    cauchy_cdf,
+    chi2_cdf,
+    chi2_mean,
+    chi2_pdf,
+    chi2_sf,
+    chi2_variance,
+    lemma7_contracting_probability,
+    lemma7_contracting_range,
+    normal_cdf,
+    normal_pdf,
+    normal_sf,
+    regularized_gamma_p,
+    regularized_gamma_q,
+)
+
+
+class TestIncompleteGamma:
+    @pytest.mark.parametrize("a", [0.5, 1.0, 2.5, 10.0, 50.0])
+    @pytest.mark.parametrize("x", [0.01, 0.5, 1.0, 5.0, 30.0, 100.0])
+    def test_p_matches_scipy(self, a, x):
+        assert regularized_gamma_p(a, x) == pytest.approx(
+            scipy_stats.gamma.cdf(x, a), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("a", [0.5, 2.0, 20.0])
+    @pytest.mark.parametrize("x", [0.1, 2.0, 50.0])
+    def test_q_complements_p(self, a, x):
+        assert regularized_gamma_p(a, x) + regularized_gamma_q(a, x) == pytest.approx(
+            1.0, abs=1e-12
+        )
+
+    def test_boundaries(self):
+        assert regularized_gamma_p(3.0, 0.0) == 0.0
+        assert regularized_gamma_q(3.0, 0.0) == 1.0
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            regularized_gamma_p(0.0, 1.0)
+        with pytest.raises(ValueError):
+            regularized_gamma_p(1.0, -1.0)
+
+
+class TestChiSquareDistribution:
+    @pytest.mark.parametrize("df", [1, 2, 3, 9, 25])
+    @pytest.mark.parametrize("x", [0.1, 1.0, 5.0, 20.0, 80.0])
+    def test_cdf_matches_scipy(self, df, x):
+        assert chi2_cdf(x, df) == pytest.approx(
+            scipy_stats.chi2.cdf(x, df), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("df", [1, 4, 10])
+    @pytest.mark.parametrize("x", [0.5, 10.0, 40.0])
+    def test_sf_matches_scipy(self, df, x):
+        assert chi2_sf(x, df) == pytest.approx(
+            scipy_stats.chi2.sf(x, df), rel=1e-10
+        )
+
+    @pytest.mark.parametrize("df", [1, 2, 5])
+    @pytest.mark.parametrize("x", [0.2, 1.5, 8.0])
+    def test_pdf_matches_scipy(self, df, x):
+        assert chi2_pdf(x, df) == pytest.approx(
+            scipy_stats.chi2.pdf(x, df), rel=1e-10
+        )
+
+    def test_pdf_edge_cases(self):
+        assert chi2_pdf(-1.0, 3) == 0.0
+        assert chi2_pdf(0.0, 2) == 0.5
+        assert chi2_pdf(0.0, 1) == math.inf
+        assert chi2_pdf(0.0, 4) == 0.0
+
+    def test_negative_statistic_boundaries(self):
+        assert chi2_cdf(-5.0, 3) == 0.0
+        assert chi2_sf(-5.0, 3) == 1.0
+
+    def test_moments(self):
+        assert chi2_mean(7) == 7.0
+        assert chi2_variance(7) == 14.0
+
+    def test_invalid_df(self):
+        with pytest.raises(ValueError):
+            chi2_cdf(1.0, 0)
+
+
+class TestNormalDistribution:
+    @pytest.mark.parametrize("x", [-3.0, -0.5, 0.0, 1.7, 4.0])
+    def test_cdf_matches_scipy(self, x):
+        assert normal_cdf(x) == pytest.approx(scipy_stats.norm.cdf(x), abs=1e-14)
+
+    def test_sf_accurate_in_tail(self):
+        assert normal_sf(8.0) == pytest.approx(scipy_stats.norm.sf(8.0), rel=1e-10)
+
+    def test_pdf_matches_scipy(self):
+        assert normal_pdf(1.3) == pytest.approx(scipy_stats.norm.pdf(1.3), rel=1e-12)
+
+    def test_location_scale(self):
+        assert normal_cdf(5.0, mu=5.0, sigma=2.0) == 0.5
+        assert normal_pdf(5.0, mu=5.0, sigma=2.0) == pytest.approx(
+            scipy_stats.norm.pdf(5.0, 5.0, 2.0)
+        )
+
+    def test_invalid_sigma(self):
+        with pytest.raises(ValueError):
+            normal_cdf(0.0, sigma=0.0)
+
+
+class TestCauchy:
+    @pytest.mark.parametrize("x", [-10.0, -1.0, 0.0, 1.0, 10.0])
+    def test_cdf_matches_scipy(self, x):
+        assert cauchy_cdf(x) == pytest.approx(scipy_stats.cauchy.cdf(x), abs=1e-14)
+
+    def test_median(self):
+        assert cauchy_cdf(0.0) == 0.5
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            cauchy_cdf(0.0, gamma=0.0)
+
+
+class TestLemma7:
+    @pytest.mark.parametrize("s1,s2", [(1, 1), (1, 5), (7, 2), (100, 3)])
+    def test_probability_is_exactly_one_quarter(self, s1, s2):
+        """Lemma 7: the contracting probability is 1/4 for every size pair."""
+        assert lemma7_contracting_probability(s1, s2) == pytest.approx(0.25, abs=1e-12)
+
+    def test_range_ordering(self):
+        lower, upper = lemma7_contracting_range(3, 5)
+        assert 0 < lower < upper
+
+    def test_equal_sizes_range(self):
+        # s = 1: range is (sqrt(2) - 1, sqrt(2) + 1).
+        lower, upper = lemma7_contracting_range(4, 4)
+        assert lower == pytest.approx(math.sqrt(2) - 1)
+        assert upper == pytest.approx(math.sqrt(2) + 1)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            lemma7_contracting_range(0, 1)
+
+
+class TestChi2Ppf:
+    @pytest.mark.parametrize("df", [1, 2, 5, 20])
+    @pytest.mark.parametrize("q", [0.01, 0.5, 0.95, 0.999])
+    def test_matches_scipy(self, df, q):
+        from repro.stats.distributions import chi2_ppf
+
+        assert chi2_ppf(q, df) == pytest.approx(
+            scipy_stats.chi2.ppf(q, df), rel=1e-8, abs=1e-10
+        )
+
+    def test_round_trip_with_cdf(self):
+        from repro.stats.distributions import chi2_ppf
+
+        for q in (0.1, 0.9, 0.99):
+            assert chi2_cdf(chi2_ppf(q, 4), 4) == pytest.approx(q, abs=1e-10)
+
+    def test_zero_quantile(self):
+        from repro.stats.distributions import chi2_ppf
+
+        assert chi2_ppf(0.0, 3) == 0.0
+
+    def test_invalid_quantile(self):
+        from repro.stats.distributions import chi2_ppf
+
+        with pytest.raises(ValueError):
+            chi2_ppf(1.0, 3)
+        with pytest.raises(ValueError):
+            chi2_ppf(-0.1, 3)
+
+
+class TestMultivariateNormalPdf:
+    def test_matches_scipy(self):
+        from repro.stats.distributions import multivariate_standard_normal_pdf
+
+        point = [0.5, -1.2, 2.0]
+        theirs = scipy_stats.multivariate_normal.pdf(point, mean=[0.0] * 3)
+        assert multivariate_standard_normal_pdf(point) == pytest.approx(
+            theirs, rel=1e-12
+        )
+
+    def test_one_dimension_equals_normal_pdf(self):
+        from repro.stats.distributions import multivariate_standard_normal_pdf
+
+        assert multivariate_standard_normal_pdf([1.3]) == pytest.approx(
+            normal_pdf(1.3)
+        )
+
+    def test_decreasing_in_chi_square(self):
+        """Eq. 7's point: higher X^2 means lower density."""
+        from repro.stats.distributions import multivariate_standard_normal_pdf
+
+        assert multivariate_standard_normal_pdf(
+            [0.5, 0.5]
+        ) > multivariate_standard_normal_pdf([2.0, 2.0])
+
+    def test_empty_rejected(self):
+        from repro.stats.distributions import multivariate_standard_normal_pdf
+
+        with pytest.raises(ValueError):
+            multivariate_standard_normal_pdf([])

@@ -1,0 +1,126 @@
+"""Unit tests for p-value helpers."""
+
+from __future__ import annotations
+
+import pytest
+from scipy import stats as scipy_stats
+
+from repro.stats.significance import (
+    continuous_p_value,
+    discrete_p_value,
+    is_significant,
+)
+
+
+class TestDiscretePValue:
+    def test_matches_chi2_sf_with_l_minus_1_dof(self):
+        assert discrete_p_value(5.0, 3) == pytest.approx(scipy_stats.chi2.sf(5.0, 2))
+
+    def test_zero_statistic_p_one(self):
+        assert discrete_p_value(0.0, 4) == 1.0
+
+    def test_monotone_decreasing(self):
+        assert discrete_p_value(10.0, 3) < discrete_p_value(5.0, 3)
+
+    def test_invalid_labels(self):
+        with pytest.raises(ValueError):
+            discrete_p_value(1.0, 1)
+
+
+class TestContinuousPValue:
+    def test_matches_chi2_sf_with_k_dof(self):
+        assert continuous_p_value(7.0, 3) == pytest.approx(scipy_stats.chi2.sf(7.0, 3))
+
+    def test_one_dimension(self):
+        # z = 2 -> X^2 = 4 -> two-sided normal tail probability.
+        p = continuous_p_value(4.0, 1)
+        assert p == pytest.approx(2 * scipy_stats.norm.sf(2.0))
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ValueError):
+            continuous_p_value(1.0, 0)
+
+
+class TestIsSignificant:
+    def test_below_alpha(self):
+        assert is_significant(0.01)
+        assert not is_significant(0.2)
+
+    def test_custom_alpha(self):
+        assert is_significant(0.009, alpha=0.01)
+        assert not is_significant(0.02, alpha=0.01)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            is_significant(0.5, alpha=1.5)
+
+    def test_invalid_p_value(self):
+        with pytest.raises(ValueError):
+            is_significant(1.5)
+
+
+class TestExactDiscretePValue:
+    def test_matches_direct_binomial(self):
+        """l=2 reduces to a binomial tail computation we can do by hand."""
+        from math import comb
+
+        from repro.stats.significance import exact_discrete_p_value
+        from repro.stats.chi_square import chi_square_statistic
+
+        counts, probs = [7, 1], (0.5, 0.5)
+        observed = chi_square_statistic(counts, probs)
+        expected = sum(
+            comb(8, k) * 0.5**8
+            for k in range(9)
+            if chi_square_statistic([k, 8 - k], probs) >= observed - 1e-12
+        )
+        assert exact_discrete_p_value(counts, probs) == pytest.approx(expected)
+
+    def test_chi2_approximation_is_close_for_moderate_n(self):
+        from repro.stats.significance import (
+            discrete_p_value,
+            exact_discrete_p_value,
+        )
+
+        counts, probs = [18, 6, 6], (1 / 3, 1 / 3, 1 / 3)
+        exact = exact_discrete_p_value(counts, probs)
+        approx = discrete_p_value(
+            __import__("repro.stats.chi_square", fromlist=["chi_square_statistic"])
+            .chi_square_statistic(counts, probs),
+            3,
+        )
+        # The asymptotic approximation should land in the right ballpark.
+        assert exact == pytest.approx(approx, rel=0.5)
+
+    def test_most_extreme_outcome_smallest_p(self):
+        from repro.stats.significance import exact_discrete_p_value
+
+        skewed = exact_discrete_p_value([10, 0], (0.5, 0.5))
+        balanced = exact_discrete_p_value([5, 5], (0.5, 0.5))
+        assert skewed < balanced
+        assert balanced == pytest.approx(1.0)
+
+    def test_empty_counts(self):
+        from repro.stats.significance import exact_discrete_p_value
+
+        assert exact_discrete_p_value([0, 0], (0.5, 0.5)) == 1.0
+
+    def test_budget_guard(self):
+        from repro.stats.significance import exact_discrete_p_value
+
+        with pytest.raises(ValueError, match="budget"):
+            exact_discrete_p_value(
+                [500] * 6, (1 / 6,) * 6, max_outcomes=1000
+            )
+
+    def test_length_mismatch(self):
+        from repro.stats.significance import exact_discrete_p_value
+
+        with pytest.raises(ValueError):
+            exact_discrete_p_value([1, 2, 3], (0.5, 0.5))
+
+    def test_probabilities_sum_to_one_over_all_outcomes(self):
+        """With observed X^2 = 0 every outcome counts: total mass = 1."""
+        from repro.stats.significance import exact_discrete_p_value
+
+        assert exact_discrete_p_value([4, 4], (0.5, 0.5)) == pytest.approx(1.0)

@@ -1,0 +1,182 @@
+"""Unit tests for z-score machinery (Eq. 3-8) and RegionScore."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import LabelingError
+from repro.stats.zscore import (
+    RegionScore,
+    combine_z_scores,
+    combined_region_z,
+    multi_dim_chi_square,
+    neighborhood_scaled_values,
+    standardize,
+)
+
+
+class TestNeighborhoodScaling:
+    def test_eq3_subtracts_weighted_average(self):
+        values = {"a": 10.0, "b": 4.0, "c": 2.0}
+        neighborhoods = {"a": {"b": 0.5, "c": 0.5}}
+        scaled = neighborhood_scaled_values(values, neighborhoods)
+        assert scaled["a"] == pytest.approx(10.0 - 3.0)
+        assert scaled["b"] == 4.0  # no neighbourhood -> unchanged
+
+    def test_unknown_neighbor_rejected(self):
+        with pytest.raises(LabelingError):
+            neighborhood_scaled_values({"a": 1.0}, {"a": {"zz": 1.0}})
+
+
+class TestStandardize:
+    def test_mean_zero_unit_std(self):
+        z = standardize({i: float(i) for i in range(10)})
+        values = list(z.values())
+        assert sum(values) == pytest.approx(0.0, abs=1e-12)
+        mean = sum(values) / len(values)
+        var = sum((v - mean) ** 2 for v in values) / (len(values) - 1)
+        assert var == pytest.approx(1.0)
+
+    def test_matches_scipy(self):
+        from scipy import stats as scipy_stats
+
+        data = {i: v for i, v in enumerate([3.0, 1.0, 4.0, 1.0, 5.0, 9.0])}
+        ours = standardize(data)
+        theirs = scipy_stats.zscore(list(data.values()), ddof=1)
+        for i, z in enumerate(theirs):
+            assert ours[i] == pytest.approx(z)
+
+    def test_too_few_values(self):
+        with pytest.raises(LabelingError):
+            standardize({"a": 1.0})
+
+    def test_zero_variance_rejected(self):
+        with pytest.raises(LabelingError):
+            standardize({"a": 2.0, "b": 2.0})
+
+
+class TestCombination:
+    def test_eq5_combined_region_z(self):
+        assert combined_region_z([1.0, 2.0, 3.0]) == pytest.approx(6.0 / math.sqrt(3))
+
+    def test_eq5_empty_rejected(self):
+        with pytest.raises(LabelingError):
+            combined_region_z([])
+
+    def test_eq6_pairwise(self):
+        z = combine_z_scores(2.0, 4, -1.0, 1)
+        assert z == pytest.approx((2 * 2.0 - 1.0) / math.sqrt(5))
+
+    def test_eq6_matches_eq5(self):
+        # Composing two regions built from raw scores equals direct Eq. 5.
+        left, right = [0.5, -1.0], [2.0, 0.3, 0.7]
+        z_left = combined_region_z(left)
+        z_right = combined_region_z(right)
+        combined = combine_z_scores(z_left, len(left), z_right, len(right))
+        assert combined == pytest.approx(combined_region_z(left + right))
+
+    def test_eq6_invalid_sizes(self):
+        with pytest.raises(LabelingError):
+            combine_z_scores(1.0, 0, 1.0, 1)
+
+    def test_eq8_chi_square(self):
+        assert multi_dim_chi_square([3.0, -4.0]) == pytest.approx(25.0)
+
+    def test_eq8_empty_rejected(self):
+        with pytest.raises(LabelingError):
+            multi_dim_chi_square([])
+
+
+class TestRegionScore:
+    def test_single_vertex(self):
+        score = RegionScore.from_vertex((1.0, -2.0))
+        assert score.size == 1
+        assert score.z_vector() == (1.0, -2.0)
+        assert score.chi_square() == pytest.approx(5.0)
+
+    def test_from_vertices(self):
+        score = RegionScore.from_vertices([(1.0,), (2.0,), (3.0,)])
+        assert score.size == 3
+        assert score.z_vector()[0] == pytest.approx(6.0 / math.sqrt(3))
+
+    def test_from_vertices_dimension_mismatch(self):
+        with pytest.raises(LabelingError):
+            RegionScore.from_vertices([(1.0,), (2.0, 3.0)])
+
+    def test_empty_region(self):
+        score = RegionScore.empty(2)
+        assert score.size == 0
+        assert score.chi_square() == 0.0
+        with pytest.raises(LabelingError):
+            score.z_vector()
+
+    def test_empty_with_nonzero_sums_rejected(self):
+        with pytest.raises(LabelingError):
+            RegionScore((1.0,), 0)
+
+    def test_merged_matches_eq6(self):
+        a = RegionScore.from_vertices([(1.0,), (0.5,)])
+        b = RegionScore.from_vertices([(-2.0,)])
+        merged = a.merged(b)
+        expected = combine_z_scores(
+            a.z_vector()[0], a.size, b.z_vector()[0], b.size
+        )
+        assert merged.z_vector()[0] == pytest.approx(expected)
+
+    def test_merge_is_associative(self):
+        vs = [(1.0, 0.5), (-0.3, 2.0), (0.8, -1.1)]
+        scores = [RegionScore.from_vertex(v) for v in vs]
+        left = scores[0].merged(scores[1]).merged(scores[2])
+        right = scores[0].merged(scores[1].merged(scores[2]))
+        assert left == right
+
+    def test_merge_dimension_mismatch(self):
+        with pytest.raises(LabelingError):
+            RegionScore.from_vertex((1.0,)).merged(RegionScore.from_vertex((1.0, 2.0)))
+
+    def test_with_and_without_vertex_invert(self):
+        score = RegionScore.from_vertices([(1.0,), (2.0,)])
+        grown = score.with_vertex((0.5,))
+        shrunk = grown.without_vertex((0.5,))
+        assert shrunk.size == score.size
+        assert shrunk.raw_sums[0] == pytest.approx(score.raw_sums[0])
+
+    def test_without_vertex_to_empty_is_clean(self):
+        score = RegionScore.from_vertex((1.7,))
+        empty = score.without_vertex((1.7,))
+        assert empty.size == 0
+        assert empty.raw_sums == (0.0,)
+
+    def test_without_vertex_from_empty_rejected(self):
+        with pytest.raises(LabelingError):
+            RegionScore.empty(1).without_vertex((1.0,))
+
+    def test_without_vertex_dimension_mismatch(self):
+        with pytest.raises(LabelingError):
+            RegionScore.from_vertex((1.0,)).without_vertex((1.0, 2.0))
+
+    def test_null_distribution_of_region_z(self):
+        """Under the null, region z-scores stay N(0, 1) regardless of size."""
+        import random
+
+        rng = random.Random(42)
+        sizes = []
+        for _ in range(400):
+            members = [(rng.gauss(0, 1),) for _ in range(10)]
+            sizes.append(RegionScore.from_vertices(members).z_vector()[0])
+        mean = sum(sizes) / len(sizes)
+        var = sum((z - mean) ** 2 for z in sizes) / (len(sizes) - 1)
+        assert abs(mean) < 0.15
+        assert 0.8 < var < 1.25
+
+    def test_hashable_and_equal(self):
+        a = RegionScore((1.0, 2.0), 3)
+        b = RegionScore((1.0, 2.0), 3)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(LabelingError):
+            RegionScore((1.0,), -1)

@@ -1,0 +1,202 @@
+"""End-to-end tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.graph import Graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def instance_files(tmp_path):
+    graph = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+    graph_path = tmp_path / "graph.txt"
+    write_edge_list(graph, graph_path)
+    labels_path = tmp_path / "labels.json"
+    labels_path.write_text(
+        json.dumps(
+            {
+                "type": "discrete",
+                "probabilities": [0.8, 0.2],
+                "symbols": ["common", "rare"],
+                "assignment": {"0": 1, "1": 1, "2": 1, "3": 0, "4": 0},
+            }
+        )
+    )
+    return str(graph_path), str(labels_path)
+
+
+class TestInfo:
+    def test_info_prints_stats(self, instance_files, capsys):
+        graph_path, _ = instance_files
+        assert main(["info", graph_path]) == 0
+        out = capsys.readouterr().out
+        assert "vertices           : 5" in out
+        assert "edges              : 5" in out
+
+
+class TestMine:
+    def test_mine_text_output(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main(["mine", graph_path, labels_path]) == 0
+        out = capsys.readouterr().out
+        assert "#1: X^2=" in out
+        assert "super-graph" in out
+
+    def test_mine_json_output(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main(["mine", graph_path, labels_path, "--json", "--top", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subgraphs"]
+        best = payload["subgraphs"][0]
+        assert set(best["vertices"]) == {"0", "1", "2"}
+        assert best["chi_square"] > 0
+        assert payload["report"]["num_vertices"] == 5
+
+    def test_mine_naive_method(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main(
+            ["mine", graph_path, labels_path, "--method", "naive", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["subgraphs"][0]["vertices"]) == {"0", "1", "2"}
+
+    def test_continuous_labels(self, tmp_path, capsys):
+        graph = Graph.path(4)
+        graph_path = tmp_path / "g.txt"
+        write_edge_list(graph, graph_path)
+        labels_path = tmp_path / "cont.json"
+        labels_path.write_text(
+            json.dumps(
+                {
+                    "type": "continuous",
+                    "scores": {"0": [0.1], "1": [3.0], "2": [2.5], "3": [-0.2]},
+                }
+            )
+        )
+        assert main(["mine", str(graph_path), str(labels_path), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert set(payload["subgraphs"][0]["vertices"]) == {"1", "2"}
+
+    def test_bad_labeling_type_fails_cleanly(self, instance_files, tmp_path, capsys):
+        graph_path, _ = instance_files
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"type": "bogus"}))
+        assert main(["mine", graph_path, str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGenerate:
+    def test_generate_er_graph(self, tmp_path, capsys):
+        out = tmp_path / "er.txt"
+        assert main(
+            ["generate", "er", str(out), "-n", "30", "-m", "60", "--seed", "1"]
+        ) == 0
+        from repro.graph.io import read_edge_list
+
+        graph = read_edge_list(out)
+        assert graph.num_vertices == 30
+        assert graph.num_edges == 60
+
+    def test_generate_with_labels_roundtrip(self, tmp_path, capsys):
+        graph_out = tmp_path / "ba.txt"
+        labels_out = tmp_path / "ba-labels.json"
+        assert main(
+            [
+                "generate", "ba", str(graph_out),
+                "-n", "40", "-d", "3", "--seed", "2",
+                "--labels-out", str(labels_out),
+                "--label-kind", "discrete", "--num-labels", "2",
+            ]
+        ) == 0
+        capsys.readouterr()  # drop the generate-side output
+        # The generated pair must round-trip through the miner.
+        assert main(["mine", str(graph_out), str(labels_out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subgraphs"]
+
+    def test_generate_holme_kim(self, tmp_path):
+        out = tmp_path / "hk.txt"
+        assert main(
+            [
+                "generate", "holme-kim", str(out),
+                "-n", "50", "-d", "2", "--triads", "0.8", "--seed", "3",
+            ]
+        ) == 0
+        from repro.graph.io import read_edge_list
+
+        graph = read_edge_list(out)
+        assert graph.num_vertices == 50
+
+    def test_generate_continuous_labels(self, tmp_path, capsys):
+        graph_out = tmp_path / "g.txt"
+        labels_out = tmp_path / "z.json"
+        assert main(
+            [
+                "generate", "er", str(graph_out), "-n", "20", "-m", "40",
+                "--labels-out", str(labels_out),
+                "--label-kind", "continuous", "--dimensions", "2",
+            ]
+        ) == 0
+        doc = json.loads(labels_out.read_text())
+        assert doc["type"] == "continuous"
+        assert len(doc["scores"]) == 20
+        assert len(doc["scores"]["0"]) == 2
+
+
+class TestDataset:
+    def test_northeast_rule_instance_roundtrip(self, tmp_path, capsys):
+        graph_out = tmp_path / "ne.json"
+        labels_out = tmp_path / "ne-labels.json"
+        assert main(
+            [
+                "dataset", "northeast",
+                "--graph-out", str(graph_out),
+                "--labels-out", str(labels_out),
+                "--rule", "I,H",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["mine", str(graph_out), str(labels_out), "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        best = payload["subgraphs"][0]
+        # The exported I => H instance reproduces the planted ratio-0 region.
+        assert best["size"] >= 90
+        assert best["chi_square"] > 300
+
+    def test_wnv_instance_roundtrip(self, tmp_path, capsys):
+        graph_out = tmp_path / "wnv.json"
+        labels_out = tmp_path / "wnv-labels.json"
+        assert main(
+            [
+                "dataset", "wnv",
+                "--graph-out", str(graph_out),
+                "--labels-out", str(labels_out),
+                "--method", "avg_diff",
+            ]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            [
+                "mine", str(graph_out), str(labels_out),
+                "--vertex-type", "str", "--json",
+            ]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["subgraphs"][0]["vertices"] == ["Dist. of Columbia"]
+
+    def test_wnv_requires_json_graph(self, tmp_path, capsys):
+        assert main(
+            [
+                "dataset", "wnv",
+                "--graph-out", str(tmp_path / "wnv.txt"),
+                "--labels-out", str(tmp_path / "l.json"),
+            ]
+        ) == 2
+        assert "json" in capsys.readouterr().err

@@ -1,0 +1,74 @@
+"""Quality gate: every public item in the library carries a docstring."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.graph",
+    "repro.stats",
+    "repro.labels",
+    "repro.enumerate",
+    "repro.core",
+    "repro.colocation",
+    "repro.outliers",
+    "repro.datasets",
+    "repro.experiments",
+    "repro.community",
+]
+
+
+def iter_modules():
+    seen = set()
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        yield package
+        if hasattr(package, "__path__"):
+            for info in pkgutil.iter_modules(package.__path__):
+                if info.name.startswith("_"):
+                    continue  # __main__ runs the CLI on import
+                full = f"{package_name}.{info.name}"
+                if full not in seen:
+                    seen.add(full)
+                    yield importlib.import_module(full)
+
+
+ALL_MODULES = list(iter_modules())
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_module_has_docstring(module):
+    assert module.__doc__, f"{module.__name__} lacks a module docstring"
+
+
+@pytest.mark.parametrize("module", ALL_MODULES, ids=lambda m: m.__name__)
+def test_public_callables_have_docstrings(module):
+    missing = []
+    public = getattr(module, "__all__", None)
+    names = public if public is not None else [
+        n for n in dir(module) if not n.startswith("_")
+    ]
+    for name in names:
+        obj = getattr(module, name)
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", "").startswith("repro") is False:
+            continue
+        if not inspect.getdoc(obj):
+            missing.append(name)
+        if inspect.isclass(obj):
+            for attr_name, attr in vars(obj).items():
+                if attr_name.startswith("_"):
+                    continue
+                if inspect.isfunction(attr) and not inspect.getdoc(attr):
+                    missing.append(f"{name}.{attr_name}")
+    assert not missing, (
+        f"{module.__name__}: public items without docstrings: {missing}"
+    )

@@ -1,0 +1,80 @@
+"""Performance smoke tests: the near-linear claims at moderate scale.
+
+These are coarse wall-clock ceilings (generous enough for slow CI) that
+catch accidental quadratic regressions in the hot paths — the kind of bug
+that made the original super-graph merge O(n^2) before small-into-large
+absorption.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.graph.generators import barabasi_albert_graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.core.solver import mine
+
+
+def elapsed(fn, *args, **kwargs):
+    start = time.perf_counter()
+    result = fn(*args, **kwargs)
+    return result, time.perf_counter() - start
+
+
+class TestScalability:
+    def test_discrete_pipeline_100k_vertices(self):
+        """The paper's expected-linear regime at 100k vertices in seconds."""
+        graph, gen_seconds = elapsed(
+            barabasi_albert_graph, 100_000, 8, seed=1
+        )
+        labeling = DiscreteLabeling.random(
+            graph, uniform_probabilities(3), seed=2
+        )
+        result, mine_seconds = elapsed(mine, graph, labeling, n_theta=15)
+        assert result.subgraphs
+        assert mine_seconds < 150.0, f"pipeline took {mine_seconds:.1f}s"
+
+    def test_continuous_pipeline_30k_vertices(self):
+        graph = barabasi_albert_graph(30_000, 6, seed=3)
+        labeling = ContinuousLabeling.random(graph, 1, seed=4)
+        result, seconds = elapsed(mine, graph, labeling, n_theta=15)
+        assert result.subgraphs
+        assert seconds < 120.0, f"pipeline took {seconds:.1f}s"
+
+    def test_merge_sequence_is_near_linear(self):
+        """A worst-case chain of 20k merges must complete quickly —
+        regression guard for the small-into-large absorption."""
+        from repro.core.supergraph import SuperGraph
+        from repro.stats.zscore import RegionScore
+
+        n = 20_000
+        sg = SuperGraph()
+        ids = [
+            sg.add_super_vertex([i], RegionScore.from_vertex((1.0,))).id
+            for i in range(n)
+        ]
+        for a, b in zip(ids, ids[1:]):
+            sg.add_super_edge(a, b)
+        start = time.perf_counter()
+        current = ids[0]
+        for next_id in ids[1:]:
+            current = sg.merge(current, next_id).id
+        seconds = time.perf_counter() - start
+        assert sg.num_super_vertices == 1
+        assert sg.super_vertex(current).size == n
+        assert seconds < 30.0, f"merge chain took {seconds:.1f}s"
+
+    def test_enumeration_throughput(self):
+        """The bitmask enumerator must clear ~10^6 sets in a few seconds."""
+        from repro.enumerate.connected import count_connected_subgraphs
+        from repro.graph.generators import gnm_random_graph
+
+        graph = gnm_random_graph(22, 60, seed=5)
+        start = time.perf_counter()
+        count = count_connected_subgraphs(graph, limit=None)
+        seconds = time.perf_counter() - start
+        assert count > 100_000
+        assert seconds < 90.0, f"enumerated {count} in {seconds:.1f}s"

@@ -1,0 +1,124 @@
+"""Tests for the public API surface and exception hierarchy."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro
+from repro import exceptions
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None, name
+
+    def test_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_docstring_example_runs(self):
+        """The __init__ docstring example must stay true."""
+        from repro import DiscreteLabeling, Graph, mine, uniform_probabilities
+
+        g = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0), (1, 3)])
+        labels = DiscreteLabeling(
+            uniform_probabilities(2), {0: 1, 1: 1, 2: 0, 3: 1}
+        )
+        result = mine(g, labels)
+        assert sorted(result.best.vertices) == [0, 1, 3]
+
+    @pytest.mark.parametrize(
+        "subpackage",
+        [
+            "repro.graph",
+            "repro.stats",
+            "repro.labels",
+            "repro.enumerate",
+            "repro.core",
+            "repro.colocation",
+            "repro.outliers",
+            "repro.datasets",
+            "repro.experiments",
+            "repro.community",
+        ],
+    )
+    def test_subpackage_all_resolves(self, subpackage):
+        import importlib
+
+        module = importlib.import_module(subpackage)
+        for name in module.__all__:
+            assert getattr(module, name) is not None, f"{subpackage}.{name}"
+
+
+class TestExceptionHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(exceptions):
+            obj = getattr(exceptions, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                if obj is not exceptions.ReproError:
+                    assert issubclass(obj, exceptions.ReproError), name
+
+    def test_lookup_errors_are_key_errors(self):
+        assert issubclass(exceptions.VertexNotFoundError, KeyError)
+        assert issubclass(exceptions.EdgeNotFoundError, KeyError)
+
+    def test_value_style_errors_are_value_errors(self):
+        for cls in (
+            exceptions.DuplicateVertexError,
+            exceptions.SelfLoopError,
+            exceptions.NotConnectedError,
+            exceptions.LabelingError,
+            exceptions.ProbabilityError,
+            exceptions.DatasetError,
+        ):
+            assert issubclass(cls, ValueError), cls
+
+    def test_messages_carry_context(self):
+        err = exceptions.VertexNotFoundError("spam")
+        assert "spam" in str(err)
+        assert err.vertex == "spam"
+        err = exceptions.EdgeNotFoundError(1, 2)
+        assert err.u == 1 and err.v == 2
+        err = exceptions.EnumerationLimitError(42)
+        assert err.limit == 42
+        assert "42" in str(err)
+
+    def test_single_except_catches_everything(self):
+        from repro.graph.graph import Graph
+
+        with pytest.raises(exceptions.ReproError):
+            Graph().remove_vertex("missing")
+
+
+class TestExamplesAreRunnable:
+    def test_quickstart_example(self, capsys):
+        """The quickstart example must execute end to end."""
+        import runpy
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "examples" / "quickstart.py"
+        runpy.run_path(str(path), run_name="__main__")
+        out = capsys.readouterr().out
+        assert "most significant connected subgraph" in out
+        assert "pipeline:" in out
+
+    @pytest.mark.parametrize(
+        "script",
+        [
+            "colocation_mining.py",
+            "outlier_regions.py",
+            "scalability.py",
+            "significance_analysis.py",
+            "community_analysis.py",
+            "directed_mining.py",
+        ],
+    )
+    def test_other_examples_compile(self, script):
+        """The heavier examples at least parse and import-check."""
+        import py_compile
+        from pathlib import Path
+
+        path = Path(__file__).parent.parent / "examples" / script
+        py_compile.compile(str(path), doraise=True)
