@@ -25,6 +25,7 @@ Sub-packages
 ``repro.colocation``  co-location rule mining application (Section 5.1)
 ``repro.outliers``    spatial outlier region detection (Section 5.2)
 ``repro.datasets``    synthetic stand-ins for the paper's datasets
+``repro.telemetry``   tracing/metrics observability for the pipeline
 ``repro.experiments`` benchmark/sweep harness shared by ``benchmarks/``
 """
 
@@ -44,6 +45,7 @@ from repro.exceptions import (
     NotConnectedError,
     ProbabilityError,
     ReproError,
+    TelemetryError,
 )
 from repro.graph.graph import Graph
 from repro.labels.continuous import ContinuousLabeling
@@ -52,6 +54,7 @@ from repro.labels.discrete import (
     empirical_probabilities,
     uniform_probabilities,
 )
+from repro.telemetry import telemetry_session
 
 __version__ = "1.0.0"
 
@@ -76,5 +79,6 @@ __all__ = [
     "empirical_probabilities",
     "find_mscs",
     "mine",
+    "telemetry_session",
     "uniform_probabilities",
 ]

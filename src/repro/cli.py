@@ -6,7 +6,9 @@ Usage (see ``python -m repro --help``):
 * ``python -m repro mine GRAPH LABELS`` — run the pipeline and print the
   top-t regions (or JSON with ``--json``);
 * ``python -m repro generate ...`` — write synthetic graphs/labelings for
-  experimentation.
+  experimentation;
+* ``python -m repro trace summarize TRACE`` — per-stage breakdown of a
+  telemetry trace written by ``mine --trace`` (see docs/observability.md).
 
 Graphs are whitespace edge lists (SNAP style, ``--vertex-type`` selects
 int or str vertices) or ``repro`` JSON graph documents (``.json``).
@@ -44,6 +46,7 @@ from repro.graph.properties import average_degree, density_threshold_edges
 from repro.labels.continuous import ContinuousLabeling
 from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
 from repro.core.solver import mine
+from repro.telemetry import telemetry_session
 
 __all__ = ["build_parser", "main"]
 
@@ -100,14 +103,28 @@ def _cmd_mine(args: argparse.Namespace) -> int:
     vertex_type = _VERTEX_TYPES[args.vertex_type]
     graph = _load_graph(args.graph, vertex_type)
     labeling = _load_labeling(args.labels, vertex_type)
-    result = mine(
-        graph,
-        labeling,
-        top_t=args.top,
-        n_theta=args.n_theta,
-        method=args.method,
-        polish=args.polish,
-    )
+
+    def run():
+        return mine(
+            graph,
+            labeling,
+            top_t=args.top,
+            n_theta=args.n_theta,
+            method=args.method,
+            polish=args.polish,
+        )
+
+    metrics_snapshot = None
+    if args.trace or args.metrics:
+        with telemetry_session() as (tracer, metrics):
+            result = run()
+        metrics_snapshot = metrics.snapshot()
+        if args.trace:
+            tracer.write_jsonl(args.trace, metrics=metrics)
+    else:
+        result = run()
+
+    report = result.report
     if args.json:
         payload = {
             "subgraphs": [
@@ -122,14 +139,25 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 for sub in result.subgraphs
             ],
             "report": {
-                "num_vertices": result.report.num_vertices,
-                "num_edges": result.report.num_edges,
-                "supergraph_vertices": result.report.supergraph_vertices,
-                "reduced_vertices": result.report.reduced_vertices,
-                "dense_enough": result.report.dense_enough,
-                "total_seconds": result.report.total_seconds,
+                "num_vertices": report.num_vertices,
+                "num_edges": report.num_edges,
+                "supergraph_vertices": report.supergraph_vertices,
+                "supergraph_edges": report.supergraph_edges,
+                "reduced_vertices": report.reduced_vertices,
+                "contractions": report.contractions,
+                "explored_subgraphs": report.explored_subgraphs,
+                "rounds": report.rounds,
+                "dense_enough": report.dense_enough,
+                "construction_seconds": report.construction_seconds,
+                "reduction_seconds": report.reduction_seconds,
+                "search_seconds": report.search_seconds,
+                "total_seconds": report.total_seconds,
             },
         }
+        if metrics_snapshot is not None:
+            payload["metrics"] = metrics_snapshot
+        if args.trace:
+            payload["trace_file"] = args.trace
         print(json.dumps(payload, indent=2))
         return 0
     if not result.subgraphs:
@@ -140,9 +168,36 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         suffix = "..." if sub.size > 12 else ""
         print(f"#{rank}: X^2={sub.chi_square:.4f}  p={sub.p_value:.3e}  "
               f"size={sub.size}  [{vertices}{suffix}]")
-    report = result.report
     print(f"-- super-graph {report.supergraph_vertices} -> reduced "
-          f"{report.reduced_vertices}; {report.total_seconds:.3f}s total")
+          f"{report.reduced_vertices}; {report.total_seconds:.3f}s total "
+          f"(construct {report.construction_seconds:.3f}s, reduce "
+          f"{report.reduction_seconds:.3f}s, search {report.search_seconds:.3f}s)")
+    if args.metrics and metrics_snapshot:
+        from repro.experiments.tables import format_table
+
+        rows = []
+        for name, value in metrics_snapshot.items():
+            if isinstance(value, dict):  # histogram summary
+                rows.append([
+                    name,
+                    value["count"],
+                    f"mean={value['mean']:.2f} p50={value['p50']:g} "
+                    f"p90={value['p90']:g} max={value['max']:g}",
+                ])
+            else:
+                rows.append([name, value, ""])
+        print()
+        print(format_table(["metric", "value", "detail"], rows,
+                           title="Pipeline metrics"))
+    if args.trace:
+        print(f"-- trace written to {args.trace}")
+    return 0
+
+
+def _cmd_trace_summarize(args: argparse.Namespace) -> int:
+    from repro.telemetry.summarize import render_summary
+
+    print(render_summary(args.trace_file))
     return 0
 
 
@@ -272,6 +327,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--polish", action="store_true", help="LMCS post-pass"
     )
     mine_cmd.add_argument("--json", action="store_true", help="JSON output")
+    mine_cmd.add_argument(
+        "--trace", metavar="FILE",
+        help="write a JSONL telemetry trace (spans + metrics) to FILE",
+    )
+    mine_cmd.add_argument(
+        "--metrics", action="store_true",
+        help="collect and report pipeline metrics (counters/histograms)",
+    )
     mine_cmd.set_defaults(func=_cmd_mine)
 
     gen = sub.add_parser("generate", help="write synthetic graphs/labelings")
@@ -308,6 +371,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dataset.add_argument("--seed", type=int, default=None)
     dataset.set_defaults(func=_cmd_dataset)
+
+    trace = sub.add_parser(
+        "trace", help="inspect JSONL telemetry traces written by mine --trace"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize", help="render a per-stage breakdown table from a trace"
+    )
+    summarize.add_argument("trace_file", help="JSONL trace file")
+    summarize.set_defaults(func=_cmd_trace_summarize)
     return parser
 
 

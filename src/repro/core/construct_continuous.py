@@ -20,6 +20,8 @@ from repro.labels.continuous import ContinuousLabeling
 from repro.core.contracting import continuous_merge_if_contracting
 from repro.core.supergraph import SuperGraph
 from repro.stats.zscore import RegionScore
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
 
 __all__ = ["build_continuous_supergraph"]
 
@@ -81,7 +83,10 @@ def build_continuous_supergraph(
         if su != sv:
             sg.add_super_edge(su, sv)
 
+    edges_scanned = 0
+    edges_contracted = 0
     for u, v in _ordered_edges(graph, edge_order, labeling, seed):
+        edges_scanned += 1
         super_u = sg.super_of(u)
         super_v = sg.super_of(v)
         if super_u.id == super_v.id:
@@ -91,4 +96,13 @@ def build_continuous_supergraph(
         )
         if merged_score is not None:
             sg.merge(super_u.id, super_v.id)
+            edges_contracted += 1
+    if _TELEMETRY.enabled:
+        metrics = _TELEMETRY.metrics
+        metrics.count(_metric.CONSTRUCT_EDGES_SCANNED, edges_scanned)
+        metrics.count(_metric.CONSTRUCT_EDGES_CONTRACTED, edges_contracted)
+        metrics.set_gauge(_metric.CONSTRUCT_SUPER_VERTICES, sg.num_super_vertices)
+        metrics.set_gauge(_metric.CONSTRUCT_SUPER_EDGES, sg.num_super_edges)
+        for sv in sg.super_vertices():
+            metrics.observe(_metric.CONSTRUCT_SUPER_VERTEX_SIZE, sv.size)
     return sg

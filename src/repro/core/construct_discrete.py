@@ -14,6 +14,8 @@ from repro.graph.graph import Graph
 from repro.labels.discrete import DiscreteLabeling
 from repro.core.supergraph import SuperGraph
 from repro.stats.chi_square import CountVector
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
 
 __all__ = ["build_discrete_supergraph"]
 
@@ -44,4 +46,24 @@ def build_discrete_supergraph(
 
     # Lines 4-9: super-edges wherever a (necessarily non-contracting)
     # original edge crosses two blocks.
-    return SuperGraph.from_partition(graph, blocks, payload_of)
+    supergraph = SuperGraph.from_partition(graph, blocks, payload_of)
+    if _TELEMETRY.enabled:
+        metrics = _TELEMETRY.metrics
+        metrics.count(_metric.CONSTRUCT_EDGES_SCANNED, graph.num_edges)
+        metrics.count(
+            _metric.CONSTRUCT_EDGES_CONTRACTED,
+            sum(
+                1
+                for u, v in graph.edges()
+                if labeling.label_of(u) == labeling.label_of(v)
+            ),
+        )
+        metrics.set_gauge(
+            _metric.CONSTRUCT_SUPER_VERTICES, supergraph.num_super_vertices
+        )
+        metrics.set_gauge(
+            _metric.CONSTRUCT_SUPER_EDGES, supergraph.num_super_edges
+        )
+        for block in blocks:
+            metrics.observe(_metric.CONSTRUCT_SUPER_VERTEX_SIZE, len(block))
+    return supergraph

@@ -17,6 +17,8 @@ from repro.graph.components import is_connected_subset
 from repro.graph.graph import Graph
 from repro.labels.continuous import ContinuousLabeling
 from repro.labels.discrete import DiscreteLabeling
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
 
 __all__ = ["best_single_vertex", "lmcs_local_search"]
 
@@ -122,6 +124,7 @@ def lmcs_local_search(
     state = _make_state(labeling, current)
     value = state.value()
 
+    moves = 0
     for _ in range(max_moves):
         best_move: tuple[str, Hashable] | None = None
         best_value = value
@@ -156,4 +159,7 @@ def lmcs_local_search(
             state.apply_remove(vertex)
             current.discard(vertex)
         value = best_value
+        moves += 1
+    if _TELEMETRY.enabled and moves:
+        _TELEMETRY.metrics.count(_metric.SOLVER_POLISH_MOVES, moves)
     return frozenset(current), value

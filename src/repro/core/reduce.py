@@ -15,6 +15,8 @@ import heapq
 
 from repro.exceptions import GraphError
 from repro.core.supergraph import SuperGraph
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
 
 __all__ = ["reduce_supergraph"]
 
@@ -44,9 +46,25 @@ def reduce_supergraph(
     """
     if n_theta < 1:
         raise GraphError(f"n_theta must be >= 1, got {n_theta}")
+    vertices_before = supergraph.num_super_vertices
     if use_heap:
-        return _reduce_with_heap(supergraph, n_theta)
-    return _reduce_with_scan(supergraph, n_theta)
+        contractions, stale, reprioritised = _reduce_with_heap(
+            supergraph, n_theta
+        )
+    else:
+        contractions, stale, reprioritised = _reduce_with_scan(
+            supergraph, n_theta
+        )
+    if _TELEMETRY.enabled:
+        metrics = _TELEMETRY.metrics
+        metrics.set_gauge(_metric.REDUCE_VERTICES_BEFORE, vertices_before)
+        metrics.set_gauge(
+            _metric.REDUCE_VERTICES_AFTER, supergraph.num_super_vertices
+        )
+        metrics.count(_metric.REDUCE_EDGES_CONTRACTED, contractions)
+        metrics.count(_metric.REDUCE_HEAP_STALE, stale)
+        metrics.count(_metric.REDUCE_HEAP_REPRIORITISED, reprioritised)
+    return contractions
 
 
 def _edge_priority(supergraph: SuperGraph, u_id: int, v_id: int) -> float:
@@ -56,7 +74,9 @@ def _edge_priority(supergraph: SuperGraph, u_id: int, v_id: int) -> float:
     )
 
 
-def _reduce_with_heap(supergraph: SuperGraph, n_theta: int) -> int:
+def _reduce_with_heap(
+    supergraph: SuperGraph, n_theta: int
+) -> tuple[int, int, int]:
     # Heap entries are (priority, u_id, v_id).  Entries go stale two ways:
     # an endpoint was absorbed away (vertex/edge check below), or an
     # endpoint survived a merge with a *changed* statistic — those are
@@ -69,17 +89,23 @@ def _reduce_with_heap(supergraph: SuperGraph, n_theta: int) -> int:
     ]
     heapq.heapify(heap)
     contractions = 0
+    stale = 0
+    reprioritised = 0
     while supergraph.num_super_vertices > n_theta and heap:
         priority, u_id, v_id = heapq.heappop(heap)
         if not supergraph.topology.has_vertex(u_id):
+            stale += 1
             continue
         if not supergraph.topology.has_vertex(v_id):
+            stale += 1
             continue
         if not supergraph.topology.has_edge(u_id, v_id):
+            stale += 1
             continue
         current = _edge_priority(supergraph, u_id, v_id)
         if current != priority:
             heapq.heappush(heap, (current, u_id, v_id))
+            reprioritised += 1
             continue
         merged = supergraph.merge(u_id, v_id)
         contractions += 1
@@ -87,10 +113,12 @@ def _reduce_with_heap(supergraph: SuperGraph, n_theta: int) -> int:
             heapq.heappush(
                 heap, (_edge_priority(supergraph, merged.id, w), merged.id, w)
             )
-    return contractions
+    return contractions, stale, reprioritised
 
 
-def _reduce_with_scan(supergraph: SuperGraph, n_theta: int) -> int:
+def _reduce_with_scan(
+    supergraph: SuperGraph, n_theta: int
+) -> tuple[int, int, int]:
     contractions = 0
     while supergraph.num_super_vertices > n_theta:
         best: tuple[float, int, int] | None = None
@@ -103,4 +131,4 @@ def _reduce_with_scan(supergraph: SuperGraph, n_theta: int) -> int:
             break
         supergraph.merge(best[1], best[2])
         contractions += 1
-    return contractions
+    return contractions, 0, 0

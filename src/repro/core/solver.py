@@ -19,7 +19,6 @@ the exhaustive search on the input graph (the paper's baseline).
 from __future__ import annotations
 
 import random
-import time
 from collections import deque
 from collections.abc import Hashable, Iterable
 
@@ -45,6 +44,9 @@ from repro.core.supergraph import SuperGraph
 from repro.stats.chi_square import CountVector
 from repro.stats.significance import continuous_p_value, discrete_p_value
 from repro.stats.zscore import RegionScore
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
+from repro.telemetry.span import Span, Tracer
 
 __all__ = ["DEFAULT_N_THETA", "find_mscs", "mine"]
 
@@ -121,27 +123,44 @@ def mine(
         report.dimensions = labeling.dimensions
         report.dense_enough = graph.num_vertices > 0 and is_dense_enough(graph)
 
+    # Stage timing always flows through tracer spans; when global telemetry
+    # is disabled a throwaway local tracer measures without publishing, so
+    # the report stays populated at the same cost as the old perf_counter
+    # pairs.
+    tracer = _TELEMETRY.tracer if _TELEMETRY.enabled else Tracer()
     working = graph.copy()
     found: list[SignificantSubgraph] = []
-    while len(found) < top_t and working.num_vertices > 0:
-        region = _mine_one(
-            working,
-            labeling,
-            report,
-            n_theta=n_theta,
-            method=method,
-            edge_order=edge_order,
-            seed=seed,
-            search_limit=search_limit,
-            min_size=min_size,
-        )
-        if region is None:
-            break
-        if polish:
-            region = _polish(working, labeling, region)
-        found.append(region)
-        report.rounds += 1
-        working.remove_vertices(region.vertices)
+    with tracer.span(
+        "solver.mine",
+        method=method,
+        top_t=top_t,
+        n_theta=n_theta,
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+    ):
+        while len(found) < top_t and working.num_vertices > 0:
+            with tracer.span("solver.round", round=report.rounds):
+                region = _mine_one(
+                    working,
+                    labeling,
+                    report,
+                    tracer,
+                    n_theta=n_theta,
+                    method=method,
+                    edge_order=edge_order,
+                    seed=seed,
+                    search_limit=search_limit,
+                    min_size=min_size,
+                )
+                if region is None:
+                    break
+                if polish:
+                    region = _polish(working, labeling, region, tracer)
+                found.append(region)
+                report.rounds += 1
+                working.remove_vertices(region.vertices)
+    if _TELEMETRY.enabled:
+        _TELEMETRY.metrics.count(_metric.SOLVER_ROUNDS, report.rounds)
     return MiningResult(subgraphs=tuple(found), report=report)
 
 
@@ -164,6 +183,7 @@ def _mine_one(
     working: Graph,
     labeling: Labeling,
     report: PipelineReport,
+    tracer: Tracer,
     *,
     n_theta: int,
     method: str,
@@ -175,37 +195,45 @@ def _mine_one(
     """One MSCS round on the current working graph; None when nothing left."""
     first_round = report.rounds == 0
     if method == "naive":
-        supergraph = _singleton_supergraph(working, labeling)
+        with tracer.span("solver.construct", method="naive") as span:
+            supergraph = _singleton_supergraph(working, labeling)
+            span.set(super_vertices=supergraph.num_super_vertices)
         if first_round:
             report.supergraph_vertices = supergraph.num_super_vertices
             report.supergraph_edges = supergraph.num_super_edges
             report.reduced_vertices = supergraph.num_super_vertices
     else:
-        start = time.perf_counter()
-        if isinstance(labeling, DiscreteLabeling):
-            supergraph = build_discrete_supergraph(working, labeling)
-        else:
-            supergraph = build_continuous_supergraph(
-                working, labeling, edge_order=edge_order, seed=seed
+        with tracer.span("solver.construct", method=method) as span:
+            if isinstance(labeling, DiscreteLabeling):
+                supergraph = build_discrete_supergraph(working, labeling)
+            else:
+                supergraph = build_continuous_supergraph(
+                    working, labeling, edge_order=edge_order, seed=seed
+                )
+            span.set(
+                super_vertices=supergraph.num_super_vertices,
+                super_edges=supergraph.num_super_edges,
             )
-        report.construction_seconds += time.perf_counter() - start
+        report.construction_seconds += span.wall_seconds
         if first_round:
             report.supergraph_vertices = supergraph.num_super_vertices
             report.supergraph_edges = supergraph.num_super_edges
 
-        start = time.perf_counter()
-        contractions = reduce_supergraph(supergraph, n_theta)
-        report.reduction_seconds += time.perf_counter() - start
+        with tracer.span("solver.reduce", n_theta=n_theta) as span:
+            contractions = reduce_supergraph(supergraph, n_theta)
+            span.set(contractions=contractions)
+        report.reduction_seconds += span.wall_seconds
         report.contractions += contractions
         if first_round:
             report.reduced_vertices = supergraph.num_super_vertices
 
-    start = time.perf_counter()
-    region = _search_supergraph(
-        supergraph, labeling, search_limit=search_limit, min_size=min_size,
-        report=report,
-    )
-    report.search_seconds += time.perf_counter() - start
+    with tracer.span("solver.search") as span:
+        region = _search_supergraph(
+            supergraph, labeling, search_limit=search_limit, min_size=min_size,
+            report=report,
+        )
+        span.set(explored=report.explored_subgraphs)
+    report.search_seconds += span.wall_seconds
     return region
 
 
@@ -354,14 +382,21 @@ def _build_region(
 
 
 def _polish(
-    working: Graph, labeling: Labeling, region: SignificantSubgraph
+    working: Graph,
+    labeling: Labeling,
+    region: SignificantSubgraph,
+    tracer: Tracer,
 ) -> SignificantSubgraph:
     """LMCS hill-climb post-pass; keeps the better of the two regions."""
-    polished_vertices, polished_value = lmcs_local_search(
-        working, labeling, region.vertices
-    )
+    with tracer.span("solver.polish", seed_size=region.size) as span:
+        polished_vertices, polished_value = lmcs_local_search(
+            working, labeling, region.vertices
+        )
+        span.set(improved=polished_value > region.chi_square)
     if polished_value <= region.chi_square:
         return region
+    if _TELEMETRY.enabled:
+        _TELEMETRY.metrics.count(_metric.SOLVER_POLISH_IMPROVEMENTS)
     if isinstance(labeling, DiscreteLabeling):
         p_value = discrete_p_value(polished_value, labeling.num_labels)
         z_vector = None

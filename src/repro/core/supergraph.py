@@ -16,6 +16,8 @@ from typing import Protocol, runtime_checkable
 
 from repro.exceptions import GraphError, VertexNotFoundError
 from repro.graph.graph import Graph
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
 
 __all__ = ["Payload", "SuperGraph", "SuperVertex"]
 
@@ -222,6 +224,11 @@ class SuperGraph:
         v = self.super_vertex(v_id)
         base, absorbed = (u, v) if u.size >= v.size else (v, u)
 
+        if _TELEMETRY.enabled:
+            _TELEMETRY.metrics.count(_metric.SUPERGRAPH_MERGES)
+            _TELEMETRY.metrics.observe(
+                _metric.SUPERGRAPH_MERGE_ABSORBED_SIZE, absorbed.size
+            )
         base._absorb(absorbed)
         for member in absorbed.members:
             self._membership[member] = base.id

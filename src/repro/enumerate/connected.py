@@ -20,6 +20,8 @@ from collections.abc import Hashable, Iterator, Sequence
 from repro.exceptions import EnumerationLimitError
 from repro.enumerate.bitset import BitsetGraph
 from repro.graph.graph import Graph
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
 
 __all__ = [
     "connected_subgraph_masks",
@@ -71,38 +73,44 @@ def connected_subgraph_masks(
     # Each frame is (subset_mask, subset_size, extension_mask, forbidden_mask);
     # the frame enumerates all valid supersets of subset_mask whose extra
     # vertices come from the extension frontier and avoid forbidden_mask.
-    for root in range(n):
-        root_bit = 1 << root
-        root_forbidden = root_bit - 1  # all vertices with smaller index
-        stack: list[tuple[int, int, int, int]] = [
-            (root_bit, 1, adjacency[root] & ~root_forbidden & ~root_bit, root_forbidden)
-        ]
-        if min_size <= 1:
-            emitted += 1
-            check_limit()
-            yield root_bit
-        while stack:
-            subset, size, extension, forbidden = stack.pop()
-            if size >= size_cap or not extension:
-                continue
-            # Branch on the lowest candidate u: one child includes u, the
-            # sibling continuation forbids it.
-            u_bit = extension & -extension
-            u = u_bit.bit_length() - 1
-            rest = extension ^ u_bit
-            # Sibling: same subset, remaining candidates, u forbidden.
-            stack.append((subset, size, rest, forbidden | u_bit))
-            # Child: subset + u; frontier gains u's unseen neighbours.
-            child_subset = subset | u_bit
-            child_ext = rest | (
-                adjacency[u] & ~(child_subset | forbidden | rest)
-            )
-            child_size = size + 1
-            if child_size >= min_size:
+    # The telemetry flush lives in the finally block so a closed or aborted
+    # generator still reports how far it got, with zero per-set overhead.
+    try:
+        for root in range(n):
+            root_bit = 1 << root
+            root_forbidden = root_bit - 1  # all vertices with smaller index
+            stack: list[tuple[int, int, int, int]] = [
+                (root_bit, 1, adjacency[root] & ~root_forbidden & ~root_bit, root_forbidden)
+            ]
+            if min_size <= 1:
                 emitted += 1
                 check_limit()
-                yield child_subset
-            stack.append((child_subset, child_size, child_ext, forbidden))
+                yield root_bit
+            while stack:
+                subset, size, extension, forbidden = stack.pop()
+                if size >= size_cap or not extension:
+                    continue
+                # Branch on the lowest candidate u: one child includes u, the
+                # sibling continuation forbids it.
+                u_bit = extension & -extension
+                u = u_bit.bit_length() - 1
+                rest = extension ^ u_bit
+                # Sibling: same subset, remaining candidates, u forbidden.
+                stack.append((subset, size, rest, forbidden | u_bit))
+                # Child: subset + u; frontier gains u's unseen neighbours.
+                child_subset = subset | u_bit
+                child_ext = rest | (
+                    adjacency[u] & ~(child_subset | forbidden | rest)
+                )
+                child_size = size + 1
+                if child_size >= min_size:
+                    emitted += 1
+                    check_limit()
+                    yield child_subset
+                stack.append((child_subset, child_size, child_ext, forbidden))
+    finally:
+        if _TELEMETRY.enabled and emitted:
+            _TELEMETRY.metrics.count(_metric.ENUMERATE_SETS_EMITTED, emitted)
 
 
 def enumerate_connected_subsets(

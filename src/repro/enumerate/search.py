@@ -16,6 +16,8 @@ from collections.abc import Hashable, Sequence
 from repro.exceptions import EnumerationLimitError
 from repro.enumerate.accumulators import ChiSquareAccumulator
 from repro.enumerate.bitset import BitsetGraph, iter_bits
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
 
 __all__ = ["SearchOutcome", "exhaustive_best_mask", "exhaustive_best_subset"]
 
@@ -33,11 +35,18 @@ class SearchOutcome:
     explored:
         Number of connected sets evaluated — the paper's exponential cost,
         reported so benchmarks can show what the reduction saves.
+    pruned:
+        DFS branches abandoned because the size cap was reached or the
+        extension frontier emptied.
+    evaluated:
+        Chi-square computations performed (sets meeting ``min_size``).
     """
 
     mask: int
     chi_square: float
     explored: int
+    pruned: int = 0
+    evaluated: int = 0
 
 
 def exhaustive_best_mask(
@@ -65,61 +74,84 @@ def exhaustive_best_mask(
     best_mask = 0
     best_value = float("-inf")
     explored = 0
+    pruned = 0
+    evaluated = 0
+    best_updates = 0
 
     def consider(mask: int, size: int) -> None:
-        nonlocal best_mask, best_value, explored
+        nonlocal best_mask, best_value, explored, evaluated, best_updates
         explored += 1
         if limit is not None and explored > limit:
             raise EnumerationLimitError(limit)
         if size >= min_size:
+            evaluated += 1
             value = accumulator.chi_square()
             if value > best_value:
                 best_value = value
                 best_mask = mask
+                best_updates += 1
 
     # Explicit stack instead of recursion: the DFS depth equals the size
     # of the current set, which can reach n (e.g. a path graph) and blow
     # Python's recursion limit.  Each frame is a *pending action*: either
     # expand a state or pop a vertex from the accumulator on backtrack.
+    # Metrics flush in the finally block so an EnumerationLimitError abort
+    # still reports the work done up to the budget.
     POP = -1
-    for root in range(n):
-        root_bit = 1 << root
-        accumulator.push(root)
-        consider(root_bit, 1)
-        # Stack frames: (vertex_to_pop,) sentinel or (subset, size, ext, fb).
-        stack: list[tuple[int, ...]] = [
-            (
-                root_bit,
-                1,
-                adjacency[root] & ~(root_bit - 1) & ~root_bit,
-                root_bit - 1,
-            )
-        ]
-        while stack:
-            frame = stack.pop()
-            if frame[0] == POP:
-                accumulator.pop(frame[1])
-                continue
-            subset, size, ext, fb = frame
-            if size >= size_cap or not ext:
-                continue
-            u_bit = ext & -ext
-            u = u_bit.bit_length() - 1
-            rest = ext ^ u_bit
-            # Sibling branch: same subset, u permanently forbidden.
-            stack.append((subset, size, rest, fb | u_bit))
-            # Child branch: include u now, schedule its pop for backtrack.
-            child_subset = subset | u_bit
-            child_ext = rest | (adjacency[u] & ~(child_subset | fb | rest))
-            accumulator.push(u)
-            consider(child_subset, size + 1)
-            stack.append((POP, u))
-            stack.append((child_subset, size + 1, child_ext, fb))
-        accumulator.pop(root)
+    try:
+        for root in range(n):
+            root_bit = 1 << root
+            accumulator.push(root)
+            consider(root_bit, 1)
+            # Stack frames: (vertex_to_pop,) sentinel or (subset, size, ext, fb).
+            stack: list[tuple[int, ...]] = [
+                (
+                    root_bit,
+                    1,
+                    adjacency[root] & ~(root_bit - 1) & ~root_bit,
+                    root_bit - 1,
+                )
+            ]
+            while stack:
+                frame = stack.pop()
+                if frame[0] == POP:
+                    accumulator.pop(frame[1])
+                    continue
+                subset, size, ext, fb = frame
+                if size >= size_cap or not ext:
+                    pruned += 1
+                    continue
+                u_bit = ext & -ext
+                u = u_bit.bit_length() - 1
+                rest = ext ^ u_bit
+                # Sibling branch: same subset, u permanently forbidden.
+                stack.append((subset, size, rest, fb | u_bit))
+                # Child branch: include u now, schedule its pop for backtrack.
+                child_subset = subset | u_bit
+                child_ext = rest | (adjacency[u] & ~(child_subset | fb | rest))
+                accumulator.push(u)
+                consider(child_subset, size + 1)
+                stack.append((POP, u))
+                stack.append((child_subset, size + 1, child_ext, fb))
+            accumulator.pop(root)
+    finally:
+        if _TELEMETRY.enabled:
+            metrics = _TELEMETRY.metrics
+            metrics.count(_metric.SEARCH_STATES_VISITED, explored)
+            metrics.count(_metric.SEARCH_STATES_PRUNED, pruned)
+            metrics.count(_metric.SEARCH_CHI_SQUARE_EVALUATIONS, evaluated)
+            metrics.count(_metric.SEARCH_BEST_UPDATES, best_updates)
+            metrics.observe(_metric.SEARCH_STATES_PER_CALL, explored)
 
     if best_mask == 0:
-        return SearchOutcome(mask=0, chi_square=0.0, explored=explored)
-    return SearchOutcome(mask=best_mask, chi_square=best_value, explored=explored)
+        return SearchOutcome(
+            mask=0, chi_square=0.0, explored=explored,
+            pruned=pruned, evaluated=evaluated,
+        )
+    return SearchOutcome(
+        mask=best_mask, chi_square=best_value, explored=explored,
+        pruned=pruned, evaluated=evaluated,
+    )
 
 
 def exhaustive_best_subset(

@@ -78,3 +78,7 @@ class DatasetError(ReproError, ValueError):
 
 class ExperimentError(ReproError, RuntimeError):
     """An experiment harness failure (bad sweep configuration, empty results)."""
+
+
+class TelemetryError(ReproError, ValueError):
+    """Telemetry misuse: bad metric kinds, malformed traces, span misnesting."""

@@ -1,0 +1,123 @@
+"""``repro.telemetry`` — pipeline observability: tracing, metrics, profiling.
+
+The paper's pipeline is a staged hot path (construct → reduce → search);
+optimising it requires measuring it.  This package provides the three
+pieces the rest of the library instruments against:
+
+``repro.telemetry.span``
+    Nested :class:`Span`/:class:`Tracer` wall/CPU tracing with JSONL export.
+``repro.telemetry.metrics``
+    A :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+    histograms keyed by the stable names in :mod:`repro.telemetry.names`.
+``repro.telemetry.summarize``
+    Per-stage breakdown tables from persisted traces (the ``repro trace
+    summarize`` subcommand).
+
+Telemetry is **off by default** and gated by the module-level
+:data:`TELEMETRY` singleton.  Instrumentation sites are written as::
+
+    from repro.telemetry import TELEMETRY as _TELEMETRY
+    ...
+    if _TELEMETRY.enabled:
+        _TELEMETRY.metrics.count(names.SEARCH_STATES_VISITED, explored)
+
+so the disabled path costs a single attribute check (verified by the
+``tests/telemetry`` overhead guard).  Enable collection for a block of
+work with :func:`telemetry_session`::
+
+    from repro.telemetry import telemetry_session
+
+    with telemetry_session() as (tracer, metrics):
+        result = mine(graph, labeling)
+    tracer.write_jsonl("trace.jsonl", metrics=metrics)
+
+Not thread-safe by design: the pipeline is single-threaded, and keeping
+the gate lock-free is what makes the disabled path free.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from collections.abc import Iterator
+
+from repro.telemetry.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.telemetry.span import SCHEMA_VERSION, Span, Tracer, read_trace
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "Span",
+    "TELEMETRY",
+    "Telemetry",
+    "Tracer",
+    "read_trace",
+    "telemetry_session",
+]
+
+
+class Telemetry:
+    """Global on/off gate holding the active tracer and metrics registry.
+
+    ``enabled`` is the only attribute hot paths ever read; ``tracer`` and
+    ``metrics`` are non-None exactly while enabled.
+    """
+
+    __slots__ = ("enabled", "tracer", "metrics")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.tracer: Tracer | None = None
+        self.metrics: MetricsRegistry | None = None
+
+    def enable(
+        self,
+        *,
+        tracer: Tracer | None = None,
+        metrics: MetricsRegistry | None = None,
+        cpu_time: bool = False,
+    ) -> tuple[Tracer, MetricsRegistry]:
+        """Switch collection on, creating fresh sinks unless provided."""
+        self.tracer = tracer if tracer is not None else Tracer(cpu_time=cpu_time)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.enabled = True
+        return self.tracer, self.metrics
+
+    def disable(self) -> None:
+        """Switch collection off and drop the sinks."""
+        self.enabled = False
+        self.tracer = None
+        self.metrics = None
+
+
+TELEMETRY = Telemetry()
+"""The process-wide telemetry gate (disabled by default)."""
+
+
+@contextmanager
+def telemetry_session(
+    *,
+    tracer: Tracer | None = None,
+    metrics: MetricsRegistry | None = None,
+    cpu_time: bool = False,
+) -> Iterator[tuple[Tracer, MetricsRegistry]]:
+    """Enable global telemetry for a block, restoring the prior state after.
+
+    Yields ``(tracer, metrics)``.  Sessions nest: an inner session swaps in
+    its own sinks and the outer session's sinks come back on exit.
+    """
+    previous = (TELEMETRY.enabled, TELEMETRY.tracer, TELEMETRY.metrics)
+    pair = TELEMETRY.enable(tracer=tracer, metrics=metrics, cpu_time=cpu_time)
+    try:
+        yield pair
+    finally:
+        TELEMETRY.enabled, TELEMETRY.tracer, TELEMETRY.metrics = previous

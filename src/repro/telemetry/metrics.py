@@ -1,0 +1,258 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+The pipeline's internal quantities — edges contracted, enumeration states
+visited, chi-square evaluations — are recorded against stable dotted names
+(see :mod:`repro.telemetry.names`).  Instrumentation sites accumulate into
+cheap local integers and flush once per call, so the registry is touched a
+handful of times per pipeline stage rather than per inner-loop iteration.
+
+Histograms use fixed bucket upper bounds (Prometheus-style): ``observe``
+is O(#buckets) worst case, and percentile queries return the upper bound of
+the bucket containing the requested quantile — an approximation that is
+exact enough for "how skewed are per-search state counts" questions while
+keeping memory constant.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+from repro.exceptions import TelemetryError
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+]
+
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1, 2, 5, 10, 25, 50, 100, 250, 500,
+    1_000, 2_500, 5_000, 10_000, 50_000, 100_000,
+    1_000_000, math.inf,
+)
+"""Default histogram bucket upper bounds — tuned for count-like quantities."""
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def add(self, amount: int = 1) -> None:
+        """Increment by ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise TelemetryError(
+                f"counter {self.name!r} cannot decrease (got {amount})"
+            )
+        self.value += amount
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSONL ``metric`` record for this counter."""
+        return {
+            "type": "metric",
+            "kind": "counter",
+            "name": self.name,
+            "value": self.value,
+        }
+
+
+class Gauge:
+    """A point-in-time value metric (last write wins)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        """Record the current value."""
+        self.value = value
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSONL ``metric`` record for this gauge."""
+        return {
+            "type": "metric",
+            "kind": "gauge",
+            "name": self.name,
+            "value": self.value,
+        }
+
+
+class Histogram:
+    """Fixed-bucket distribution metric with percentile summaries.
+
+    ``buckets`` are inclusive upper bounds in increasing order; the last
+    bound should be ``inf`` so every observation lands somewhere (one is
+    appended automatically otherwise).
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "minimum", "maximum")
+
+    def __init__(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> None:
+        if not buckets:
+            raise TelemetryError(f"histogram {name!r} needs at least one bucket")
+        if list(buckets) != sorted(buckets):
+            raise TelemetryError(
+                f"histogram {name!r} buckets must be increasing: {buckets}"
+            )
+        if buckets[-1] != math.inf:
+            buckets = tuple(buckets) + (math.inf,)
+        self.name = name
+        self.buckets = tuple(buckets)
+        self.counts = [0] * len(self.buckets)
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                break
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Approximate q-th percentile (0 <= q <= 100).
+
+        Returns the upper bound of the bucket containing the quantile,
+        clamped to the observed maximum (so the ``inf`` bucket never leaks
+        into results).  Returns 0.0 for an empty histogram.
+        """
+        if not 0 <= q <= 100:
+            raise TelemetryError(f"percentile must be in [0, 100], got {q}")
+        if self.count == 0:
+            return 0.0
+        target = math.ceil(self.count * q / 100) or 1
+        cumulative = 0
+        for bound, bucket_count in zip(self.buckets, self.counts):
+            cumulative += bucket_count
+            if cumulative >= target:
+                return min(bound, self.maximum)
+        return self.maximum  # pragma: no cover - inf bucket catches all
+
+    def summary(self) -> dict[str, float]:
+        """Count / sum / min / max / mean and the p50, p90, p99 quantiles."""
+        if self.count == 0:
+            return {"count": 0, "sum": 0.0, "min": 0.0, "max": 0.0,
+                    "mean": 0.0, "p50": 0.0, "p90": 0.0, "p99": 0.0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.minimum,
+            "max": self.maximum,
+            "mean": self.mean,
+            "p50": self.percentile(50),
+            "p90": self.percentile(90),
+            "p99": self.percentile(99),
+        }
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSONL ``metric`` record: name plus the full summary."""
+        record: dict[str, Any] = {
+            "type": "metric",
+            "kind": "histogram",
+            "name": self.name,
+        }
+        record.update(self.summary())
+        return record
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named counters, gauges, and histograms.
+
+    A name belongs to exactly one metric kind for the registry's lifetime;
+    re-registering it as a different kind raises :class:`TelemetryError`
+    (silent kind drift would corrupt dashboards built on the namespace).
+    """
+
+    __slots__ = ("_metrics",)
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get_or_create(self, name: str, cls, *args):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name, *args)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TelemetryError(
+                f"metric {name!r} is a {type(metric).__name__}, "
+                f"not a {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        return self._get_or_create(name, Histogram, buckets)
+
+    # Convenience one-shots used by instrumentation sites.
+    def count(self, name: str, amount: int = 1) -> None:
+        """Increment the counter ``name`` by ``amount``."""
+        self.counter(name).add(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set the gauge ``name`` to ``value``."""
+        self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record ``value`` into the histogram ``name``."""
+        self.histogram(name).observe(value)
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        """All registered metric names, sorted."""
+        return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Plain-data view: counters/gauges map to values, histograms to summaries."""
+        out: dict[str, Any] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Histogram):
+                out[name] = metric.summary()
+            else:
+                out[name] = metric.value
+        return out
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """JSONL records for every registered metric (sorted by name)."""
+        return [
+            self._metrics[name].to_record() for name in sorted(self._metrics)
+        ]

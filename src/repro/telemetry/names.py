@@ -1,0 +1,105 @@
+"""The stable metric namespace of the mining pipeline.
+
+Every instrumentation site records against one of these dotted names, so
+traces from different versions stay comparable and dashboards/tests can
+reference metrics without grepping the source.  The scheme is
+``<stage>.<quantity>``; see ``docs/observability.md`` for the full
+semantics of each entry.
+
+Adding a name here is cheap; renaming one is a breaking change to every
+persisted trace — prefer adding.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CONSTRUCT_EDGES_CONTRACTED",
+    "CONSTRUCT_EDGES_SCANNED",
+    "CONSTRUCT_SUPER_EDGES",
+    "CONSTRUCT_SUPER_VERTEX_SIZE",
+    "CONSTRUCT_SUPER_VERTICES",
+    "ENUMERATE_SETS_EMITTED",
+    "REDUCE_EDGES_CONTRACTED",
+    "REDUCE_HEAP_REPRIORITISED",
+    "REDUCE_HEAP_STALE",
+    "REDUCE_VERTICES_AFTER",
+    "REDUCE_VERTICES_BEFORE",
+    "SEARCH_BEST_UPDATES",
+    "SEARCH_CHI_SQUARE_EVALUATIONS",
+    "SEARCH_STATES_PER_CALL",
+    "SEARCH_STATES_PRUNED",
+    "SEARCH_STATES_VISITED",
+    "SOLVER_POLISH_IMPROVEMENTS",
+    "SOLVER_POLISH_MOVES",
+    "SOLVER_ROUNDS",
+    "SUPERGRAPH_MERGES",
+    "SUPERGRAPH_MERGE_ABSORBED_SIZE",
+]
+
+# --- super-graph construction (Algorithms 1 and 2) --------------------
+CONSTRUCT_EDGES_SCANNED = "construct.edges_scanned"
+"""Counter: original edges examined by the construction pass."""
+
+CONSTRUCT_EDGES_CONTRACTED = "construct.edges_contracted"
+"""Counter: edges whose endpoints were merged into one super-vertex."""
+
+CONSTRUCT_SUPER_VERTICES = "construct.super_vertices"
+"""Gauge: super-vertices after construction (n_s, last round)."""
+
+CONSTRUCT_SUPER_EDGES = "construct.super_edges"
+"""Gauge: super-edges after construction (m_s, last round)."""
+
+CONSTRUCT_SUPER_VERTEX_SIZE = "construct.super_vertex_size"
+"""Histogram: original vertices per constructed super-vertex."""
+
+# --- reduction (Algorithm 5) ------------------------------------------
+REDUCE_VERTICES_BEFORE = "reduce.vertices_before"
+"""Gauge: super-vertices entering the reduction (last round)."""
+
+REDUCE_VERTICES_AFTER = "reduce.vertices_after"
+"""Gauge: super-vertices after the reduction hit n_theta (last round)."""
+
+REDUCE_EDGES_CONTRACTED = "reduce.edges_contracted"
+"""Counter: minimum-chi-square-sum contractions performed."""
+
+REDUCE_HEAP_STALE = "reduce.heap_stale_entries"
+"""Counter: lazy-deletion heap pops discarded because an endpoint died."""
+
+REDUCE_HEAP_REPRIORITISED = "reduce.heap_reprioritised"
+"""Counter: heap entries re-pushed because their priority had drifted."""
+
+# --- exhaustive search / enumeration (naive algorithm) ----------------
+SEARCH_STATES_VISITED = "search.states_visited"
+"""Counter: connected sets evaluated by the exhaustive search."""
+
+SEARCH_STATES_PRUNED = "search.states_pruned"
+"""Counter: DFS branches cut by the size cap or an empty frontier."""
+
+SEARCH_CHI_SQUARE_EVALUATIONS = "search.chi_square_evaluations"
+"""Counter: chi-square statistic computations (sets meeting min_size)."""
+
+SEARCH_BEST_UPDATES = "search.best_updates"
+"""Counter: times the incumbent best set was replaced."""
+
+SEARCH_STATES_PER_CALL = "search.states_per_call"
+"""Histogram: states visited by each individual search invocation."""
+
+ENUMERATE_SETS_EMITTED = "enumerate.sets_emitted"
+"""Counter: connected sets yielded by the standalone enumerator."""
+
+# --- super-graph bookkeeping ------------------------------------------
+SUPERGRAPH_MERGES = "supergraph.merges"
+"""Counter: super-vertex merge operations (construction + reduction)."""
+
+SUPERGRAPH_MERGE_ABSORBED_SIZE = "supergraph.merge_absorbed_size"
+"""Histogram: size of the smaller group absorbed by each merge."""
+
+# --- solver orchestration ---------------------------------------------
+SOLVER_ROUNDS = "solver.rounds"
+"""Counter: TSSS iterative-deletion rounds executed."""
+
+SOLVER_POLISH_MOVES = "solver.polish_moves"
+"""Counter: hill-climb moves applied by the LMCS polish pass."""
+
+SOLVER_POLISH_IMPROVEMENTS = "solver.polish_improvements"
+"""Counter: polish passes that strictly improved the statistic."""

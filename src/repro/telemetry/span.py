@@ -1,0 +1,229 @@
+"""Structured tracing: nested spans with wall/CPU time and JSONL export.
+
+A :class:`Span` measures one named region of the pipeline (a stage, a
+round, a search call); a :class:`Tracer` maintains the active-span stack so
+nesting is recorded as a parent/child tree.  Spans always measure wall time
+with :func:`time.perf_counter`; CPU time (:func:`time.process_time`) is
+opt-in because it costs a second syscall pair per span.
+
+The tracer is deliberately dependency-free and single-threaded — the
+pipeline it instruments is single-threaded, and the global telemetry gate
+(:data:`repro.telemetry.TELEMETRY`) keeps the disabled path down to one
+attribute check.
+
+Trace files are JSON Lines: one record per span (plus optional metric
+records appended by :meth:`Tracer.write_jsonl`), so traces stream and
+partial files from aborted runs stay parseable.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import TelemetryError
+
+__all__ = ["SCHEMA_VERSION", "Span", "Tracer", "read_trace"]
+
+SCHEMA_VERSION = 1
+"""Trace-file schema version written into the ``meta`` record."""
+
+
+class Span:
+    """One timed, named region; a node in the trace tree.
+
+    Use as a context manager obtained from :meth:`Tracer.span`.  Attributes
+    passed at creation (or added to :attr:`attributes` while the span is
+    open) are exported verbatim, so they must be JSON-serialisable.
+    """
+
+    __slots__ = (
+        "name",
+        "span_id",
+        "parent_id",
+        "attributes",
+        "start_offset",
+        "wall_seconds",
+        "cpu_seconds",
+        "_tracer",
+        "_start_wall",
+        "_start_cpu",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: int | None,
+        attributes: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.start_offset: float = 0.0
+        self.wall_seconds: float = 0.0
+        self.cpu_seconds: float | None = None
+        self._tracer = tracer
+        self._start_wall: float = 0.0
+        self._start_cpu: float = 0.0
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach extra attributes; returns the span for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def __enter__(self) -> "Span":
+        tracer = self._tracer
+        tracer._stack.append(self)
+        if tracer.cpu_time:
+            self._start_cpu = time.process_time()
+        self._start_wall = time.perf_counter()
+        self.start_offset = self._start_wall - tracer._epoch
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        end_wall = time.perf_counter()
+        tracer = self._tracer
+        if tracer.cpu_time:
+            self.cpu_seconds = time.process_time() - self._start_cpu
+        self.wall_seconds = end_wall - self._start_wall
+        if exc_type is not None:
+            self.attributes.setdefault("error", exc_type.__name__)
+        top = tracer._stack.pop()
+        if top is not self:  # pragma: no cover - misuse guard
+            raise TelemetryError(
+                f"span {self.name!r} closed while {top.name!r} was still open"
+            )
+        tracer.spans.append(self)
+
+    def to_record(self) -> dict[str, Any]:
+        """The JSONL representation of a finished span."""
+        record: dict[str, Any] = {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "start_s": round(self.start_offset, 9),
+            "wall_s": round(self.wall_seconds, 9),
+        }
+        if self.cpu_seconds is not None:
+            record["cpu_s"] = round(self.cpu_seconds, 9)
+        if self.attributes:
+            record["attrs"] = self.attributes
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Span(name={self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, wall={self.wall_seconds:.6f}s)"
+        )
+
+
+class Tracer:
+    """Records a tree of :class:`Span` objects in completion order.
+
+    ``spans`` holds finished spans; nesting is recoverable through
+    ``parent_id``.  The tracer is reusable across several pipeline calls —
+    successive roots simply become siblings.
+    """
+
+    __slots__ = ("spans", "cpu_time", "_stack", "_next_id", "_epoch")
+
+    def __init__(self, *, cpu_time: bool = False) -> None:
+        self.spans: list[Span] = []
+        self.cpu_time = cpu_time
+        self._stack: list[Span] = []
+        self._next_id = 1
+        self._epoch = time.perf_counter()
+
+    def span(self, name: str, **attributes: Any) -> Span:
+        """Create (but do not start) a child span of the active span.
+
+        Entering the returned span starts its clocks and pushes it on the
+        active-span stack, so nesting follows ``with`` structure.
+        """
+        parent = self._stack[-1].span_id if self._stack else None
+        span = Span(self, name, self._next_id, parent, attributes)
+        self._next_id += 1
+        return span
+
+    @property
+    def active_span(self) -> Span | None:
+        """The innermost open span, or None outside any span."""
+        return self._stack[-1] if self._stack else None
+
+    def root_spans(self) -> list[Span]:
+        """Finished spans with no parent."""
+        return [s for s in self.spans if s.parent_id is None]
+
+    def children_of(self, span: Span) -> list[Span]:
+        """Finished direct children of ``span``."""
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """All finished spans as JSONL records, preceded by a meta record."""
+        meta = {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "cpu_time": self.cpu_time,
+        }
+        return [meta] + [s.to_record() for s in self.spans]
+
+    def write_jsonl(self, path: str | Path, *, metrics=None) -> None:
+        """Write the trace (and optionally a metrics snapshot) as JSONL.
+
+        ``metrics`` may be a :class:`~repro.telemetry.metrics.MetricsRegistry`;
+        its records are appended after the span records so one file carries
+        the whole observability payload of a run.
+        """
+        records = self.to_records()
+        if metrics is not None:
+            records.extend(metrics.to_records())
+        try:
+            with open(path, "w", encoding="utf-8") as handle:
+                for record in records:
+                    handle.write(json.dumps(record, sort_keys=True) + "\n")
+        except OSError as exc:
+            raise TelemetryError(
+                f"cannot write trace file {path}: {exc}"
+            ) from None
+
+
+def read_trace(path: str | Path) -> tuple[list[dict], list[dict]]:
+    """Parse a JSONL trace into ``(span_records, metric_records)``.
+
+    Unknown record types are ignored so the schema can grow; malformed
+    lines raise :class:`TelemetryError` with the offending line number.
+    """
+    spans: list[dict] = []
+    metrics: list[dict] = []
+    try:
+        lines = list(_iter_lines(path))
+    except OSError as exc:
+        raise TelemetryError(f"cannot read trace file {path}: {exc}") from None
+    for lineno, line in enumerate(lines, start=1):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TelemetryError(
+                f"{path}:{lineno}: invalid JSON in trace file: {exc}"
+            ) from None
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(record)
+        elif kind == "metric":
+            metrics.append(record)
+    return spans, metrics
+
+
+def _iter_lines(path: str | Path) -> Iterator[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield line

@@ -1,0 +1,135 @@
+"""Render per-stage breakdowns from a persisted JSONL trace.
+
+Backs the ``repro trace summarize`` CLI subcommand: reads a trace written
+by :meth:`~repro.telemetry.span.Tracer.write_jsonl`, aggregates spans by
+name into a per-stage wall-time table, and lists every recorded metric.
+All aggregation here is over the *records* (plain dicts), so the
+summarizer works on traces from other processes and older runs.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+from repro.exceptions import TelemetryError
+from repro.telemetry.span import read_trace
+
+__all__ = [
+    "metric_rows",
+    "stage_rows",
+    "summarize_trace",
+    "render_summary",
+]
+
+
+def stage_rows(span_records: list[dict]) -> tuple[list[str], list[list[Any]]]:
+    """Aggregate spans by name into ``(headers, rows)``.
+
+    Rows are sorted by total wall time, descending; the ``% self`` column
+    reports each stage's share of the root spans' total wall time (nested
+    spans overlap their parents, so shares of non-root stages need not sum
+    to 100).
+    """
+    by_name: dict[str, dict[str, float]] = {}
+    root_total = 0.0
+    for record in span_records:
+        name = record.get("name", "?")
+        wall = float(record.get("wall_s", 0.0))
+        agg = by_name.setdefault(
+            name, {"calls": 0, "total": 0.0, "min": wall, "max": wall, "cpu": 0.0,
+                   "has_cpu": 0}
+        )
+        agg["calls"] += 1
+        agg["total"] += wall
+        agg["min"] = min(agg["min"], wall)
+        agg["max"] = max(agg["max"], wall)
+        if "cpu_s" in record:
+            agg["cpu"] += float(record["cpu_s"])
+            agg["has_cpu"] = 1
+        if record.get("parent") is None:
+            root_total += wall
+
+    headers = ["stage", "calls", "total_s", "mean_s", "min_s", "max_s", "share"]
+    rows: list[list[Any]] = []
+    for name, agg in sorted(
+        by_name.items(), key=lambda item: -item[1]["total"]
+    ):
+        calls = int(agg["calls"])
+        total = agg["total"]
+        share = f"{100.0 * total / root_total:.1f}%" if root_total > 0 else "-"
+        rows.append([
+            name,
+            calls,
+            round(total, 6),
+            round(total / calls, 6),
+            round(agg["min"], 6),
+            round(agg["max"], 6),
+            share,
+        ])
+    return headers, rows
+
+
+def metric_rows(metric_records: list[dict]) -> tuple[list[str], list[list[Any]]]:
+    """Flatten metric records into ``(headers, rows)``.
+
+    Counters and gauges render their value; histograms render
+    ``count/mean/p50/p90/max`` so distribution skew is visible at a glance.
+    """
+    headers = ["metric", "kind", "value", "detail"]
+    rows: list[list[Any]] = []
+    for record in sorted(metric_records, key=lambda r: r.get("name", "")):
+        kind = record.get("kind", "?")
+        name = record.get("name", "?")
+        if kind == "histogram":
+            value = record.get("count", 0)
+            detail = (
+                f"mean={record.get('mean', 0.0):.2f} "
+                f"p50={record.get('p50', 0.0):g} "
+                f"p90={record.get('p90', 0.0):g} "
+                f"max={record.get('max', 0.0):g}"
+            )
+        else:
+            value = record.get("value", 0)
+            detail = ""
+        rows.append([name, kind, value, detail])
+    return headers, rows
+
+
+def summarize_trace(path: str | Path) -> dict[str, Any]:
+    """Structured summary of a trace file (consumed by tests and the CLI)."""
+    span_records, metric_records = read_trace(path)
+    stage_headers, stages = stage_rows(span_records)
+    metric_headers, metrics = metric_rows(metric_records)
+    return {
+        "num_spans": len(span_records),
+        "num_metrics": len(metric_records),
+        "stage_headers": stage_headers,
+        "stages": stages,
+        "metric_headers": metric_headers,
+        "metrics": metrics,
+    }
+
+
+def render_summary(path: str | Path) -> str:
+    """Human-readable per-stage + metrics summary of a trace file."""
+    # Imported lazily: experiments.harness depends on telemetry, so a
+    # module-level import here would risk an import cycle through the
+    # experiments package.
+    from repro.experiments.tables import format_table
+
+    summary = summarize_trace(path)
+    if summary["num_spans"] == 0 and summary["num_metrics"] == 0:
+        raise TelemetryError(f"{path} contains no span or metric records")
+    parts: list[str] = []
+    if summary["stages"]:
+        parts.append(format_table(
+            summary["stage_headers"], summary["stages"],
+            title=f"Per-stage wall time ({summary['num_spans']} spans)",
+        ))
+    if summary["metrics"]:
+        parts.append(format_table(
+            summary["metric_headers"], summary["metrics"],
+            title=f"Metrics ({summary['num_metrics']} recorded)",
+        ))
+    return "\n\n".join(parts)

@@ -1,0 +1,74 @@
+"""The disabled telemetry path must cost one attribute check.
+
+These tests pin the *mechanism* (the gate really is a single attribute
+read and instrumented code skips all metric work when it is False); the
+end-to-end <5% pipeline overhead guard lives in
+``tests/test_performance.py::TestTelemetryOverhead``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.telemetry import TELEMETRY
+
+pytestmark = pytest.mark.telemetry
+
+
+class _Gate:
+    """Reference object: the cheapest possible attribute check."""
+
+    __slots__ = ("enabled",)
+
+    def __init__(self) -> None:
+        self.enabled = False
+
+
+def _time_gate_loop(gate, iterations: int) -> float:
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if gate.enabled:
+            raise AssertionError("gate must be disabled")
+    return time.perf_counter() - start
+
+
+class TestDisabledGateCost:
+    def test_gate_is_a_plain_attribute_check(self):
+        """The live gate costs the same as a bare slotted attribute read."""
+        iterations = 200_000
+        # Warm up both paths, then take best-of-5 to shed scheduler noise.
+        reference = _Gate()
+        _time_gate_loop(reference, 1000)
+        _time_gate_loop(TELEMETRY, 1000)
+        ref_best = min(_time_gate_loop(reference, iterations) for _ in range(5))
+        live_best = min(_time_gate_loop(TELEMETRY, iterations) for _ in range(5))
+        # Identical machinery; a generous 3x bound keeps CI noise out.
+        assert live_best < ref_best * 3 + 0.01, (
+            f"TELEMETRY gate cost {live_best:.4f}s vs reference "
+            f"{ref_best:.4f}s over {iterations} checks"
+        )
+
+    def test_no_sinks_allocated_while_disabled(self):
+        assert TELEMETRY.enabled is False
+        assert TELEMETRY.tracer is None
+        assert TELEMETRY.metrics is None
+
+    def test_instrumented_paths_record_nothing_when_disabled(self, small_labeled):
+        from repro.core.solver import mine
+        from repro.telemetry import telemetry_session
+
+        graph, labeling = small_labeled
+        # A session before and after proves state does not leak from the
+        # disabled run in between.
+        with telemetry_session() as (_, before_metrics):
+            mine(graph, labeling)
+        n_before = len(before_metrics)
+        assert n_before > 0
+
+        mine(graph, labeling)  # disabled: must not touch any registry
+
+        with telemetry_session() as (_, after_metrics):
+            pass
+        assert len(after_metrics) == 0

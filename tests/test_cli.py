@@ -90,6 +90,89 @@ class TestMine:
         assert "error:" in capsys.readouterr().err
 
 
+class TestMineTelemetry:
+    def test_json_includes_stage_timings(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main(["mine", graph_path, labels_path, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)["report"]
+        for key in ("construction_seconds", "reduction_seconds",
+                    "search_seconds", "total_seconds", "contractions",
+                    "explored_subgraphs", "rounds", "supergraph_edges"):
+            assert key in report, key
+        assert report["total_seconds"] >= report["search_seconds"]
+        assert report["explored_subgraphs"] > 0
+
+    def test_trace_and_metrics_json(self, instance_files, tmp_path, capsys):
+        graph_path, labels_path = instance_files
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "mine", graph_path, labels_path,
+            "--json", "--trace", str(trace_path), "--metrics",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["trace_file"] == str(trace_path)
+        assert payload["metrics"]["search.states_visited"] > 0
+        assert payload["metrics"]["construct.edges_contracted"] > 0
+
+        from repro.telemetry import read_trace
+
+        spans, metrics = read_trace(trace_path)
+        span_names = {record["name"] for record in spans}
+        assert {"solver.mine", "solver.construct",
+                "solver.reduce", "solver.search"} <= span_names
+        assert len({record["name"] for record in metrics}) >= 6
+
+    def test_metrics_table_in_text_mode(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main(["mine", graph_path, labels_path, "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "Pipeline metrics" in out
+        assert "search.states_visited" in out
+
+    def test_telemetry_disabled_after_run(self, instance_files, capsys):
+        from repro.telemetry import TELEMETRY
+
+        graph_path, labels_path = instance_files
+        assert main(["mine", graph_path, labels_path, "--metrics"]) == 0
+        capsys.readouterr()
+        assert TELEMETRY.enabled is False
+
+
+class TestTraceSummarize:
+    def test_summarize_renders_stage_and_metric_tables(
+        self, instance_files, tmp_path, capsys
+    ):
+        graph_path, labels_path = instance_files
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "mine", graph_path, labels_path, "--trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Per-stage wall time" in out
+        assert "solver.construct" in out
+        assert "Metrics" in out
+        # The acceptance bar: at least 6 distinct metric names rendered.
+        metric_names = {
+            line.split("|")[0].strip()
+            for line in out.splitlines()
+            if "|" in line and "." in line.split("|")[0]
+        }
+        assert len(metric_names) >= 6, sorted(metric_names)
+
+    def test_summarize_missing_file_fails_cleanly(self, tmp_path, capsys):
+        missing = tmp_path / "nope.jsonl"
+        assert main(["trace", "summarize", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_summarize_empty_trace_fails_cleanly(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert main(["trace", "summarize", str(empty)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
 class TestGenerate:
     def test_generate_er_graph(self, tmp_path, capsys):
         out = tmp_path / "er.txt"

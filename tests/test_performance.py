@@ -16,6 +16,7 @@ from repro.graph.generators import barabasi_albert_graph
 from repro.labels.continuous import ContinuousLabeling
 from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
 from repro.core.solver import mine
+from repro.telemetry import telemetry_session
 
 
 def elapsed(fn, *args, **kwargs):
@@ -78,3 +79,48 @@ class TestScalability:
         seconds = time.perf_counter() - start
         assert count > 100_000
         assert seconds < 90.0, f"enumerated {count} in {seconds:.1f}s"
+
+
+@pytest.mark.telemetry
+class TestTelemetryOverhead:
+    """Guard: disabled telemetry must not tax the solver hot path.
+
+    The true pre-instrumentation baseline is not runnable from this tree,
+    so the guard brackets it: the disabled-telemetry run must be at least
+    as fast (within a 5% tolerance) as the *enabled* run — which does
+    strictly more work — and the gate itself is pinned to a bare attribute
+    check by ``tests/telemetry/test_noop.py``.  A disabled path that
+    accidentally collected telemetry would close the gap to the enabled
+    run and trip the assertion.
+    """
+
+    @staticmethod
+    def _seed_workload():
+        graph = barabasi_albert_graph(2_000, 5, seed=21)
+        labeling = DiscreteLabeling.random(
+            graph, uniform_probabilities(3), seed=22
+        )
+        return graph, labeling
+
+    def test_disabled_mine_within_noise_of_enabled(self):
+        graph, labeling = self._seed_workload()
+
+        def run_disabled() -> float:
+            start = time.perf_counter()
+            mine(graph, labeling, n_theta=15)
+            return time.perf_counter() - start
+
+        def run_enabled() -> float:
+            with telemetry_session():
+                start = time.perf_counter()
+                mine(graph, labeling, n_theta=15)
+                return time.perf_counter() - start
+
+        run_disabled()  # warm caches before timing either variant
+        disabled = min(run_disabled() for _ in range(5))
+        enabled = min(run_enabled() for _ in range(5))
+        # 5% tolerance plus a 5ms absolute floor for timer granularity.
+        assert disabled <= enabled * 1.05 + 0.005, (
+            f"disabled-telemetry mine() took {disabled:.4f}s vs {enabled:.4f}s "
+            "with telemetry enabled — the no-op path is doing real work"
+        )

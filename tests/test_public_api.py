@@ -42,6 +42,7 @@ class TestTopLevelExports:
             "repro.datasets",
             "repro.experiments",
             "repro.community",
+            "repro.telemetry",
         ],
     )
     def test_subpackage_all_resolves(self, subpackage):
