@@ -1,0 +1,97 @@
+"""Ablation: branch-and-bound pruning vs the plain exhaustive search.
+
+``prune="bounds"`` must return the identical optimum while visiting far
+fewer states; this benchmark quantifies the cut on the two regimes the
+search actually runs in — a reduced super-graph (the paper's pipeline with
+N_theta=20) and a naive search on a raw ~30-vertex graph — and enforces
+the PR's acceptance bar of >=30% fewer ``search.states_visited``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import mine
+from repro.graph.generators import gnm_random_graph
+from repro.labels.discrete import DiscreteLabeling
+from repro.telemetry import telemetry_session
+from repro.telemetry import names as metric
+
+from conftest import emit
+
+DYADIC_PROBS = (0.5, 0.25, 0.25)
+SUPER_N, SUPER_M, N_THETA = 200, 420, 20
+NAIVE_N, NAIVE_M = 30, 36
+
+
+def states_visited(graph, labeling, **mine_kwargs) -> int:
+    with telemetry_session() as (_, metrics):
+        mine(graph, labeling, **mine_kwargs)
+    return metrics.snapshot()[metric.SEARCH_STATES_VISITED]
+
+
+@pytest.fixture(scope="module")
+def super_instance():
+    g = gnm_random_graph(SUPER_N, SUPER_M, seed=11)
+    return g, DiscreteLabeling.random(g, DYADIC_PROBS, seed=12)
+
+
+@pytest.fixture(scope="module")
+def naive_instance():
+    g = gnm_random_graph(NAIVE_N, NAIVE_M, seed=21)
+    return g, DiscreteLabeling.random(g, DYADIC_PROBS, seed=22)
+
+
+def test_supergraph_prune_none(benchmark, super_instance):
+    g, lab = super_instance
+    result = benchmark(lambda: mine(g, lab, n_theta=N_THETA, prune="none"))
+    assert result.subgraphs
+
+
+def test_supergraph_prune_bounds(benchmark, super_instance):
+    g, lab = super_instance
+    result = benchmark(lambda: mine(g, lab, n_theta=N_THETA, prune="bounds"))
+    assert result.subgraphs
+    plain = mine(g, lab, n_theta=N_THETA, prune="none")
+    assert result.best.vertices == plain.best.vertices
+
+    none_states = states_visited(g, lab, n_theta=N_THETA, prune="none")
+    bound_states = states_visited(g, lab, n_theta=N_THETA, prune="bounds")
+    emit(
+        "ablation_bounds_supergraph",
+        f"Ablation: B&B on reduced super-graph "
+        f"(n={SUPER_N}, m={SUPER_M}, N_theta={N_THETA})",
+        ["prune", "states visited"],
+        [["none", none_states], ["bounds", bound_states]],
+    )
+    # Acceptance bar: >=30% fewer states visited.
+    assert bound_states <= 0.7 * none_states
+
+
+def test_naive_prune_none(benchmark, naive_instance):
+    g, lab = naive_instance
+    result = benchmark.pedantic(
+        lambda: mine(g, lab, method="naive", prune="none"),
+        rounds=1, iterations=1,
+    )
+    assert result.subgraphs
+
+
+def test_naive_prune_bounds(benchmark, naive_instance):
+    g, lab = naive_instance
+    result = benchmark(lambda: mine(g, lab, method="naive", prune="bounds"))
+    assert result.subgraphs
+    plain = mine(g, lab, method="naive", prune="none")
+    assert result.best.vertices == plain.best.vertices
+    assert result.best.chi_square == plain.best.chi_square  # dyadic probs
+
+    none_states = states_visited(g, lab, method="naive", prune="none")
+    bound_states = states_visited(g, lab, method="naive", prune="bounds")
+    emit(
+        "ablation_bounds_naive",
+        f"Ablation: B&B on naive exhaustive search "
+        f"(n={NAIVE_N}, m={NAIVE_M})",
+        ["prune", "states visited"],
+        [["none", none_states], ["bounds", bound_states]],
+    )
+    assert bound_states <= 0.7 * none_states

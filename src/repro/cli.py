@@ -112,6 +112,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             n_theta=args.n_theta,
             method=args.method,
             polish=args.polish,
+            prune=args.prune,
         )
 
     metrics_snapshot = None
@@ -139,6 +140,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 for sub in result.subgraphs
             ],
             "report": {
+                "prune": args.prune,
                 "num_vertices": report.num_vertices,
                 "num_edges": report.num_edges,
                 "supergraph_vertices": report.supergraph_vertices,
@@ -325,6 +327,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     mine_cmd.add_argument(
         "--polish", action="store_true", help="LMCS post-pass"
+    )
+    mine_cmd.add_argument(
+        "--prune", choices=("none", "bounds"), default="none",
+        help="branch-and-bound pruning of the exhaustive search "
+        "(admissible bounds; identical optima, fewer states)",
     )
     mine_cmd.add_argument("--json", action="store_true", help="JSON output")
     mine_cmd.add_argument(

@@ -68,6 +68,7 @@ def mine(
     search_limit: int | None = None,
     min_size: int = 1,
     polish: bool = False,
+    prune: str = "none",
 ) -> MiningResult:
     """Mine the top-t statistically significant connected subgraphs.
 
@@ -101,6 +102,10 @@ def mine(
     polish:
         Run the LMCS hill-climb on each mined region before reporting
         (never decreases the statistic).
+    prune:
+        ``"none"`` — plain exhaustive search; ``"bounds"`` — branch-and-
+        bound with admissible chi-square upper bounds (identical optima,
+        fewer states visited; see :mod:`repro.enumerate.bounds`).
     """
     if top_t < 1:
         raise GraphError(f"top_t must be >= 1, got {top_t}")
@@ -108,6 +113,8 @@ def mine(
         raise GraphError(f"unknown method {method!r}")
     if min_size < 1:
         raise GraphError(f"min_size must be >= 1, got {min_size}")
+    if prune not in ("none", "bounds"):
+        raise GraphError(f"unknown prune mode {prune!r}")
     labeling.validate_covers(graph)
 
     report = PipelineReport(
@@ -151,6 +158,7 @@ def mine(
                     seed=seed,
                     search_limit=search_limit,
                     min_size=min_size,
+                    prune=prune,
                 )
                 if region is None:
                     break
@@ -191,6 +199,7 @@ def _mine_one(
     seed: int | random.Random | None,
     search_limit: int | None,
     min_size: int,
+    prune: str,
 ) -> SignificantSubgraph | None:
     """One MSCS round on the current working graph; None when nothing left."""
     first_round = report.rounds == 0
@@ -198,6 +207,7 @@ def _mine_one(
         with tracer.span("solver.construct", method="naive") as span:
             supergraph = _singleton_supergraph(working, labeling)
             span.set(super_vertices=supergraph.num_super_vertices)
+        report.construction_seconds += span.wall_seconds
         if first_round:
             report.supergraph_vertices = supergraph.num_super_vertices
             report.supergraph_edges = supergraph.num_super_edges
@@ -227,12 +237,15 @@ def _mine_one(
         if first_round:
             report.reduced_vertices = supergraph.num_super_vertices
 
-    with tracer.span("solver.search") as span:
+    explored_before = report.explored_subgraphs
+    with tracer.span("solver.search", prune=prune) as span:
         region = _search_supergraph(
             supergraph, labeling, search_limit=search_limit, min_size=min_size,
-            report=report,
+            report=report, prune=prune,
         )
-        span.set(explored=report.explored_subgraphs)
+        # Per-round delta, not the running total, so top-t traces show what
+        # each round actually cost.
+        span.set(explored=report.explored_subgraphs - explored_before)
     report.search_seconds += span.wall_seconds
     return region
 
@@ -260,6 +273,7 @@ def _search_supergraph(
     search_limit: int | None,
     min_size: int,
     report: PipelineReport,
+    prune: str = "none",
 ) -> SignificantSubgraph | None:
     """Exhaustive MSCS search on a (reduced) super-graph."""
     if supergraph.num_super_vertices == 0:
@@ -277,7 +291,7 @@ def _search_supergraph(
         )
 
     outcome = exhaustive_best_mask(
-        bitset.adjacency, accumulator, limit=search_limit
+        bitset.adjacency, accumulator, limit=search_limit, prune=prune
     )
     report.explored_subgraphs += outcome.explored
     if outcome.mask == 0:
@@ -298,7 +312,8 @@ def _search_supergraph(
             if floor > supergraph.num_super_vertices:
                 return None
             outcome = exhaustive_best_mask(
-                bitset.adjacency, accumulator, min_size=floor, limit=search_limit
+                bitset.adjacency, accumulator, min_size=floor,
+                limit=search_limit, prune=prune,
             )
             report.explored_subgraphs += outcome.explored
             if outcome.mask == 0:
@@ -403,12 +418,96 @@ def _polish(
     else:
         p_value = continuous_p_value(polished_value, labeling.dimensions)
         z_vector = labeling.region_score(polished_vertices).z_vector()
+    polished = frozenset(polished_vertices)
     return SignificantSubgraph(
-        vertices=frozenset(polished_vertices),
+        vertices=polished,
         chi_square=polished_value,
         p_value=p_value,
-        components=(),
+        components=_polished_components(
+            working, labeling, polished, polished_value
+        ),
         z_score=z_vector,
+    )
+
+
+def _polished_components(
+    working: Graph,
+    labeling: Labeling,
+    vertices: frozenset[Hashable],
+    chi_square: float,
+) -> tuple[SubgraphComponent, ...]:
+    """Rebuild the per-component breakdown of a polished region.
+
+    A discrete region decomposes into its maximal same-label connected
+    blocks — exactly the super-vertices Algorithm 1 would construct on the
+    polished vertex set — listed in the same BFS-from-an-endpoint order as
+    :func:`_bfs_component_order`, so Table-2-style rendering keeps its
+    region-bridge-region shape.  Continuous regions have no canonical
+    decomposition (Algorithm 2 blocks are edge-order-dependent), so they
+    report a single component covering the whole set.
+    """
+    if not isinstance(labeling, DiscreteLabeling):
+        return (
+            SubgraphComponent(
+                size=len(vertices), label=None, chi_square=chi_square
+            ),
+        )
+
+    # Maximal same-label connected blocks of the induced subgraph.
+    block_index: dict[Hashable, int] = {}
+    blocks: list[tuple[int, list[Hashable]]] = []
+    for start in sorted(vertices):
+        if start in block_index:
+            continue
+        label = labeling.label_of(start)
+        index = len(blocks)
+        members: list[Hashable] = [start]
+        block_index[start] = index
+        queue: deque[Hashable] = deque([start])
+        while queue:
+            u = queue.popleft()
+            for w in working.neighbors(u):
+                if (
+                    w in vertices
+                    and w not in block_index
+                    and labeling.label_of(w) == label
+                ):
+                    block_index[w] = index
+                    members.append(w)
+                    queue.append(w)
+        blocks.append((label, members))
+
+    # Block-level adjacency, then the BFS-from-minimum-degree ordering the
+    # super-graph path uses.
+    adjacency: list[set[int]] = [set() for _ in blocks]
+    for u in vertices:
+        i = block_index[u]
+        for w in working.neighbors(u):
+            j = block_index.get(w)
+            if j is not None and j != i:
+                adjacency[i].add(j)
+    start_block = min(
+        range(len(blocks)), key=lambda i: (len(adjacency[i]), i)
+    )
+    ordered: list[int] = []
+    seen = {start_block}
+    queue_b: deque[int] = deque([start_block])
+    while queue_b:
+        i = queue_b.popleft()
+        ordered.append(i)
+        for j in sorted(adjacency[i]):
+            if j not in seen:
+                seen.add(j)
+                queue_b.append(j)
+    ordered.extend(i for i in range(len(blocks)) if i not in seen)
+
+    return tuple(
+        SubgraphComponent(
+            size=len(blocks[i][1]),
+            label=labeling.symbols[blocks[i][0]],
+            chi_square=labeling.chi_square(blocks[i][1]),
+        )
+        for i in ordered
     )
 
 

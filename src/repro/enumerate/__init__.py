@@ -12,6 +12,13 @@ from repro.enumerate.accumulators import (
     DiscreteAccumulator,
 )
 from repro.enumerate.bitset import BitsetGraph, iter_bits, mask_of, popcount
+from repro.enumerate.bounds import (
+    BoundedAccumulator,
+    budget_limited_size,
+    continuous_upper_bound,
+    discrete_upper_bound,
+    supports_bounds,
+)
 from repro.enumerate.connected import (
     DEFAULT_LIMIT,
     connected_subgraph_masks,
@@ -20,6 +27,7 @@ from repro.enumerate.connected import (
     reference_connected_subsets,
 )
 from repro.enumerate.search import (
+    PRUNE_MODES,
     SearchOutcome,
     exhaustive_best_mask,
     exhaustive_best_subset,
@@ -27,13 +35,18 @@ from repro.enumerate.search import (
 
 __all__ = [
     "BitsetGraph",
+    "BoundedAccumulator",
     "ChiSquareAccumulator",
     "ContinuousAccumulator",
     "DEFAULT_LIMIT",
     "DiscreteAccumulator",
+    "PRUNE_MODES",
     "SearchOutcome",
+    "budget_limited_size",
     "connected_subgraph_masks",
+    "continuous_upper_bound",
     "count_connected_subgraphs",
+    "discrete_upper_bound",
     "enumerate_connected_subsets",
     "exhaustive_best_mask",
     "exhaustive_best_subset",
@@ -41,4 +54,5 @@ __all__ = [
     "mask_of",
     "popcount",
     "reference_connected_subsets",
+    "supports_bounds",
 ]

@@ -16,6 +16,11 @@ from collections.abc import Sequence
 from typing import Protocol
 
 from repro.exceptions import LabelingError
+from repro.enumerate.bounds import (
+    budget_limited_size,
+    continuous_upper_bound,
+    discrete_upper_bound,
+)
 from repro.stats.chi_square import validate_probabilities
 
 __all__ = [
@@ -37,6 +42,12 @@ class ChiSquareAccumulator(Protocol):
     def chi_square(self) -> float:
         """The statistic of the current set (0.0 when empty)."""
 
+    def upper_bound(self, candidate_mask: int, remaining_budget: int | None) -> float:
+        """Admissible bound on the statistic of any superset reachable by
+        adding vertices from ``candidate_mask`` (at most ``remaining_budget``
+        of them; ``None`` = unlimited).  Required for ``prune="bounds"``;
+        see :mod:`repro.enumerate.bounds`."""
+
 
 class DiscreteAccumulator:
     """Incremental Eq. 2 chi-square over discrete count-vector payloads.
@@ -51,7 +62,9 @@ class DiscreteAccumulator:
         vertex, arbitrary non-negative counts for a super-vertex.
     """
 
-    __slots__ = ("_probs", "_payloads", "_counts", "_size", "_weighted")
+    __slots__ = (
+        "_probs", "_payloads", "_payload_sizes", "_counts", "_size", "_weighted"
+    )
 
     def __init__(
         self,
@@ -71,6 +84,7 @@ class DiscreteAccumulator:
                 raise LabelingError(f"payload {i} has negative counts")
             checked.append(tup)
         self._payloads = checked
+        self._payload_sizes = tuple(sum(p) for p in checked)
         self._counts = [0] * l
         self._size = 0
         self._weighted = 0.0
@@ -105,6 +119,35 @@ class DiscreteAccumulator:
             return 0.0
         return self._weighted / self._size - self._size
 
+    def upper_bound(self, candidate_mask: int, remaining_budget: int | None) -> float:
+        """Admissible Eq. 2 bound over supersets within ``candidate_mask``.
+
+        Spends the remaining size budget on the best still-reachable label
+        (chord relaxation of the convex per-label gain); see
+        :func:`repro.enumerate.bounds.discrete_upper_bound`.
+        """
+        if candidate_mask == 0:
+            return self.chi_square()
+        candidate_counts = [0] * len(self._probs)
+        sizes: list[int] = []
+        mask = candidate_mask
+        while mask:
+            low = mask & -mask
+            index = low.bit_length() - 1
+            mask ^= low
+            sizes.append(self._payload_sizes[index])
+            for label, c in enumerate(self._payloads[index]):
+                if c:
+                    candidate_counts[label] += c
+        return discrete_upper_bound(
+            self._weighted,
+            self._size,
+            self._probs,
+            self._counts,
+            candidate_counts,
+            budget_limited_size(sizes, remaining_budget),
+        )
+
     @property
     def size(self) -> int:
         """Total original-vertex count of the current set."""
@@ -125,7 +168,7 @@ class ContinuousAccumulator:
     :class:`repro.stats.zscore.RegionScore`).
     """
 
-    __slots__ = ("_payloads", "_sums", "_size", "_dims")
+    __slots__ = ("_payloads", "_abs_payloads", "_sums", "_size", "_dims")
 
     def __init__(
         self, payloads: Sequence[tuple[Sequence[float], int]]
@@ -146,6 +189,9 @@ class ContinuousAccumulator:
                 raise LabelingError(f"payload {i} has non-positive size {size}")
             checked.append((tup, int(size)))
         self._payloads = checked
+        self._abs_payloads = tuple(
+            tuple(abs(s) for s in sums) for sums, _ in checked
+        )
         self._sums = [0.0] * dims
         self._size = 0
         self._dims = dims
@@ -172,6 +218,28 @@ class ContinuousAccumulator:
         if self._size == 0:
             return 0.0
         return math.fsum(s * s for s in self._sums) / self._size
+
+    def upper_bound(self, candidate_mask: int, remaining_budget: int | None) -> float:
+        """Admissible Eq. 8 bound over supersets within ``candidate_mask``.
+
+        Bounds each ``|R_j|`` by adding every candidate ``|z_j|`` while the
+        denominator stays at the current size (super-vertex budgets below
+        the candidate count only loosen this further, so they are ignored);
+        see :func:`repro.enumerate.bounds.continuous_upper_bound`.
+        """
+        if candidate_mask == 0 or (
+            remaining_budget is not None and remaining_budget <= 0
+        ):
+            return self.chi_square()
+        frontier = [0.0] * self._dims
+        mask = candidate_mask
+        while mask:
+            low = mask & -mask
+            index = low.bit_length() - 1
+            mask ^= low
+            for j, s in enumerate(self._abs_payloads[index]):
+                frontier[j] += s
+        return continuous_upper_bound(self._sums, frontier, self._size)
 
     @property
     def size(self) -> int:

@@ -6,6 +6,14 @@ sets pushes/pops vertices through an incremental accumulator and keeps only
 the best set seen.  It runs on anything exposing bitmask adjacency, so the
 solver uses it both directly on (small) input graphs and on reduced
 super-graphs whose vertices carry merged payloads.
+
+``prune="bounds"`` turns the walk into a branch-and-bound: the incumbent is
+seeded with the best single vertex, and any branch whose admissible upper
+bound (see :mod:`repro.enumerate.bounds`) cannot beat the incumbent is cut.
+Because the bound is admissible and pruning is strict (``bound <
+incumbent``), every optimal state survives and is visited in the same
+relative order as ``prune="none"``, so both modes return the identical
+winning mask and statistic — ``prune="bounds"`` just visits fewer states.
 """
 
 from __future__ import annotations
@@ -16,10 +24,19 @@ from collections.abc import Hashable, Sequence
 from repro.exceptions import EnumerationLimitError
 from repro.enumerate.accumulators import ChiSquareAccumulator
 from repro.enumerate.bitset import BitsetGraph, iter_bits
+from repro.enumerate.bounds import supports_bounds
 from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
 
-__all__ = ["SearchOutcome", "exhaustive_best_mask", "exhaustive_best_subset"]
+__all__ = [
+    "PRUNE_MODES",
+    "SearchOutcome",
+    "exhaustive_best_mask",
+    "exhaustive_best_subset",
+]
+
+PRUNE_MODES = ("none", "bounds")
+"""Valid values of the ``prune`` search argument."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -35,18 +52,32 @@ class SearchOutcome:
     explored:
         Number of connected sets evaluated — the paper's exponential cost,
         reported so benchmarks can show what the reduction saves.
-    pruned:
-        DFS branches abandoned because the size cap was reached or the
-        extension frontier emptied.
+    pruned_size_cap:
+        DFS branches abandoned because the ``max_size`` cap was reached.
+    frontier_exhausted:
+        DFS leaves reached naturally (the extension frontier emptied).
     evaluated:
         Chi-square computations performed (sets meeting ``min_size``).
+    bound_cuts:
+        Branches cut because their admissible upper bound could not beat
+        the incumbent (``prune="bounds"`` only).
+    bound_evaluations:
+        Upper-bound computations performed (``prune="bounds"`` only).
     """
 
     mask: int
     chi_square: float
     explored: int
-    pruned: int = 0
+    pruned_size_cap: int = 0
+    frontier_exhausted: int = 0
     evaluated: int = 0
+    bound_cuts: int = 0
+    bound_evaluations: int = 0
+
+    @property
+    def pruned(self) -> int:
+        """Back-compat aggregate: size-cap prunes plus exhausted frontiers."""
+        return self.pruned_size_cap + self.frontier_exhausted
 
 
 def exhaustive_best_mask(
@@ -56,6 +87,7 @@ def exhaustive_best_mask(
     min_size: int = 1,
     max_size: int | None = None,
     limit: int | None = None,
+    prune: str = "none",
 ) -> SearchOutcome:
     """Find the connected vertex set with the maximum accumulator statistic.
 
@@ -63,18 +95,50 @@ def exhaustive_best_mask(
     order).  ``min_size``/``max_size`` bound the *vertex count of the set in
     this graph* (i.e. super-vertices count as one).  ``limit`` bounds the
     number of evaluated sets, raising :class:`EnumerationLimitError` beyond.
+    ``prune="bounds"`` enables admissible branch-and-bound cutting (the
+    accumulator must implement ``upper_bound``); the optimum — including
+    tie-breaks — is provably identical to ``prune="none"``.
     """
     n = len(adjacency)
     if min_size < 1:
         raise ValueError(f"min_size must be >= 1, got {min_size}")
     if max_size is not None and max_size < min_size:
         raise ValueError(f"max_size ({max_size}) must be >= min_size ({min_size})")
+    if prune not in PRUNE_MODES:
+        raise ValueError(f"prune must be one of {PRUNE_MODES}, got {prune!r}")
+    if prune == "bounds" and not supports_bounds(accumulator):
+        raise TypeError(
+            f"{type(accumulator).__name__} does not implement upper_bound(); "
+            "prune='bounds' needs a bound-capable accumulator "
+            "(see repro.enumerate.bounds)"
+        )
     size_cap = n if max_size is None else min(max_size, n)
+    if prune == "bounds":
+        return _search_bounded(
+            adjacency, accumulator,
+            min_size=min_size, size_cap=size_cap, limit=limit,
+        )
+    return _search_unbounded(
+        adjacency, accumulator,
+        min_size=min_size, size_cap=size_cap, limit=limit,
+    )
 
+
+def _search_unbounded(
+    adjacency: Sequence[int],
+    accumulator: ChiSquareAccumulator,
+    *,
+    min_size: int,
+    size_cap: int,
+    limit: int | None,
+) -> SearchOutcome:
+    """The plain exhaustive walk (``prune="none"``)."""
+    n = len(adjacency)
     best_mask = 0
     best_value = float("-inf")
     explored = 0
-    pruned = 0
+    pruned_size_cap = 0
+    frontier_exhausted = 0
     evaluated = 0
     best_updates = 0
 
@@ -118,8 +182,11 @@ def exhaustive_best_mask(
                     accumulator.pop(frame[1])
                     continue
                 subset, size, ext, fb = frame
-                if size >= size_cap or not ext:
-                    pruned += 1
+                if size >= size_cap:
+                    pruned_size_cap += 1
+                    continue
+                if not ext:
+                    frontier_exhausted += 1
                     continue
                 u_bit = ext & -ext
                 u = u_bit.bit_length() - 1
@@ -138,19 +205,172 @@ def exhaustive_best_mask(
         if _TELEMETRY.enabled:
             metrics = _TELEMETRY.metrics
             metrics.count(_metric.SEARCH_STATES_VISITED, explored)
-            metrics.count(_metric.SEARCH_STATES_PRUNED, pruned)
+            metrics.count(
+                _metric.SEARCH_STATES_PRUNED,
+                pruned_size_cap + frontier_exhausted,
+            )
+            metrics.count(_metric.SEARCH_PRUNED_SIZE_CAP, pruned_size_cap)
+            metrics.count(_metric.SEARCH_FRONTIER_EXHAUSTED, frontier_exhausted)
             metrics.count(_metric.SEARCH_CHI_SQUARE_EVALUATIONS, evaluated)
             metrics.count(_metric.SEARCH_BEST_UPDATES, best_updates)
             metrics.observe(_metric.SEARCH_STATES_PER_CALL, explored)
 
     if best_mask == 0:
-        return SearchOutcome(
-            mask=0, chi_square=0.0, explored=explored,
-            pruned=pruned, evaluated=evaluated,
-        )
+        best_value = 0.0
     return SearchOutcome(
         mask=best_mask, chi_square=best_value, explored=explored,
-        pruned=pruned, evaluated=evaluated,
+        pruned_size_cap=pruned_size_cap, frontier_exhausted=frontier_exhausted,
+        evaluated=evaluated,
+    )
+
+
+def _reachable_closure(
+    adjacency: Sequence[int], frontier: int, blocked: int
+) -> int:
+    """Every vertex reachable from ``frontier`` without entering ``blocked``."""
+    visited = frontier
+    while frontier:
+        reach = 0
+        for i in iter_bits(frontier):
+            reach |= adjacency[i]
+        frontier = reach & ~blocked & ~visited
+        visited |= frontier
+    return visited
+
+
+def _search_bounded(
+    adjacency: Sequence[int],
+    accumulator: ChiSquareAccumulator,
+    *,
+    min_size: int,
+    size_cap: int,
+    limit: int | None,
+) -> SearchOutcome:
+    """Branch-and-bound walk (``prune="bounds"``).
+
+    Identical state ordering to :func:`_search_unbounded` — pruning only
+    removes whole subtrees, never reorders the survivors — plus two cuts at
+    every expansion frame:
+
+    1. *reachability*: if the connected closure of the frontier cannot grow
+       the set to ``min_size``, nothing below is evaluable;
+    2. *bound*: if the accumulator's admissible upper bound over that
+       closure is strictly below the incumbent, nothing below can win.
+
+    The incumbent threshold is seeded with the best single-vertex statistic
+    (a valid solution whenever ``min_size <= 1``) so bounds bite before the
+    first root subtree is explored.
+    """
+    n = len(adjacency)
+    best_mask = 0
+    best_value = float("-inf")
+    explored = 0
+    pruned_size_cap = 0
+    frontier_exhausted = 0
+    evaluated = 0
+    best_updates = 0
+    bound_cuts = 0
+    bound_evaluations = 0
+
+    # Best-first incumbent seeding: singles are evaluable results when
+    # min_size <= 1, so their maximum is a sound pruning threshold from the
+    # start.  (With min_size > 1 a single's statistic may exceed every
+    # eligible set's, which would prune the true optimum — skip seeding.)
+    seed_value = float("-inf")
+    if min_size <= 1:
+        for v in range(n):
+            accumulator.push(v)
+            value = accumulator.chi_square()
+            accumulator.pop(v)
+            if value > seed_value:
+                seed_value = value
+
+    def consider(mask: int, size: int) -> None:
+        nonlocal best_mask, best_value, explored, evaluated, best_updates
+        explored += 1
+        if limit is not None and explored > limit:
+            raise EnumerationLimitError(limit)
+        if size >= min_size:
+            evaluated += 1
+            value = accumulator.chi_square()
+            if value > best_value:
+                best_value = value
+                best_mask = mask
+                best_updates += 1
+
+    POP = -1
+    try:
+        for root in range(n):
+            root_bit = 1 << root
+            accumulator.push(root)
+            consider(root_bit, 1)
+            stack: list[tuple[int, ...]] = [
+                (
+                    root_bit,
+                    1,
+                    adjacency[root] & ~(root_bit - 1) & ~root_bit,
+                    root_bit - 1,
+                )
+            ]
+            while stack:
+                frame = stack.pop()
+                if frame[0] == POP:
+                    accumulator.pop(frame[1])
+                    continue
+                subset, size, ext, fb = frame
+                if size >= size_cap:
+                    pruned_size_cap += 1
+                    continue
+                if not ext:
+                    frontier_exhausted += 1
+                    continue
+                candidates = _reachable_closure(adjacency, ext, subset | fb)
+                if size + candidates.bit_count() < min_size:
+                    bound_cuts += 1
+                    continue
+                threshold = best_value if best_value > seed_value else seed_value
+                if threshold > float("-inf"):
+                    bound_evaluations += 1
+                    bound = accumulator.upper_bound(candidates, size_cap - size)
+                    # Strict: an exactly-tying subtree must survive so the
+                    # first-found tie-break matches prune="none".
+                    if bound < threshold:
+                        bound_cuts += 1
+                        continue
+                u_bit = ext & -ext
+                u = u_bit.bit_length() - 1
+                rest = ext ^ u_bit
+                stack.append((subset, size, rest, fb | u_bit))
+                child_subset = subset | u_bit
+                child_ext = rest | (adjacency[u] & ~(child_subset | fb | rest))
+                accumulator.push(u)
+                consider(child_subset, size + 1)
+                stack.append((POP, u))
+                stack.append((child_subset, size + 1, child_ext, fb))
+            accumulator.pop(root)
+    finally:
+        if _TELEMETRY.enabled:
+            metrics = _TELEMETRY.metrics
+            metrics.count(_metric.SEARCH_STATES_VISITED, explored)
+            metrics.count(
+                _metric.SEARCH_STATES_PRUNED,
+                pruned_size_cap + frontier_exhausted,
+            )
+            metrics.count(_metric.SEARCH_PRUNED_SIZE_CAP, pruned_size_cap)
+            metrics.count(_metric.SEARCH_FRONTIER_EXHAUSTED, frontier_exhausted)
+            metrics.count(_metric.SEARCH_CHI_SQUARE_EVALUATIONS, evaluated)
+            metrics.count(_metric.SEARCH_BEST_UPDATES, best_updates)
+            metrics.count(_metric.SEARCH_BOUND_CUTS, bound_cuts)
+            metrics.count(_metric.SEARCH_BOUND_EVALUATIONS, bound_evaluations)
+            metrics.observe(_metric.SEARCH_STATES_PER_CALL, explored)
+
+    if best_mask == 0:
+        best_value = 0.0
+    return SearchOutcome(
+        mask=best_mask, chi_square=best_value, explored=explored,
+        pruned_size_cap=pruned_size_cap, frontier_exhausted=frontier_exhausted,
+        evaluated=evaluated,
+        bound_cuts=bound_cuts, bound_evaluations=bound_evaluations,
     )
 
 
@@ -161,6 +381,7 @@ def exhaustive_best_subset(
     min_size: int = 1,
     max_size: int | None = None,
     limit: int | None = None,
+    prune: str = "none",
 ) -> tuple[frozenset[Hashable], float, int]:
     """Convenience wrapper returning original vertex objects.
 
@@ -173,6 +394,7 @@ def exhaustive_best_subset(
         min_size=min_size,
         max_size=max_size,
         limit=limit,
+        prune=prune,
     )
     return bitset.vertex_set(outcome.mask), outcome.chi_square, outcome.explored
 

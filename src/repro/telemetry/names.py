@@ -25,7 +25,11 @@ __all__ = [
     "REDUCE_VERTICES_AFTER",
     "REDUCE_VERTICES_BEFORE",
     "SEARCH_BEST_UPDATES",
+    "SEARCH_BOUND_CUTS",
+    "SEARCH_BOUND_EVALUATIONS",
     "SEARCH_CHI_SQUARE_EVALUATIONS",
+    "SEARCH_FRONTIER_EXHAUSTED",
+    "SEARCH_PRUNED_SIZE_CAP",
     "SEARCH_STATES_PER_CALL",
     "SEARCH_STATES_PRUNED",
     "SEARCH_STATES_VISITED",
@@ -73,7 +77,21 @@ SEARCH_STATES_VISITED = "search.states_visited"
 """Counter: connected sets evaluated by the exhaustive search."""
 
 SEARCH_STATES_PRUNED = "search.states_pruned"
-"""Counter: DFS branches cut by the size cap or an empty frontier."""
+"""Counter: DFS branches cut by the size cap or an empty frontier
+(back-compat sum of ``search.pruned_size_cap`` and
+``search.frontier_exhausted``)."""
+
+SEARCH_PRUNED_SIZE_CAP = "search.pruned_size_cap"
+"""Counter: DFS branches abandoned because the ``max_size`` cap was hit."""
+
+SEARCH_FRONTIER_EXHAUSTED = "search.frontier_exhausted"
+"""Counter: DFS leaves reached naturally (extension frontier emptied)."""
+
+SEARCH_BOUND_CUTS = "search.bound_cuts"
+"""Counter: branches cut by branch-and-bound (``prune="bounds"`` only)."""
+
+SEARCH_BOUND_EVALUATIONS = "search.bound_evaluations"
+"""Counter: admissible upper-bound computations (``prune="bounds"`` only)."""
 
 SEARCH_CHI_SQUARE_EVALUATIONS = "search.chi_square_evaluations"
 """Counter: chi-square statistic computations (sets meeting min_size)."""

@@ -114,3 +114,104 @@ class TestComponentsOrdering:
         if len(best.components) == 3:
             sizes = best.component_sizes
             assert sizes[1] == 3  # the middle segment sits in the middle
+
+
+class TestMinSizeFloorEscalation:
+    """The retry loop in ``_search_supergraph`` that raises the super-vertex
+    floor until the winner carries enough original vertices."""
+
+    def test_naive_path_escalates_to_floor(self, small_labeled):
+        graph, labeling = small_labeled
+        # Unconstrained, the rare-label triangle {0,1,2} wins (3 vertices);
+        # min_size=5 forces the singleton super-graph search to retry with
+        # ever-higher super-vertex floors until the region is big enough.
+        result = mine(graph, labeling, method="naive", min_size=5)
+        assert result.best.size >= 5
+        unconstrained = mine(graph, labeling, method="naive")
+        assert unconstrained.best.size == 3
+        assert result.best.chi_square <= unconstrained.best.chi_square
+
+    def test_supergraph_path_escalates_with_merged_vertices(self, small_labeled):
+        graph, labeling = small_labeled
+        # Construction merges the triangle into one size-3 super-vertex, so
+        # min_size=4 rejects the one-super-vertex winner and the retry must
+        # pull in neighbours.
+        result = mine(graph, labeling, method="supergraph", min_size=4)
+        assert result.best.size >= 4
+        assert frozenset({0, 1, 2}) <= result.best.vertices
+
+    def test_unreachable_floor_yields_no_subgraphs(self, small_labeled):
+        graph, labeling = small_labeled
+        result = mine(graph, labeling, min_size=len(list(graph.vertices())) + 1)
+        assert len(result) == 0
+
+    @pytest.mark.parametrize("method", ["naive", "supergraph"])
+    def test_floor_respected_on_random_graphs(self, method):
+        g = gnp_random_graph(12, 0.35, seed=13)
+        lab = DiscreteLabeling.random(g, uniform_probabilities(3), seed=14)
+        for min_size in (1, 3, 6):
+            result = mine(g, lab, method=method, min_size=min_size)
+            if result.subgraphs:
+                assert result.best.size >= min_size
+
+
+class TestReportAccounting:
+    def test_naive_rounds_accumulate_construction_seconds(self, small_labeled):
+        # Regression: the naive branch used to time the singleton
+        # super-graph construction span but never add it to the report.
+        graph, labeling = small_labeled
+        result = mine(graph, labeling, method="naive")
+        assert result.report.construction_seconds > 0.0
+
+    def test_naive_top_t_keeps_accumulating(self, small_labeled):
+        graph, labeling = small_labeled
+        one = mine(graph, labeling, method="naive", top_t=1)
+        two = mine(graph, labeling, method="naive", top_t=2)
+        assert two.report.construction_seconds > 0.0
+        assert two.report.rounds > one.report.rounds
+
+
+class TestPolishComponents:
+    def test_polished_discrete_region_reports_components(self, small_labeled):
+        # Regression: _polish used to return components=() so a polished
+        # region lost its Table-2 breakdown.
+        graph, labeling = small_labeled
+        result = mine(graph, labeling, polish=True)
+        best = result.best
+        assert best.components
+        assert sum(c.size for c in best.components) == best.size
+        for component in best.components:
+            assert component.label in labeling.symbols
+
+    def test_polished_continuous_region_reports_components(self):
+        g = gnp_random_graph(15, 0.3, seed=21)
+        lab = ContinuousLabeling.random(g, 1, seed=22)
+        result = mine(g, lab, polish=True)
+        best = result.best
+        assert len(best.components) == 1
+        assert best.components[0].size == best.size
+        assert best.components[0].label is None
+        assert best.components[0].chi_square == pytest.approx(best.chi_square)
+
+
+@pytest.mark.bounds
+class TestMinePruneModes:
+    @pytest.mark.parametrize("method", ["naive", "supergraph"])
+    def test_bounds_equivalent_at_mine_level(self, method):
+        g = gnp_random_graph(14, 0.3, seed=31)
+        lab = DiscreteLabeling.random(g, (0.5, 0.25, 0.25), seed=32)
+        plain = mine(g, lab, method=method, prune="none")
+        bounded = mine(g, lab, method=method, prune="bounds")
+        assert bounded.best.vertices == plain.best.vertices
+        assert bounded.best.chi_square == pytest.approx(plain.best.chi_square)
+        assert (
+            bounded.report.explored_subgraphs
+            <= plain.report.explored_subgraphs
+        )
+
+    def test_invalid_prune_rejected(self, small_labeled):
+        graph, labeling = small_labeled
+        from repro.exceptions import GraphError
+
+        with pytest.raises(GraphError, match="prune"):
+            mine(graph, labeling, prune="sometimes")

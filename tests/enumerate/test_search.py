@@ -146,3 +146,111 @@ class TestDeepGraphs:
         # The accumulator must end exactly where it started: empty.
         assert acc.chi_square() == 0.0
         assert acc.size == 0
+
+
+class _UnboundedAccumulator:
+    """Minimal accumulator with no ``upper_bound`` — valid for prune="none"."""
+
+    def __init__(self):
+        self._n = 0
+
+    def push(self, index):
+        self._n += 1
+
+    def pop(self, index):
+        self._n -= 1
+
+    def chi_square(self):
+        return float(self._n)
+
+
+@pytest.mark.bounds
+class TestPruneModes:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bounds_matches_brute_force(self, seed):
+        g = gnp_random_graph(10, 0.35, seed=seed)
+        lab = DiscreteLabeling.random(g, (0.5, 0.25, 0.25), seed=seed + 50)
+        bitset, acc = discrete_accumulator_for(g, lab)
+        outcome = exhaustive_best_mask(bitset.adjacency, acc, prune="bounds")
+        _, oracle_value = brute_force_best_discrete(g, lab)
+        assert outcome.chi_square == pytest.approx(oracle_value)
+        assert lab.chi_square(bitset.vertex_set(outcome.mask)) == pytest.approx(
+            oracle_value
+        )
+
+    def test_invalid_prune_mode(self, small_labeled):
+        graph, labeling = small_labeled
+        bitset, acc = discrete_accumulator_for(graph, labeling)
+        with pytest.raises(ValueError, match="prune"):
+            exhaustive_best_mask(bitset.adjacency, acc, prune="aggressive")
+
+    def test_unbounded_accumulator_rejected(self, triangle):
+        bitset = BitsetGraph(triangle)
+        acc = _UnboundedAccumulator()
+        # Fine without bounds...
+        outcome = exhaustive_best_mask(bitset.adjacency, acc, prune="none")
+        assert outcome.explored == 7
+        # ...but prune="bounds" needs upper_bound().
+        with pytest.raises(TypeError, match="upper_bound"):
+            exhaustive_best_mask(bitset.adjacency, acc, prune="bounds")
+
+    def test_split_prune_counters(self, small_labeled):
+        graph, labeling = small_labeled
+        bitset, acc = discrete_accumulator_for(graph, labeling)
+        outcome = exhaustive_best_mask(bitset.adjacency, acc, max_size=2)
+        assert outcome.pruned == (
+            outcome.pruned_size_cap + outcome.frontier_exhausted
+        )
+        # With a cap of 2 on a connected 6-vertex graph both kinds occur.
+        assert outcome.pruned_size_cap > 0
+        assert outcome.frontier_exhausted > 0
+
+    def test_bound_counters_zero_without_pruning(self, small_labeled):
+        graph, labeling = small_labeled
+        bitset, acc = discrete_accumulator_for(graph, labeling)
+        outcome = exhaustive_best_mask(bitset.adjacency, acc, prune="none")
+        assert outcome.bound_cuts == 0
+        assert outcome.bound_evaluations == 0
+
+    def test_bounds_mode_counts_work(self, small_labeled):
+        graph, labeling = small_labeled
+        bitset, acc = discrete_accumulator_for(graph, labeling)
+        plain = exhaustive_best_mask(bitset.adjacency, acc, prune="none")
+        bounded = exhaustive_best_mask(bitset.adjacency, acc, prune="bounds")
+        assert bounded.mask == plain.mask
+        assert bounded.bound_evaluations > 0
+        assert bounded.explored <= plain.explored
+
+    def test_bounds_with_min_size_floor(self, small_labeled):
+        # min_size > 1 disables the single-vertex incumbent seeding; the
+        # result must still match the unpruned search exactly.
+        graph, labeling = small_labeled
+        bitset, acc = discrete_accumulator_for(graph, labeling)
+        plain = exhaustive_best_mask(bitset.adjacency, acc, min_size=4)
+        bounded = exhaustive_best_mask(
+            bitset.adjacency, acc, min_size=4, prune="bounds"
+        )
+        assert bounded.mask == plain.mask
+        assert bounded.chi_square == plain.chi_square
+        assert bin(bounded.mask).count("1") >= 4
+
+    def test_limit_enforced_in_bounds_mode(self):
+        g = Graph.complete(12)
+        lab = DiscreteLabeling.random(g, (0.5, 0.5), seed=1)
+        bitset, acc = discrete_accumulator_for(g, lab)
+        with pytest.raises(EnumerationLimitError):
+            exhaustive_best_mask(bitset.adjacency, acc, limit=50, prune="bounds")
+
+    def test_accumulator_reusable_across_modes(self):
+        # Satellite: a completed search leaves the accumulator empty, so
+        # the same instance can serve repeated searches in either mode.
+        g = gnp_random_graph(12, 0.4, seed=91)
+        lab = DiscreteLabeling.random(g, (0.5, 0.25, 0.25), seed=92)
+        bitset, acc = discrete_accumulator_for(g, lab)
+        first = exhaustive_best_mask(bitset.adjacency, acc, prune="bounds")
+        assert acc.size == 0 and acc.chi_square() == 0.0
+        second = exhaustive_best_mask(bitset.adjacency, acc, prune="none")
+        third = exhaustive_best_mask(bitset.adjacency, acc, prune="bounds")
+        assert first.mask == second.mask == third.mask
+        assert first.chi_square == third.chi_square
+        assert acc.size == 0 and acc.chi_square() == 0.0

@@ -162,3 +162,63 @@ class TestTraceExportAndSummary:
         text = render_summary(path)
         assert "solver.construct" in text
         assert "search.states_visited" in text
+
+
+class TestSearchSpanAccounting:
+    def _search_spans(self, tracer):
+        root = tracer.root_spans()[0]
+        return [
+            stage
+            for round_span in tracer.children_of(root)
+            for stage in tracer.children_of(round_span)
+            if stage.name == "solver.search"
+        ]
+
+    def test_explored_attr_is_per_round_delta(self, small_labeled):
+        # Regression: the span used to record the running total, so round 2
+        # re-reported round 1's work.  The per-round attrs must sum to the
+        # report's cumulative count.
+        graph, labeling = small_labeled
+        with telemetry_session() as (tracer, _):
+            result = mine(graph, labeling, top_t=2)
+        spans = self._search_spans(tracer)
+        assert len(spans) >= 2
+        per_round = [s.attributes["explored"] for s in spans]
+        assert all(e >= 0 for e in per_round)
+        assert sum(per_round) == result.report.explored_subgraphs
+        # With the old cumulative bug the later spans would each carry the
+        # full total, making the sum strictly larger.
+        assert per_round[0] > 0
+
+    def test_search_span_records_prune_mode(self, small_labeled):
+        graph, labeling = small_labeled
+        with telemetry_session() as (tracer, _):
+            mine(graph, labeling, prune="bounds")
+        spans = self._search_spans(tracer)
+        assert spans and all(
+            s.attributes["prune"] == "bounds" for s in spans
+        )
+
+    @pytest.mark.bounds
+    def test_bound_metrics_emitted(self, small_labeled):
+        graph, labeling = small_labeled
+        with telemetry_session() as (_, metrics):
+            mine(graph, labeling, prune="bounds")
+        snap = metrics.snapshot()
+        assert snap[metric.SEARCH_BOUND_EVALUATIONS] > 0
+        assert metric.SEARCH_BOUND_CUTS in snap
+        assert snap[metric.SEARCH_STATES_PRUNED] == (
+            snap[metric.SEARCH_PRUNED_SIZE_CAP]
+            + snap[metric.SEARCH_FRONTIER_EXHAUSTED]
+        )
+
+    def test_split_prune_metrics_in_none_mode(self, small_labeled):
+        graph, labeling = small_labeled
+        with telemetry_session() as (_, metrics):
+            mine(graph, labeling)
+        snap = metrics.snapshot()
+        assert metric.SEARCH_BOUND_EVALUATIONS not in snap
+        assert snap[metric.SEARCH_STATES_PRUNED] == (
+            snap[metric.SEARCH_PRUNED_SIZE_CAP]
+            + snap[metric.SEARCH_FRONTIER_EXHAUSTED]
+        )

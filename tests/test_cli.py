@@ -65,6 +65,26 @@ class TestMine:
         payload = json.loads(capsys.readouterr().out)
         assert set(payload["subgraphs"][0]["vertices"]) == {"0", "1", "2"}
 
+    def test_mine_prune_bounds_flag(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main(
+            ["mine", graph_path, labels_path, "--prune", "bounds", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["prune"] == "bounds"
+        assert set(payload["subgraphs"][0]["vertices"]) == {"0", "1", "2"}
+
+    def test_mine_prune_default_is_none(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main(["mine", graph_path, labels_path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["report"]["prune"] == "none"
+
+    def test_mine_prune_rejects_unknown_mode(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        with pytest.raises(SystemExit):
+            main(["mine", graph_path, labels_path, "--prune", "psychic"])
+
     def test_continuous_labels(self, tmp_path, capsys):
         graph = Graph.path(4)
         graph_path = tmp_path / "g.txt"
@@ -160,6 +180,23 @@ class TestTraceSummarize:
             if "|" in line and "." in line.split("|")[0]
         }
         assert len(metric_names) >= 6, sorted(metric_names)
+
+    def test_summarize_shows_bound_metrics(
+        self, instance_files, tmp_path, capsys
+    ):
+        graph_path, labels_path = instance_files
+        trace_path = tmp_path / "trace.jsonl"
+        assert main([
+            "mine", graph_path, labels_path,
+            "--prune", "bounds", "--trace", str(trace_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(trace_path)]) == 0
+        out = capsys.readouterr().out
+        assert "search.bound_evaluations" in out
+        assert "search.bound_cuts" in out
+        assert "search.pruned_size_cap" in out
+        assert "search.frontier_exhausted" in out
 
     def test_summarize_missing_file_fails_cleanly(self, tmp_path, capsys):
         missing = tmp_path / "nope.jsonl"
