@@ -1,0 +1,100 @@
+"""Service cache benchmark: warm vs cold ``POST /mine`` latency.
+
+Repeated queries over the same graph (the service's intended workload —
+many search-parameter variations against one instance) should pay the
+construct + reduce cost once.  This benchmark stands up a real
+:class:`~repro.service.server.MiningService` over HTTP, posts a
+Figure-3-style Barabási-Albert instance until every warm request is a
+prefix-cache hit, and reports the cold/warm latency split next to the
+cache counters from ``GET /metricsz``.
+
+Carries the ``service`` marker like the rest of the process-spawning
+service tests.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+import urllib.request
+
+import pytest
+
+from repro.graph.generators import barabasi_albert_graph
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.service.server import MiningService
+
+from conftest import emit
+
+pytestmark = pytest.mark.service
+
+N = 600
+L = 5
+WARM_REQUESTS = 8
+
+
+def fig3_style_request() -> dict:
+    """A BA instance in the density regime of Figure 3 (m ~ (l/2) n ln n)."""
+    d = max(1, round(L / 2 * math.log(N) / 2))
+    graph = barabasi_albert_graph(N, d, seed=7)
+    labeling = DiscreteLabeling.random(
+        graph, uniform_probabilities(L), seed=8
+    )
+    return {
+        "graph": {"edges": [[u, v] for u, v in graph.edges()]},
+        "labels": {
+            "type": "discrete",
+            "probabilities": list(labeling.probabilities),
+            "assignment": {
+                str(v): labeling.label_of(v) for v in graph.vertices()
+            },
+        },
+        "params": {"n_theta": 15},
+    }
+
+
+def post_mine(base: str, doc: dict) -> float:
+    """POST /mine; returns the observed wall latency in seconds."""
+    request = urllib.request.Request(
+        base + "/mine", data=json.dumps(doc).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    started = time.perf_counter()
+    with urllib.request.urlopen(request, timeout=300) as response:
+        assert response.status == 200
+        json.loads(response.read())
+    return time.perf_counter() - started
+
+
+def measure() -> list[list]:
+    doc = fig3_style_request()
+    with MiningService(port=0, workers=1, cache_size=8) as service:
+        host, port = service.address
+        base = f"http://{host}:{port}"
+        cold = post_mine(base, doc)
+        warm = [post_mine(base, doc) for _ in range(WARM_REQUESTS)]
+        with urllib.request.urlopen(base + "/metricsz", timeout=30) as resp:
+            metrics = json.loads(resp.read())["metrics"]
+    warm_mean = sum(warm) / len(warm)
+    return [
+        ["cold", 1, round(cold, 4), metrics["service.cache.misses"]],
+        ["warm", len(warm), round(warm_mean, 4), metrics["service.cache.hits"]],
+        ["speedup", "", round(cold / warm_mean, 2), ""],
+    ]
+
+
+def test_service_cache_warm_vs_cold(benchmark, results_dir):
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    emit(
+        "service_cache_warm_vs_cold",
+        f"Service prefix cache: POST /mine latency, BA n={N} l={L}",
+        ["request", "count", "latency (s)", "cache counter"],
+        rows,
+    )
+    cold_row, warm_row, _ = rows
+    # One worker, identical requests: the first misses, the rest all hit.
+    assert cold_row[3] == 1
+    assert warm_row[3] == WARM_REQUESTS
+    # The warm path skips construct + reduce; it must not be slower.
+    assert warm_row[2] <= cold_row[2]

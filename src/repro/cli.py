@@ -7,6 +7,8 @@ Usage (see ``python -m repro --help``):
   top-t regions (or JSON with ``--json``);
 * ``python -m repro generate ...`` — write synthetic graphs/labelings for
   experimentation;
+* ``python -m repro serve`` — run the HTTP mining service (worker pool +
+  super-graph cache; see docs/service.md);
 * ``python -m repro trace summarize TRACE`` — per-stage breakdown of a
   telemetry trace written by ``mine --trace`` (see docs/observability.md).
 
@@ -111,6 +113,10 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             top_t=args.top,
             n_theta=args.n_theta,
             method=args.method,
+            edge_order=args.edge_order,
+            seed=args.seed,
+            search_limit=args.search_limit,
+            min_size=args.min_size,
             polish=args.polish,
             prune=args.prune,
         )
@@ -161,7 +167,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         if args.trace:
             payload["trace_file"] = args.trace
         print(json.dumps(payload, indent=2))
-        return 0
+        return 0 if result.subgraphs else 1
     if not result.subgraphs:
         print("no regions found (empty graph?)")
         return 1
@@ -193,6 +199,29 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                            title="Pipeline metrics"))
     if args.trace:
         print(f"-- trace written to {args.trace}")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.server import MiningService
+
+    service = MiningService(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        cache_size=args.cache_size,
+        queue_size=args.queue_size,
+        default_deadline=args.default_deadline,
+        max_request_bytes=int(args.max_request_mb * 1024 * 1024),
+    )
+    host, port = service.address
+    print(f"repro service on http://{host}:{port} "
+          f"({args.workers} workers, cache {args.cache_size}, "
+          f"queue {args.queue_size})")
+    # A server-lifetime telemetry session so /metricsz reports request
+    # counters/latencies alongside the pool statistics.
+    with telemetry_session():
+        service.serve_forever()
     return 0
 
 
@@ -326,6 +355,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--method", choices=("supergraph", "naive"), default="supergraph"
     )
     mine_cmd.add_argument(
+        "--edge-order", choices=("input", "shuffled", "by_chi_square"),
+        default="input",
+        help="edge processing order for continuous construction (Alg 2)",
+    )
+    mine_cmd.add_argument(
+        "--seed", type=int, default=None,
+        help="RNG seed for --edge-order shuffled",
+    )
+    mine_cmd.add_argument(
+        "--search-limit", type=int, default=None, metavar="N",
+        help="cap on connected sets explored per search (None = exhaustive)",
+    )
+    mine_cmd.add_argument(
+        "--min-size", type=int, default=1, metavar="K",
+        help="minimum vertices per reported region",
+    )
+    mine_cmd.add_argument(
         "--polish", action="store_true", help="LMCS post-pass"
     )
     mine_cmd.add_argument(
@@ -378,6 +424,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
     dataset.add_argument("--seed", type=int, default=None)
     dataset.set_defaults(func=_cmd_dataset)
+
+    serve = sub.add_parser(
+        "serve", help="run the HTTP mining service (see docs/service.md)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument(
+        "--workers", type=int, default=2, help="mining worker processes"
+    )
+    serve.add_argument(
+        "--cache-size", type=int, default=32,
+        help="super-graph prefix cache entries per worker",
+    )
+    serve.add_argument(
+        "--queue-size", type=int, default=64,
+        help="max jobs in flight before submissions get HTTP 503",
+    )
+    serve.add_argument(
+        "--default-deadline", type=float, default=None, metavar="SECONDS",
+        help="deadline applied to requests that do not set one",
+    )
+    serve.add_argument(
+        "--max-request-mb", type=float, default=8.0,
+        help="reject request bodies larger than this (HTTP 413)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     trace = sub.add_parser(
         "trace", help="inspect JSONL telemetry traces written by mine --trace"

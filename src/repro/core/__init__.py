@@ -37,7 +37,7 @@ from repro.core.result import (
     SignificantSubgraph,
     SubgraphComponent,
 )
-from repro.core.solver import DEFAULT_N_THETA, find_mscs, mine
+from repro.core.solver import DEFAULT_N_THETA, PrefixCache, find_mscs, mine
 from repro.core.supergraph import Payload, SuperGraph, SuperVertex
 
 __all__ = [
@@ -46,6 +46,7 @@ __all__ = [
     "Payload",
     "PermutationTestResult",
     "PipelineReport",
+    "PrefixCache",
     "SignificantSubgraph",
     "SubgraphComponent",
     "SuperGraph",

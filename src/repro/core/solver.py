@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from collections.abc import Hashable, Iterable
+from collections.abc import Callable, Hashable, Iterable
+from typing import Protocol, runtime_checkable
 
-from repro.exceptions import GraphError, LabelingError
+from repro.exceptions import GraphError, LabelingError, SearchAbortedError
 from repro.enumerate.accumulators import ContinuousAccumulator, DiscreteAccumulator
 from repro.enumerate.bitset import BitsetGraph
 from repro.enumerate.search import exhaustive_best_mask
@@ -48,12 +49,66 @@ from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
 from repro.telemetry.span import Span, Tracer
 
-__all__ = ["DEFAULT_N_THETA", "find_mscs", "mine"]
+__all__ = ["DEFAULT_N_THETA", "PrefixCache", "find_mscs", "mine"]
 
 DEFAULT_N_THETA = 20
 """Default reduction threshold — the paper uses 15-20 throughout Section 5."""
 
 Labeling = DiscreteLabeling | ContinuousLabeling
+
+
+@runtime_checkable
+class PrefixCache(Protocol):
+    """Cache of the deterministic pipeline prefix (construct + reduce).
+
+    Algorithms 1/2 followed by Algorithm 5 are a pure function of the
+    working graph, the labeling, ``n_theta``, and (for order-dependent
+    continuous construction) ``edge_order``/``seed`` — so their output can
+    be content-addressed and reused across :func:`mine` calls over the same
+    graph.  :class:`repro.service.cache.SuperGraphCache` is the production
+    implementation; the solver only relies on this structural interface.
+
+    Cached super-graphs are **post-reduction and read-only**: the solver
+    never mutates a fetched super-graph (the search stage only reads), so a
+    single entry can back any number of sequential queries.
+    """
+
+    def fetch(
+        self,
+        graph: Graph,
+        labeling: "Labeling",
+        *,
+        n_theta: int,
+        edge_order: EdgeOrder,
+        seed: int | random.Random | None,
+    ) -> "CachedPrefix | None":
+        """The cached prefix for these inputs, or None on miss/uncacheable."""
+        ...
+
+    def store(
+        self,
+        graph: Graph,
+        labeling: "Labeling",
+        *,
+        n_theta: int,
+        edge_order: EdgeOrder,
+        seed: int | random.Random | None,
+        supergraph: SuperGraph,
+        super_vertices_before: int,
+        super_edges_before: int,
+        contractions: int,
+    ) -> None:
+        """Record a freshly computed prefix (no-op when uncacheable)."""
+        ...
+
+
+class CachedPrefix(Protocol):
+    """What a :class:`PrefixCache` hit carries back into the solver."""
+
+    supergraph: SuperGraph
+    super_vertices_before: int
+    super_edges_before: int
+    contractions: int
 
 
 def mine(
@@ -69,6 +124,8 @@ def mine(
     min_size: int = 1,
     polish: bool = False,
     prune: str = "none",
+    check_abort: Callable[[], bool] | None = None,
+    prefix_cache: PrefixCache | None = None,
 ) -> MiningResult:
     """Mine the top-t statistically significant connected subgraphs.
 
@@ -106,6 +163,18 @@ def mine(
         ``"none"`` — plain exhaustive search; ``"bounds"`` — branch-and-
         bound with admissible chi-square upper bounds (identical optima,
         fewer states visited; see :mod:`repro.enumerate.bounds`).
+    check_abort:
+        Cooperative-cancellation callback, polled between TSSS rounds and
+        every few hundred states inside the exhaustive search; when it
+        returns True the run raises
+        :class:`~repro.exceptions.SearchAbortedError` (the serving layer
+        maps this to a structured timeout).  A callback that never fires
+        cannot change the result.
+    prefix_cache:
+        Optional :class:`PrefixCache` consulted before the construct +
+        reduce prefix of every round (``method="supergraph"`` only — the
+        naïve singleton build is cheaper than a digest).  Hits skip both
+        stages; results are identical because the prefix is deterministic.
     """
     if top_t < 1:
         raise GraphError(f"top_t must be >= 1, got {top_t}")
@@ -146,6 +215,8 @@ def mine(
         num_edges=graph.num_edges,
     ):
         while len(found) < top_t and working.num_vertices > 0:
+            if check_abort is not None and check_abort():
+                raise SearchAbortedError()
             with tracer.span("solver.round", round=report.rounds):
                 region = _mine_one(
                     working,
@@ -159,6 +230,8 @@ def mine(
                     search_limit=search_limit,
                     min_size=min_size,
                     prune=prune,
+                    check_abort=check_abort,
+                    prefix_cache=prefix_cache,
                 )
                 if region is None:
                     break
@@ -200,6 +273,8 @@ def _mine_one(
     search_limit: int | None,
     min_size: int,
     prune: str,
+    check_abort: Callable[[], bool] | None = None,
+    prefix_cache: PrefixCache | None = None,
 ) -> SignificantSubgraph | None:
     """One MSCS round on the current working graph; None when nothing left."""
     first_round = report.rounds == 0
@@ -213,35 +288,64 @@ def _mine_one(
             report.supergraph_edges = supergraph.num_super_edges
             report.reduced_vertices = supergraph.num_super_vertices
     else:
-        with tracer.span("solver.construct", method=method) as span:
-            if isinstance(labeling, DiscreteLabeling):
-                supergraph = build_discrete_supergraph(working, labeling)
-            else:
-                supergraph = build_continuous_supergraph(
-                    working, labeling, edge_order=edge_order, seed=seed
+        cached = None
+        if prefix_cache is not None:
+            with tracer.span("solver.cache_lookup") as span:
+                cached = prefix_cache.fetch(
+                    working, labeling,
+                    n_theta=n_theta, edge_order=edge_order, seed=seed,
                 )
-            span.set(
-                super_vertices=supergraph.num_super_vertices,
-                super_edges=supergraph.num_super_edges,
-            )
-        report.construction_seconds += span.wall_seconds
-        if first_round:
-            report.supergraph_vertices = supergraph.num_super_vertices
-            report.supergraph_edges = supergraph.num_super_edges
+                span.set(hit=cached is not None)
+            # Digest + lookup time is prefix work the cache is amortising.
+            report.construction_seconds += span.wall_seconds
+        if cached is not None:
+            supergraph = cached.supergraph
+            report.contractions += cached.contractions
+            if first_round:
+                report.supergraph_vertices = cached.super_vertices_before
+                report.supergraph_edges = cached.super_edges_before
+                report.reduced_vertices = supergraph.num_super_vertices
+        else:
+            with tracer.span("solver.construct", method=method) as span:
+                if isinstance(labeling, DiscreteLabeling):
+                    supergraph = build_discrete_supergraph(working, labeling)
+                else:
+                    supergraph = build_continuous_supergraph(
+                        working, labeling, edge_order=edge_order, seed=seed
+                    )
+                span.set(
+                    super_vertices=supergraph.num_super_vertices,
+                    super_edges=supergraph.num_super_edges,
+                )
+            report.construction_seconds += span.wall_seconds
+            super_vertices_before = supergraph.num_super_vertices
+            super_edges_before = supergraph.num_super_edges
+            if first_round:
+                report.supergraph_vertices = super_vertices_before
+                report.supergraph_edges = super_edges_before
 
-        with tracer.span("solver.reduce", n_theta=n_theta) as span:
-            contractions = reduce_supergraph(supergraph, n_theta)
-            span.set(contractions=contractions)
-        report.reduction_seconds += span.wall_seconds
-        report.contractions += contractions
-        if first_round:
-            report.reduced_vertices = supergraph.num_super_vertices
+            with tracer.span("solver.reduce", n_theta=n_theta) as span:
+                contractions = reduce_supergraph(supergraph, n_theta)
+                span.set(contractions=contractions)
+            report.reduction_seconds += span.wall_seconds
+            report.contractions += contractions
+            if first_round:
+                report.reduced_vertices = supergraph.num_super_vertices
+            if prefix_cache is not None:
+                prefix_cache.store(
+                    working, labeling,
+                    n_theta=n_theta, edge_order=edge_order, seed=seed,
+                    supergraph=supergraph,
+                    super_vertices_before=super_vertices_before,
+                    super_edges_before=super_edges_before,
+                    contractions=contractions,
+                )
 
     explored_before = report.explored_subgraphs
     with tracer.span("solver.search", prune=prune) as span:
         region = _search_supergraph(
             supergraph, labeling, search_limit=search_limit, min_size=min_size,
-            report=report, prune=prune,
+            report=report, prune=prune, check_abort=check_abort,
         )
         # Per-round delta, not the running total, so top-t traces show what
         # each round actually cost.
@@ -274,6 +378,7 @@ def _search_supergraph(
     min_size: int,
     report: PipelineReport,
     prune: str = "none",
+    check_abort: Callable[[], bool] | None = None,
 ) -> SignificantSubgraph | None:
     """Exhaustive MSCS search on a (reduced) super-graph."""
     if supergraph.num_super_vertices == 0:
@@ -291,7 +396,8 @@ def _search_supergraph(
         )
 
     outcome = exhaustive_best_mask(
-        bitset.adjacency, accumulator, limit=search_limit, prune=prune
+        bitset.adjacency, accumulator, limit=search_limit, prune=prune,
+        check_abort=check_abort,
     )
     report.explored_subgraphs += outcome.explored
     if outcome.mask == 0:
@@ -313,7 +419,7 @@ def _search_supergraph(
                 return None
             outcome = exhaustive_best_mask(
                 bitset.adjacency, accumulator, min_size=floor,
-                limit=search_limit, prune=prune,
+                limit=search_limit, prune=prune, check_abort=check_abort,
             )
             report.explored_subgraphs += outcome.explored
             if outcome.mask == 0:

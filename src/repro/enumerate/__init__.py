@@ -27,6 +27,7 @@ from repro.enumerate.connected import (
     reference_connected_subsets,
 )
 from repro.enumerate.search import (
+    ABORT_CHECK_MASK,
     PRUNE_MODES,
     SearchOutcome,
     exhaustive_best_mask,
@@ -34,6 +35,7 @@ from repro.enumerate.search import (
 )
 
 __all__ = [
+    "ABORT_CHECK_MASK",
     "BitsetGraph",
     "BoundedAccumulator",
     "ChiSquareAccumulator",

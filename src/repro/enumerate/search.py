@@ -19,9 +19,9 @@ winning mask and statistic — ``prune="bounds"`` just visits fewer states.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from collections.abc import Hashable, Sequence
+from collections.abc import Callable, Hashable, Sequence
 
-from repro.exceptions import EnumerationLimitError
+from repro.exceptions import EnumerationLimitError, SearchAbortedError
 from repro.enumerate.accumulators import ChiSquareAccumulator
 from repro.enumerate.bitset import BitsetGraph, iter_bits
 from repro.enumerate.bounds import supports_bounds
@@ -29,6 +29,7 @@ from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
 
 __all__ = [
+    "ABORT_CHECK_MASK",
     "PRUNE_MODES",
     "SearchOutcome",
     "exhaustive_best_mask",
@@ -37,6 +38,13 @@ __all__ = [
 
 PRUNE_MODES = ("none", "bounds")
 """Valid values of the ``prune`` search argument."""
+
+ABORT_CHECK_MASK = 0xFF
+"""``check_abort`` polling cadence: every ``ABORT_CHECK_MASK + 1`` states.
+
+Polling a Python callable per state would roughly double the cost of the
+inner loop; every 256 states the abort latency stays far below any
+realistic serving deadline while the overhead disappears into noise."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,6 +96,7 @@ def exhaustive_best_mask(
     max_size: int | None = None,
     limit: int | None = None,
     prune: str = "none",
+    check_abort: Callable[[], bool] | None = None,
 ) -> SearchOutcome:
     """Find the connected vertex set with the maximum accumulator statistic.
 
@@ -98,6 +107,12 @@ def exhaustive_best_mask(
     ``prune="bounds"`` enables admissible branch-and-bound cutting (the
     accumulator must implement ``upper_bound``); the optimum — including
     tie-breaks — is provably identical to ``prune="none"``.
+
+    ``check_abort`` is polled every ``ABORT_CHECK_MASK + 1`` visited states
+    (cooperative cancellation for serving deadlines); when it returns True
+    the walk raises :class:`~repro.exceptions.SearchAbortedError`.  A
+    callback that never fires provably cannot change the result — it is
+    only ever *read*, never consulted for ordering or pruning decisions.
     """
     n = len(adjacency)
     if min_size < 1:
@@ -113,14 +128,18 @@ def exhaustive_best_mask(
             "(see repro.enumerate.bounds)"
         )
     size_cap = n if max_size is None else min(max_size, n)
+    if check_abort is not None and check_abort():
+        raise SearchAbortedError()
     if prune == "bounds":
         return _search_bounded(
             adjacency, accumulator,
             min_size=min_size, size_cap=size_cap, limit=limit,
+            check_abort=check_abort,
         )
     return _search_unbounded(
         adjacency, accumulator,
         min_size=min_size, size_cap=size_cap, limit=limit,
+        check_abort=check_abort,
     )
 
 
@@ -131,6 +150,7 @@ def _search_unbounded(
     min_size: int,
     size_cap: int,
     limit: int | None,
+    check_abort: Callable[[], bool] | None = None,
 ) -> SearchOutcome:
     """The plain exhaustive walk (``prune="none"``)."""
     n = len(adjacency)
@@ -147,6 +167,12 @@ def _search_unbounded(
         explored += 1
         if limit is not None and explored > limit:
             raise EnumerationLimitError(limit)
+        if (
+            check_abort is not None
+            and not explored & ABORT_CHECK_MASK
+            and check_abort()
+        ):
+            raise SearchAbortedError()
         if size >= min_size:
             evaluated += 1
             value = accumulator.chi_square()
@@ -245,6 +271,7 @@ def _search_bounded(
     min_size: int,
     size_cap: int,
     limit: int | None,
+    check_abort: Callable[[], bool] | None = None,
 ) -> SearchOutcome:
     """Branch-and-bound walk (``prune="bounds"``).
 
@@ -290,6 +317,12 @@ def _search_bounded(
         explored += 1
         if limit is not None and explored > limit:
             raise EnumerationLimitError(limit)
+        if (
+            check_abort is not None
+            and not explored & ABORT_CHECK_MASK
+            and check_abort()
+        ):
+            raise SearchAbortedError()
         if size >= min_size:
             evaluated += 1
             value = accumulator.chi_square()
@@ -382,6 +415,7 @@ def exhaustive_best_subset(
     max_size: int | None = None,
     limit: int | None = None,
     prune: str = "none",
+    check_abort: Callable[[], bool] | None = None,
 ) -> tuple[frozenset[Hashable], float, int]:
     """Convenience wrapper returning original vertex objects.
 
@@ -395,6 +429,7 @@ def exhaustive_best_subset(
         max_size=max_size,
         limit=limit,
         prune=prune,
+        check_abort=check_abort,
     )
     return bitset.vertex_set(outcome.mask), outcome.chi_square, outcome.explored
 

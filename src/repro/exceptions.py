@@ -72,6 +72,38 @@ class EnumerationLimitError(ReproError, RuntimeError):
         self.limit = limit
 
 
+class SearchAbortedError(ReproError, RuntimeError):
+    """Cooperative cancellation: a ``check_abort`` callback requested a stop.
+
+    Raised from inside the exhaustive search (and between TSSS rounds) when
+    the callback passed to :func:`repro.core.solver.mine` returns True —
+    typically because a serving deadline expired.  The partially explored
+    state is discarded; callers translate this into a structured timeout.
+    """
+
+    def __init__(
+        self,
+        message: str = "the search was aborted by its check_abort callback",
+    ) -> None:
+        super().__init__(message)
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the :mod:`repro.service` subsystem."""
+
+
+class DigestError(ServiceError, TypeError):
+    """A graph/labeling/parameter combination cannot be content-addressed."""
+
+
+class BackpressureError(ServiceError, RuntimeError):
+    """The service job queue is full; the request was rejected."""
+
+
+class RequestValidationError(ServiceError, ValueError):
+    """An inbound service request document failed schema validation."""
+
+
 class DatasetError(ReproError, ValueError):
     """A synthetic dataset was requested with invalid parameters."""
 

@@ -1,0 +1,180 @@
+"""Bounded LRU cache of constructed/reduced super-graph pipeline prefixes.
+
+:class:`SuperGraphCache` implements the :class:`repro.core.solver.PrefixCache`
+interface: the solver consults it before running Algorithm 1/2 construction
+and Algorithm 5 reduction, and stores the freshly computed stage on a miss.
+Keys are the content digests of :mod:`repro.service.digest`, so any two
+requests over bit-identical inputs share one entry regardless of how their
+graphs were assembled.
+
+Entries hold the **post-reduction** super-graph plus the pre-reduction
+sizes the pipeline report needs.  Cached super-graphs are read-only by
+contract (the search suffix only reads them); the cache never copies, so a
+hit costs one digest plus an ``OrderedDict`` move.
+
+The cache is deliberately not thread-safe — in the service each worker
+*process* owns one instance (matching the telemetry design: single-threaded
+hot paths, no locks).  Hit/miss/eviction counts are exposed as plain
+attributes for the worker to report upstream, and are mirrored into the
+global telemetry registry (``service.cache.*``) when a telemetry session is
+active.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from repro.core.supergraph import SuperGraph
+from repro.exceptions import DigestError, ServiceError
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling
+from repro.service.digest import prefix_digest
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
+
+__all__ = ["CachedPrefixEntry", "DEFAULT_MAX_ENTRIES", "SuperGraphCache"]
+
+DEFAULT_MAX_ENTRIES = 32
+"""Default cache capacity — a reduced super-graph is small (<= n_theta
+vertices plus payloads), so a few dozen distinct (graph, labeling, params)
+combinations fit comfortably in a worker process."""
+
+Labeling = DiscreteLabeling | ContinuousLabeling
+
+
+@dataclass(frozen=True, slots=True)
+class CachedPrefixEntry:
+    """One cached pipeline prefix: the reduced stage plus report metadata."""
+
+    supergraph: SuperGraph
+    super_vertices_before: int
+    super_edges_before: int
+    contractions: int
+
+
+class SuperGraphCache:
+    """Bounded LRU of pipeline prefixes keyed by content digest.
+
+    Satisfies :class:`repro.core.solver.PrefixCache`.  ``fetch`` returns
+    None both on a genuine miss and for uncacheable inputs (undigestable
+    vertex types, a ``shuffled`` edge order without an int seed); ``store``
+    silently skips the same uncacheable inputs, so the solver never has to
+    distinguish the cases.
+    """
+
+    __slots__ = ("max_entries", "_entries", "hits", "misses", "evictions")
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ServiceError(
+                f"cache max_entries must be >= 1, got {max_entries}"
+            )
+        self.max_entries = max_entries
+        self._entries: OrderedDict[str, CachedPrefixEntry] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def key_of(
+        self,
+        graph: Graph,
+        labeling: Labeling,
+        *,
+        n_theta: int,
+        edge_order: str = "input",
+        seed: int | random.Random | None = None,
+    ) -> str | None:
+        """The cache key for these inputs, or None when uncacheable."""
+        try:
+            return prefix_digest(
+                graph, labeling,
+                n_theta=n_theta, edge_order=edge_order, seed=seed,
+            )
+        except DigestError:
+            return None
+
+    def fetch(
+        self,
+        graph: Graph,
+        labeling: Labeling,
+        *,
+        n_theta: int,
+        edge_order: str = "input",
+        seed: int | random.Random | None = None,
+    ) -> CachedPrefixEntry | None:
+        """Look up the cached prefix; None on miss or uncacheable inputs."""
+        key = self.key_of(
+            graph, labeling, n_theta=n_theta, edge_order=edge_order, seed=seed
+        )
+        if key is None:
+            return None
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            if _TELEMETRY.enabled:
+                _TELEMETRY.metrics.count(_metric.SERVICE_CACHE_MISSES)
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        if _TELEMETRY.enabled:
+            _TELEMETRY.metrics.count(_metric.SERVICE_CACHE_HITS)
+        return entry
+
+    def store(
+        self,
+        graph: Graph,
+        labeling: Labeling,
+        *,
+        n_theta: int,
+        edge_order: str = "input",
+        seed: int | random.Random | None = None,
+        supergraph: SuperGraph,
+        super_vertices_before: int,
+        super_edges_before: int,
+        contractions: int,
+    ) -> None:
+        """Record a freshly computed prefix, evicting the LRU entry if full.
+
+        The stored super-graph must not be mutated afterwards — the solver
+        guarantees this (only the construct/reduce stages mutate, and they
+        are exactly what the cache replaces).
+        """
+        key = self.key_of(
+            graph, labeling, n_theta=n_theta, edge_order=edge_order, seed=seed
+        )
+        if key is None:
+            return
+        self._entries[key] = CachedPrefixEntry(
+            supergraph=supergraph,
+            super_vertices_before=super_vertices_before,
+            super_edges_before=super_edges_before,
+            contractions=contractions,
+        )
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if _TELEMETRY.enabled:
+                _TELEMETRY.metrics.count(_metric.SERVICE_CACHE_EVICTIONS)
+
+    def counters(self) -> dict[str, int]:
+        """Plain-data snapshot of the hit/miss/eviction counters."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+        }
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        self._entries.clear()

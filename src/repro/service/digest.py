@@ -1,0 +1,174 @@
+"""Canonical content digests for graphs, labelings, and prefix parameters.
+
+The construct + reduce prefix of the pipeline is a pure function of
+``(graph, labeling, n_theta, edge_order[, seed])``, so its output can be
+content-addressed: two requests whose inputs digest identically may share
+one cached super-graph.  The digests here are
+
+* **order-independent** — a graph built by inserting vertices/edges in any
+  order digests the same, because everything is sorted canonically before
+  hashing;
+* **type-faithful** — vertex ids are encoded with a type tag (``i`` for
+  int, ``s`` for str, ``t`` for tuple, ...), so the int vertex ``1`` and
+  the str vertex ``"1"`` never collide;
+* **float-exact** — probabilities and z-scores hash their ``float.hex``
+  form, so two models digest equal iff they are bit-identical (no
+  formatting round-trips).
+
+Unsupported vertex types raise :class:`~repro.exceptions.DigestError`, as
+does a ``shuffled`` edge order with a non-reproducible seed — the cache
+treats both as uncacheable and falls through to a fresh computation.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections.abc import Hashable
+
+from repro.exceptions import DigestError
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling
+
+__all__ = [
+    "encode_vertex",
+    "graph_digest",
+    "labeling_digest",
+    "prefix_digest",
+]
+
+
+def encode_vertex(vertex: Hashable) -> str:
+    """A canonical, collision-free string encoding of a vertex id.
+
+    Supports the vertex types the library actually uses — int, str, tuples
+    (recursively), plus bool/float/bytes/None for completeness.  Encodings
+    are type-tagged and length-prefixed where needed so distinct values can
+    never produce the same string (``1`` -> ``i:1``, ``"1"`` -> ``s:1:1``,
+    ``(1,)`` -> ``t:1[i:1]``).
+    """
+    # bool before int: bool is an int subclass but hashes/compares equal to
+    # 0/1, and Graph treats them as distinct dictionary keys only when the
+    # hash matches too — tag them separately to be safe.
+    if vertex is None:
+        return "n:"
+    if isinstance(vertex, bool):
+        return f"b:{int(vertex)}"
+    if isinstance(vertex, int):
+        return f"i:{vertex}"
+    if isinstance(vertex, float):
+        return f"f:{vertex.hex()}"
+    if isinstance(vertex, str):
+        return f"s:{len(vertex)}:{vertex}"
+    if isinstance(vertex, bytes):
+        return f"y:{len(vertex)}:{vertex.hex()}"
+    if isinstance(vertex, tuple):
+        inner = ",".join(encode_vertex(item) for item in vertex)
+        return f"t:{len(vertex)}[{inner}]"
+    if isinstance(vertex, frozenset):
+        inner = ",".join(sorted(encode_vertex(item) for item in vertex))
+        return f"z:{len(vertex)}[{inner}]"
+    raise DigestError(
+        f"cannot canonically encode vertex of type {type(vertex).__name__}: "
+        f"{vertex!r}"
+    )
+
+
+def _hash_lines(kind: str, lines: list[str]) -> str:
+    digest = hashlib.sha256()
+    digest.update(kind.encode("utf-8"))
+    for line in lines:
+        digest.update(b"\n")
+        digest.update(line.encode("utf-8"))
+    return digest.hexdigest()
+
+
+def graph_digest(graph: Graph) -> str:
+    """Content digest of a graph's vertex and edge sets.
+
+    Stable across insertion order: vertices and edges are sorted by their
+    canonical encodings, and each edge is encoded with its endpoints in
+    sorted order (the graphs are undirected).
+    """
+    vertex_codes = sorted(encode_vertex(v) for v in graph.vertices())
+    edge_codes = []
+    for u, v in graph.edges():
+        cu, cv = encode_vertex(u), encode_vertex(v)
+        edge_codes.append(f"{cu}--{cv}" if cu <= cv else f"{cv}--{cu}")
+    edge_codes.sort()
+    return _hash_lines("graph/v1", vertex_codes + ["#edges#"] + edge_codes)
+
+
+def labeling_digest(labeling: DiscreteLabeling | ContinuousLabeling) -> str:
+    """Content digest of a labeling (model parameters + full assignment)."""
+    if isinstance(labeling, DiscreteLabeling):
+        lines = [
+            "probs:" + ",".join(p.hex() for p in labeling.probabilities),
+            "symbols:" + ",".join(
+                f"{len(s)}:{s}" for s in labeling.symbols
+            ),
+        ]
+        lines.extend(
+            sorted(
+                f"{encode_vertex(v)}={labeling.label_of(v)}"
+                for v in labeling.vertices()
+            )
+        )
+        return _hash_lines("labeling/discrete/v1", lines)
+    if isinstance(labeling, ContinuousLabeling):
+        lines = [f"dimensions:{labeling.dimensions}"]
+        lines.extend(
+            sorted(
+                f"{encode_vertex(v)}="
+                + ",".join(z.hex() for z in labeling.z_score_of(v))
+                for v in labeling.vertices()
+            )
+        )
+        return _hash_lines("labeling/continuous/v1", lines)
+    raise DigestError(
+        f"cannot digest labeling of type {type(labeling).__name__}"
+    )
+
+
+def prefix_digest(
+    graph: Graph,
+    labeling: DiscreteLabeling | ContinuousLabeling,
+    *,
+    n_theta: int,
+    edge_order: str = "input",
+    seed: object = None,
+) -> str:
+    """Digest keying the cacheable construct + reduce pipeline prefix.
+
+    Parameters that provably do not affect the prefix are normalised out of
+    the key to maximise hit rates: discrete construction (Algorithm 1) is
+    edge-order-independent, so ``edge_order``/``seed`` are ignored for
+    :class:`DiscreteLabeling`; continuous construction only consults the
+    seed when ``edge_order="shuffled"``.
+
+    Raises :class:`~repro.exceptions.DigestError` for a ``shuffled`` order
+    without a reproducible (int) seed — the prefix is then not a pure
+    function of its inputs and must not be cached.
+    """
+    if isinstance(labeling, DiscreteLabeling):
+        order_code = "-"
+        seed_code = "-"
+    else:
+        order_code = edge_order
+        if edge_order == "shuffled":
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                raise DigestError(
+                    "edge_order='shuffled' without an int seed is not "
+                    "reproducible and cannot be content-addressed"
+                )
+            seed_code = str(seed)
+        else:
+            seed_code = "-"
+    lines = [
+        f"graph:{graph_digest(graph)}",
+        f"labeling:{labeling_digest(labeling)}",
+        f"n_theta:{n_theta}",
+        f"edge_order:{order_code}",
+        f"seed:{seed_code}",
+    ]
+    return _hash_lines("prefix/v1", lines)

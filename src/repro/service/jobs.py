@@ -1,0 +1,400 @@
+"""Job queue and multiprocessing worker pool for the mining service.
+
+Mining is CPU-bound, so the service runs jobs in worker *processes* (a
+``spawn`` multiprocessing context — the only start method that is safe
+under the threaded HTTP server and portable across platforms).  The
+manager side owns:
+
+* a **bounded task queue** — submissions beyond ``queue_size`` raise
+  :class:`~repro.exceptions.BackpressureError` immediately instead of
+  building an unbounded backlog (the server maps this to HTTP 503);
+* **per-job deadlines** — an absolute wall-clock instant stamped at
+  submission (so time spent queued counts).  Workers poll it through the
+  ``check_abort`` hook of :func:`repro.core.solver.mine`, turning an
+  overrun into a structured ``timeout`` result while the worker survives
+  to take the next job;
+* **crash detection and respawn** — workers announce which job they pick
+  up; a collector thread polls worker liveness, fails the jobs of dead
+  workers, and starts replacements (counted as
+  ``service.workers_respawned``).
+
+Each worker process owns a private :class:`~repro.service.cache.
+SuperGraphCache`, and ships its hit/miss/eviction deltas back with every
+result; the manager folds them into the shared metrics registry so
+``GET /metricsz`` aggregates over the whole pool.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue
+import threading
+import time
+import uuid
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.solver import mine
+from repro.exceptions import (
+    BackpressureError,
+    ReproError,
+    SearchAbortedError,
+    ServiceError,
+)
+from repro.service.cache import SuperGraphCache
+from repro.service.protocol import build_instance, result_to_payload
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
+
+__all__ = ["DEFAULT_QUEUE_SIZE", "Job", "JobManager"]
+
+DEFAULT_QUEUE_SIZE = 64
+"""Default bound on queued-but-unstarted jobs before submissions are
+rejected with backpressure."""
+
+_POLL_SECONDS = 0.2
+
+
+@dataclass(slots=True)
+class Job:
+    """One mining job tracked by the manager.
+
+    ``status`` walks ``queued -> running -> done | timeout | error``; the
+    terminal payload lands in ``result`` (for ``done``) or ``error`` (a
+    message, for ``timeout``/``error``).  ``wait()`` blocks until the job
+    reaches a terminal status.
+    """
+
+    id: str
+    request: dict[str, Any] = field(repr=False)
+    deadline: float | None = None
+    status: str = "queued"
+    result: dict[str, Any] | None = field(default=None, repr=False)
+    error: str | None = None
+    submitted_at: float = 0.0
+    finished_at: float | None = None
+    worker_pid: int | None = None
+    _done: threading.Event = field(
+        default_factory=threading.Event, repr=False, compare=False
+    )
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job finishes; True iff it reached a terminal state."""
+        return self._done.wait(timeout)
+
+    def to_payload(self) -> dict[str, Any]:
+        """JSON-able public view of the job (what ``GET /jobs/<id>`` returns)."""
+        payload: dict[str, Any] = {"job_id": self.id, "status": self.status}
+        if self.deadline is not None:
+            payload["deadline_seconds_left"] = max(
+                0.0, self.deadline - time.time()
+            )
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+def _execute_request(
+    request: dict[str, Any],
+    cache: SuperGraphCache | None,
+    deadline: float | None,
+) -> dict[str, Any]:
+    """Run one validated mining request; returns its result payload.
+
+    Shared by the worker processes and the CLI's in-process fallback
+    (``repro serve --workers 0`` is not offered, but tests exercise this
+    directly).  Raises :class:`SearchAbortedError` on deadline overrun.
+    """
+    graph, labeling = build_instance(request)
+    params = request["params"]
+    check_abort = None
+    if deadline is not None:
+        check_abort = lambda: time.time() >= deadline  # noqa: E731
+        if check_abort():
+            raise SearchAbortedError("the job deadline expired while queued")
+    result = mine(
+        graph,
+        labeling,
+        top_t=params["top_t"],
+        n_theta=params["n_theta"],
+        method=params["method"],
+        edge_order=params["edge_order"],
+        seed=params["seed"],
+        search_limit=params["search_limit"],
+        min_size=params["min_size"],
+        polish=params["polish"],
+        prune=params["prune"],
+        check_abort=check_abort,
+        prefix_cache=cache,
+    )
+    return result_to_payload(result)
+
+
+def _worker_main(
+    tasks: "mp.queues.Queue",
+    results: "mp.queues.Queue",
+    cache_size: int,
+) -> None:
+    """Worker process loop: announce, execute, report, repeat.
+
+    Runs in the child process — keep it importable at module level so the
+    ``spawn`` start method can pickle it.  The private prefix cache lives
+    for the worker's lifetime; its counter deltas ride back on every
+    result message so the parent can aggregate pool-wide cache metrics.
+    """
+    cache = SuperGraphCache(max_entries=cache_size)
+    pid = mp.current_process().pid
+    last = cache.counters()
+    while True:
+        item = tasks.get()
+        if item is None:
+            break
+        job_id, request, deadline = item
+        results.put(("started", job_id, pid, None, None))
+        try:
+            payload = _execute_request(request, cache, deadline)
+            kind = "done"
+            body: Any = payload
+        except SearchAbortedError as exc:
+            kind, body = "timeout", str(exc)
+        except ReproError as exc:
+            kind, body = "error", f"{type(exc).__name__}: {exc}"
+        except Exception as exc:  # noqa: BLE001 - workers must survive
+            kind, body = "error", f"{type(exc).__name__}: {exc}"
+        current = cache.counters()
+        delta = {
+            key: current[key] - last.get(key, 0)
+            for key in ("hits", "misses", "evictions")
+        }
+        last = current
+        results.put((kind, job_id, pid, body, delta))
+
+
+class JobManager:
+    """Bounded job queue feeding a self-healing worker pool.
+
+    ``submit`` enqueues a validated request and returns a :class:`Job`
+    handle immediately; a background collector thread applies worker
+    results to the handles and respawns crashed workers.  ``close`` drains
+    the pool.  All public methods are thread-safe (the HTTP server calls
+    them from many handler threads).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        cache_size: int = 32,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        default_deadline: float | None = None,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError(f"workers must be >= 1, got {workers}")
+        if queue_size < 1:
+            raise ServiceError(f"queue_size must be >= 1, got {queue_size}")
+        self.default_deadline = default_deadline
+        self._cache_size = cache_size
+        self._queue_size = queue_size
+        self._ctx = mp.get_context("spawn")
+        self._tasks: mp.queues.Queue = self._ctx.Queue()
+        self._results: mp.queues.Queue = self._ctx.Queue()
+        self._lock = threading.RLock()
+        self._jobs: dict[str, Job] = {}
+        self._pending = 0  # queued + running, bounded by queue_size
+        self._workers: list[mp.process.BaseProcess] = []
+        self._running_on: dict[int, str] = {}  # pid -> job id
+        self._closed = False
+        self.workers_respawned = 0
+        self.cache_counters = {"hits": 0, "misses": 0, "evictions": 0}
+        for _ in range(workers):
+            self._workers.append(self._spawn_worker())
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-service-collector", daemon=True
+        )
+        self._collector.start()
+
+    # -- lifecycle -----------------------------------------------------
+    def _spawn_worker(self) -> mp.process.BaseProcess:
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self._tasks, self._results, self._cache_size),
+            daemon=True,
+        )
+        process.start()
+        return process
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the collector and terminate every worker."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            try:
+                self._tasks.put_nowait(None)
+            except queue.Full:  # pragma: no cover - tiny sentinel race
+                pass
+        deadline = time.time() + timeout
+        for process in self._workers:
+            process.join(max(0.0, deadline - time.time()))
+            if process.is_alive():
+                process.terminate()
+                process.join(1.0)
+        self._collector.join(timeout=2.0)
+
+    def __enter__(self) -> "JobManager":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- submission / lookup -------------------------------------------
+    def submit(
+        self,
+        request: dict[str, Any],
+        *,
+        deadline_seconds: float | None = None,
+    ) -> Job:
+        """Enqueue a validated request; returns the job handle.
+
+        Raises :class:`~repro.exceptions.BackpressureError` when
+        ``queue_size`` jobs are already queued or running.
+        """
+        if deadline_seconds is None:
+            deadline_seconds = self.default_deadline
+        now = time.time()
+        deadline = None if deadline_seconds is None else now + deadline_seconds
+        job = Job(
+            id=uuid.uuid4().hex[:12],
+            request=request,
+            deadline=deadline,
+            submitted_at=now,
+        )
+        with self._lock:
+            if self._closed:
+                raise ServiceError("the job manager is closed")
+            if self._pending >= self._queue_size:
+                self._count(_metric.SERVICE_QUEUE_REJECTIONS)
+                raise BackpressureError(
+                    f"job queue is full ({self._queue_size} jobs in flight)"
+                )
+            self._pending += 1
+            self._jobs[job.id] = job
+        self._tasks.put((job.id, request, deadline))
+        self._count(_metric.SERVICE_JOBS_SUBMITTED)
+        return job
+
+    def get(self, job_id: str) -> Job | None:
+        """The job with this id, or None."""
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def stats(self) -> dict[str, Any]:
+        """Pool statistics for ``GET /healthz`` / ``GET /metricsz``."""
+        with self._lock:
+            by_status: dict[str, int] = {}
+            for job in self._jobs.values():
+                by_status[job.status] = by_status.get(job.status, 0) + 1
+            return {
+                "workers": len(self._workers),
+                "workers_alive": sum(
+                    1 for p in self._workers if p.is_alive()
+                ),
+                "workers_respawned": self.workers_respawned,
+                "jobs_in_flight": self._pending,
+                "queue_size": self._queue_size,
+                "jobs_by_status": dict(sorted(by_status.items())),
+                "cache": dict(self.cache_counters),
+            }
+
+    # -- collector -----------------------------------------------------
+    def _count(self, name: str, value: int = 1) -> None:
+        # MetricsRegistry is not thread-safe; the manager lock serialises
+        # every update from handler threads and the collector alike.
+        if value and _TELEMETRY.enabled:
+            with self._lock:
+                _TELEMETRY.metrics.count(name, value)
+
+    def _collect(self) -> None:
+        while True:
+            try:
+                kind, job_id, pid, body, delta = self._results.get(
+                    timeout=_POLL_SECONDS
+                )
+            except queue.Empty:
+                if self._closed:
+                    return
+                self._reap_dead_workers()
+                continue
+            with self._lock:
+                job = self._jobs.get(job_id)
+            if job is None:  # pragma: no cover - cancelled out of band
+                continue
+            if kind == "started":
+                with self._lock:
+                    job.status = "running"
+                    job.worker_pid = pid
+                    self._running_on[pid] = job_id
+                continue
+            if delta:
+                self._fold_cache_delta(delta)
+            with self._lock:
+                self._running_on.pop(pid, None)
+                self._finish(job, kind, body)
+
+    def _finish(self, job: Job, kind: str, body: Any) -> None:
+        # Caller holds the lock.
+        if job.status in ("done", "timeout", "error"):
+            return
+        job.status = kind
+        job.finished_at = time.time()
+        if kind == "done":
+            job.result = body
+        else:
+            job.error = body
+        self._pending -= 1
+        job._done.set()
+        if _TELEMETRY.enabled:
+            metric = {
+                "done": _metric.SERVICE_JOBS_COMPLETED,
+                "timeout": _metric.SERVICE_JOBS_TIMEOUT,
+                "error": _metric.SERVICE_JOBS_FAILED,
+            }[kind]
+            _TELEMETRY.metrics.count(metric)
+
+    def _fold_cache_delta(self, delta: dict[str, int]) -> None:
+        with self._lock:
+            for key in ("hits", "misses", "evictions"):
+                self.cache_counters[key] += delta.get(key, 0)
+        # The workers' process-local telemetry never reaches this process,
+        # so mirror the deltas into the parent registry here.
+        self._count(_metric.SERVICE_CACHE_HITS, delta.get("hits", 0))
+        self._count(_metric.SERVICE_CACHE_MISSES, delta.get("misses", 0))
+        self._count(_metric.SERVICE_CACHE_EVICTIONS, delta.get("evictions", 0))
+
+    def _reap_dead_workers(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            dead = [p for p in self._workers if not p.is_alive()]
+            if not dead:
+                return
+            for process in dead:
+                self._workers.remove(process)
+                job_id = self._running_on.pop(process.pid, None)
+                if job_id is not None:
+                    job = self._jobs.get(job_id)
+                    if job is not None:
+                        self._finish(
+                            job,
+                            "error",
+                            f"worker process {process.pid} died "
+                            f"(exit code {process.exitcode})",
+                        )
+            respawned = len(dead)
+            self.workers_respawned += respawned
+            for _ in range(respawned):
+                self._workers.append(self._spawn_worker())
+        self._count(_metric.SERVICE_WORKERS_RESPAWNED, respawned)

@@ -1,0 +1,280 @@
+"""The JSON request/response schema of the mining service.
+
+One request document describes a complete mining instance plus its search
+parameters::
+
+    {
+      "graph": {"edges": [[0, 1], [1, 2]], "vertices": [3]},
+      "labels": {"type": "discrete", "probabilities": [0.8, 0.2],
+                 "symbols": ["common", "rare"],
+                 "assignment": {"0": 1, "1": 0, "2": 1, "3": 0}},
+      "vertex_type": "int",
+      "params": {"top_t": 1, "n_theta": 20, "method": "supergraph",
+                 "edge_order": "input", "seed": null,
+                 "search_limit": null, "min_size": 1,
+                 "polish": false, "prune": "none"},
+      "async": false,
+      "deadline_seconds": null
+    }
+
+``graph.vertices`` lists extra isolated vertices (edges imply their
+endpoints); ``vertex_type`` selects how label keys and edge entries are
+coerced, matching the CLI's ``--vertex-type``.  ``params`` mirrors
+:func:`repro.core.solver.mine` keyword-for-keyword, so a service answer is
+byte-comparable with a direct library call.
+
+:func:`validate_request` normalises and type-checks a decoded document
+(raising :class:`~repro.exceptions.RequestValidationError` with a
+field-specific message), :func:`build_instance` materialises the graph and
+labeling, and :func:`result_to_payload` renders a
+:class:`~repro.core.result.MiningResult` into the same JSON shape the CLI's
+``mine --json`` emits.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.result import MiningResult
+from repro.exceptions import ReproError, RequestValidationError
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling
+
+__all__ = [
+    "DEFAULT_PARAMS",
+    "build_instance",
+    "labeling_from_doc",
+    "result_to_payload",
+    "validate_request",
+]
+
+_VERTEX_TYPES = {"int": int, "str": str}
+
+DEFAULT_PARAMS: dict[str, Any] = {
+    "top_t": 1,
+    "n_theta": 20,
+    "method": "supergraph",
+    "edge_order": "input",
+    "seed": None,
+    "search_limit": None,
+    "min_size": 1,
+    "polish": False,
+    "prune": "none",
+}
+"""Defaults applied to ``params`` fields a request leaves out; they match
+the CLI's ``repro mine`` defaults."""
+
+_TOP_LEVEL_KEYS = {
+    "graph", "labels", "vertex_type", "params", "async", "deadline_seconds",
+}
+_METHODS = ("supergraph", "naive")
+_EDGE_ORDERS = ("input", "shuffled", "by_chi_square")
+_PRUNES = ("none", "bounds")
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise RequestValidationError(message)
+
+
+def _check_int(value: Any, field: str, *, minimum: int | None = None) -> int:
+    _require(
+        isinstance(value, int) and not isinstance(value, bool),
+        f"{field} must be an integer, got {value!r}",
+    )
+    if minimum is not None:
+        _require(value >= minimum, f"{field} must be >= {minimum}, got {value}")
+    return value
+
+
+def validate_request(doc: Any) -> dict[str, Any]:
+    """Normalise and type-check a decoded ``POST /mine`` document.
+
+    Returns a new dict with every defaulted field filled in:
+    ``{"graph": ..., "labels": ..., "vertex_type": str, "params": {...},
+    "async": bool, "deadline_seconds": float | None}``.  Raises
+    :class:`~repro.exceptions.RequestValidationError` naming the offending
+    field otherwise.  Graph/label *contents* are validated later by
+    :func:`build_instance` (they need the instance constructors).
+    """
+    _require(isinstance(doc, dict), "request body must be a JSON object")
+    unknown = set(doc) - _TOP_LEVEL_KEYS
+    _require(not unknown, f"unknown request fields: {sorted(unknown)}")
+    _require("graph" in doc, "request is missing the 'graph' field")
+    _require("labels" in doc, "request is missing the 'labels' field")
+
+    graph_doc = doc["graph"]
+    _require(isinstance(graph_doc, dict), "'graph' must be an object")
+    unknown = set(graph_doc) - {"edges", "vertices"}
+    _require(not unknown, f"unknown graph fields: {sorted(unknown)}")
+    edges = graph_doc.get("edges", [])
+    _require(isinstance(edges, list), "'graph.edges' must be a list")
+    for index, edge in enumerate(edges):
+        _require(
+            isinstance(edge, list) and len(edge) == 2,
+            f"'graph.edges[{index}]' must be a two-element list",
+        )
+    vertices = graph_doc.get("vertices", [])
+    _require(isinstance(vertices, list), "'graph.vertices' must be a list")
+
+    labels_doc = doc["labels"]
+    _require(isinstance(labels_doc, dict), "'labels' must be an object")
+    _require(
+        labels_doc.get("type") in ("discrete", "continuous"),
+        "'labels.type' must be 'discrete' or 'continuous', got "
+        f"{labels_doc.get('type')!r}",
+    )
+
+    vertex_type = doc.get("vertex_type", "int")
+    _require(
+        vertex_type in _VERTEX_TYPES,
+        f"'vertex_type' must be one of {sorted(_VERTEX_TYPES)}, "
+        f"got {vertex_type!r}",
+    )
+
+    params_doc = doc.get("params", {})
+    _require(isinstance(params_doc, dict), "'params' must be an object")
+    unknown = set(params_doc) - set(DEFAULT_PARAMS)
+    _require(not unknown, f"unknown params fields: {sorted(unknown)}")
+    params = dict(DEFAULT_PARAMS)
+    params.update(params_doc)
+    _check_int(params["top_t"], "params.top_t", minimum=1)
+    _check_int(params["n_theta"], "params.n_theta", minimum=1)
+    _check_int(params["min_size"], "params.min_size", minimum=1)
+    if params["search_limit"] is not None:
+        _check_int(params["search_limit"], "params.search_limit", minimum=1)
+    if params["seed"] is not None:
+        _check_int(params["seed"], "params.seed")
+    _require(
+        params["method"] in _METHODS,
+        f"params.method must be one of {_METHODS}, got {params['method']!r}",
+    )
+    _require(
+        params["edge_order"] in _EDGE_ORDERS,
+        f"params.edge_order must be one of {_EDGE_ORDERS}, "
+        f"got {params['edge_order']!r}",
+    )
+    _require(
+        params["prune"] in _PRUNES,
+        f"params.prune must be one of {_PRUNES}, got {params['prune']!r}",
+    )
+    _require(
+        isinstance(params["polish"], bool),
+        f"params.polish must be a boolean, got {params['polish']!r}",
+    )
+
+    run_async = doc.get("async", False)
+    _require(
+        isinstance(run_async, bool),
+        f"'async' must be a boolean, got {run_async!r}",
+    )
+
+    deadline = doc.get("deadline_seconds")
+    if deadline is not None:
+        _require(
+            isinstance(deadline, (int, float)) and not isinstance(deadline, bool)
+            and deadline > 0,
+            f"'deadline_seconds' must be a positive number, got {deadline!r}",
+        )
+        deadline = float(deadline)
+
+    return {
+        "graph": {"edges": edges, "vertices": vertices},
+        "labels": labels_doc,
+        "vertex_type": vertex_type,
+        "params": params,
+        "async": run_async,
+        "deadline_seconds": deadline,
+    }
+
+
+def labeling_from_doc(
+    doc: dict[str, Any], vertex_type: type
+) -> DiscreteLabeling | ContinuousLabeling:
+    """Materialise a labeling from its JSON document.
+
+    The document shape is identical to the CLI's labeling files; keys of
+    ``assignment``/``scores`` are coerced with ``vertex_type``.
+    """
+    kind = doc.get("type")
+    try:
+        if kind == "discrete":
+            assignment = {
+                vertex_type(key): int(value)
+                for key, value in doc["assignment"].items()
+            }
+            return DiscreteLabeling(
+                doc["probabilities"], assignment, symbols=doc.get("symbols")
+            )
+        if kind == "continuous":
+            scores = {
+                vertex_type(key): value for key, value in doc["scores"].items()
+            }
+            return ContinuousLabeling(scores)
+    except RequestValidationError:
+        raise
+    except (ReproError, KeyError, TypeError, ValueError) as exc:
+        raise RequestValidationError(f"invalid 'labels' document: {exc}") from exc
+    raise RequestValidationError(
+        f"'labels.type' must be 'discrete' or 'continuous', got {kind!r}"
+    )
+
+
+def build_instance(
+    request: dict[str, Any],
+) -> tuple[Graph, DiscreteLabeling | ContinuousLabeling]:
+    """Materialise the (graph, labeling) pair of a validated request."""
+    vertex_type = _VERTEX_TYPES[request["vertex_type"]]
+    try:
+        edges = [
+            (vertex_type(u), vertex_type(v))
+            for u, v in request["graph"]["edges"]
+        ]
+        extra = [vertex_type(v) for v in request["graph"]["vertices"]]
+    except (TypeError, ValueError) as exc:
+        raise RequestValidationError(f"invalid 'graph' document: {exc}") from exc
+    try:
+        graph = Graph.from_edges(edges, vertices=extra)
+    except ReproError as exc:
+        raise RequestValidationError(f"invalid 'graph' document: {exc}") from exc
+    labeling = labeling_from_doc(request["labels"], vertex_type)
+    return graph, labeling
+
+
+def result_to_payload(result: MiningResult) -> dict[str, Any]:
+    """Render a :class:`MiningResult` as the service's JSON result payload.
+
+    The shape matches the CLI's ``mine --json`` output (``subgraphs`` +
+    ``report``), so clients can switch between the CLI and the service
+    without reparsing.
+    """
+    report = result.report
+    return {
+        "subgraphs": [
+            {
+                "vertices": sorted(map(str, sub.vertices)),
+                "size": sub.size,
+                "chi_square": sub.chi_square,
+                "p_value": sub.p_value,
+                "component_sizes": list(sub.component_sizes),
+                "component_labels": list(sub.component_labels),
+            }
+            for sub in result.subgraphs
+        ],
+        "report": {
+            "num_vertices": report.num_vertices,
+            "num_edges": report.num_edges,
+            "supergraph_vertices": report.supergraph_vertices,
+            "supergraph_edges": report.supergraph_edges,
+            "reduced_vertices": report.reduced_vertices,
+            "contractions": report.contractions,
+            "explored_subgraphs": report.explored_subgraphs,
+            "rounds": report.rounds,
+            "dense_enough": report.dense_enough,
+            "construction_seconds": report.construction_seconds,
+            "reduction_seconds": report.reduction_seconds,
+            "search_seconds": report.search_seconds,
+            "total_seconds": report.total_seconds,
+        },
+    }

@@ -1,0 +1,265 @@
+"""HTTP front end of the mining service (stdlib ``ThreadingHTTPServer``).
+
+Endpoints::
+
+    POST /mine        run a mining request (async=true -> 202 + job id)
+    GET  /jobs/<id>   poll an async job
+    GET  /healthz     liveness + pool statistics
+    GET  /metricsz    snapshot of the service metrics registry
+
+The handler threads only parse/validate and enqueue — all mining happens in
+the :class:`~repro.service.jobs.JobManager` worker processes, so a slow
+request never blocks the accept loop.  Responses are JSON throughout, carry
+an ``X-Trace-Id`` header (also in the body as ``trace_id``), and map the
+failure modes onto conventional codes: 400 invalid request, 404 unknown
+route/job, 413 oversized body, 503 queue backpressure, 504 deadline
+exceeded (with the structured timeout payload).
+
+Construct one with :class:`MiningService` and run it with ``serve_forever``
+(or ``start()``/``shutdown()`` from tests); the CLI wraps this in
+``repro serve``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from secrets import token_hex
+from typing import Any
+
+from repro.exceptions import BackpressureError, RequestValidationError
+from repro.service.jobs import DEFAULT_QUEUE_SIZE, JobManager
+from repro.service.protocol import validate_request
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
+
+__all__ = ["DEFAULT_MAX_REQUEST_BYTES", "MiningService"]
+
+DEFAULT_MAX_REQUEST_BYTES = 8 * 1024 * 1024
+"""Reject request bodies above 8 MiB — far beyond any reasonable instance,
+small enough to stop accidental multi-gigabyte uploads."""
+
+_SYNC_POLL_SECONDS = 30.0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Request handler; the owning :class:`MiningService` is ``server.service``."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1"
+
+    # -- plumbing ------------------------------------------------------
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        """Silence the default stderr access log (the service has metrics)."""
+
+    @property
+    def service(self) -> "MiningService":
+        """The owning service instance."""
+        return self.server.service  # type: ignore[attr-defined]
+
+    def _send_json(
+        self, status: int, payload: dict[str, Any], trace_id: str
+    ) -> None:
+        payload.setdefault("trace_id", trace_id)
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("X-Trace-Id", trace_id)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _observe(self, started: float) -> None:
+        if _TELEMETRY.enabled:
+            with self.service.manager._lock:
+                _TELEMETRY.metrics.count(_metric.SERVICE_REQUESTS_TOTAL)
+                _TELEMETRY.metrics.observe(
+                    _metric.SERVICE_REQUEST_SECONDS, time.monotonic() - started
+                )
+
+    # -- routes --------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        """Route GET requests (jobs, healthz, metricsz)."""
+        started = time.monotonic()
+        trace_id = token_hex(8)
+        try:
+            if self.path == "/healthz":
+                stats = self.service.manager.stats()
+                status = 200 if stats["workers_alive"] > 0 else 503
+                self._send_json(
+                    status, {"status": "ok" if status == 200 else "degraded",
+                             "pool": stats}, trace_id,
+                )
+            elif self.path == "/metricsz":
+                self._send_json(
+                    200, {"metrics": self.service.metrics_snapshot()}, trace_id
+                )
+            elif self.path.startswith("/jobs/"):
+                job = self.service.manager.get(self.path[len("/jobs/"):])
+                if job is None:
+                    self._send_json(404, {"error": "unknown job id"}, trace_id)
+                else:
+                    self._send_json(200, job.to_payload(), trace_id)
+            else:
+                self._send_json(404, {"error": "unknown route"}, trace_id)
+        finally:
+            self._observe(started)
+
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        """Route POST requests (/mine)."""
+        started = time.monotonic()
+        trace_id = token_hex(8)
+        try:
+            if self.path != "/mine":
+                self._send_json(404, {"error": "unknown route"}, trace_id)
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > self.service.max_request_bytes:
+                self._send_json(
+                    413,
+                    {"error": f"request body exceeds "
+                              f"{self.service.max_request_bytes} bytes"},
+                    trace_id,
+                )
+                return
+            raw = self.rfile.read(length)
+            try:
+                request = validate_request(json.loads(raw or b"null"))
+            except json.JSONDecodeError as exc:
+                self._send_json(
+                    400, {"error": f"request body is not JSON: {exc}"}, trace_id
+                )
+                return
+            except RequestValidationError as exc:
+                self._send_json(400, {"error": str(exc)}, trace_id)
+                return
+            try:
+                job = self.service.manager.submit(
+                    request, deadline_seconds=request["deadline_seconds"]
+                )
+            except BackpressureError as exc:
+                self._send_json(
+                    503, {"error": str(exc), "retry_after_seconds": 1},
+                    trace_id,
+                )
+                return
+            if request["async"]:
+                self._send_json(
+                    202, {"job_id": job.id, "status": job.status}, trace_id
+                )
+                return
+            while not job.wait(_SYNC_POLL_SECONDS):
+                pass  # sync callers block until the job is terminal
+            payload = job.to_payload()
+            if job.status == "done":
+                self._send_json(200, payload, trace_id)
+            elif job.status == "timeout":
+                self._send_json(504, payload, trace_id)
+            else:
+                self._send_json(500, payload, trace_id)
+        finally:
+            self._observe(started)
+
+
+class MiningService:
+    """The assembled service: HTTP server + job manager + worker pool.
+
+    Typical embedded use (tests, notebooks)::
+
+        service = MiningService(port=0, workers=2)
+        service.start()            # background thread
+        ... requests against service.address ...
+        service.stop()
+
+    ``serve_forever()`` runs in the foreground for the CLI.  Always stop
+    the service (or use it as a context manager) so the worker processes
+    are reaped.
+    """
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        workers: int = 2,
+        cache_size: int = 32,
+        queue_size: int = DEFAULT_QUEUE_SIZE,
+        default_deadline: float | None = None,
+        max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+    ) -> None:
+        self.manager = JobManager(
+            workers=workers,
+            cache_size=cache_size,
+            queue_size=queue_size,
+            default_deadline=default_deadline,
+        )
+        self.max_request_bytes = max_request_bytes
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.service = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — port resolved even when 0 was asked."""
+        return self._httpd.server_address[:2]
+
+    def metrics_snapshot(self) -> dict[str, Any]:
+        """Service metrics for ``GET /metricsz``.
+
+        Pool/cache counters are always present (aggregated across worker
+        processes); when a telemetry session is active in this process its
+        registry snapshot is merged in under the same keys.
+        """
+        stats = self.manager.stats()
+        snapshot: dict[str, Any] = {
+            _metric.SERVICE_CACHE_HITS: stats["cache"]["hits"],
+            _metric.SERVICE_CACHE_MISSES: stats["cache"]["misses"],
+            _metric.SERVICE_CACHE_EVICTIONS: stats["cache"]["evictions"],
+            _metric.SERVICE_WORKERS_RESPAWNED: stats["workers_respawned"],
+            "service.jobs_in_flight": stats["jobs_in_flight"],
+            "service.jobs_by_status": stats["jobs_by_status"],
+            "service.workers_alive": stats["workers_alive"],
+        }
+        if _TELEMETRY.enabled:
+            with self.manager._lock:
+                snapshot.update(_TELEMETRY.metrics.snapshot())
+        return snapshot
+
+    def start(self) -> None:
+        """Serve on a daemon thread (returns immediately)."""
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-service-http",
+            daemon=True,
+        )
+        self._thread.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        try:
+            self._httpd.serve_forever()
+        except KeyboardInterrupt:  # pragma: no cover - interactive use
+            pass
+        finally:
+            self.stop()
+
+    def stop(self) -> None:
+        """Shut down the HTTP server and drain the worker pool."""
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.manager.close()
+
+    def __enter__(self) -> "MiningService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -20,6 +20,7 @@ __all__ = [
     "CONSTRUCT_SUPER_VERTICES",
     "ENUMERATE_SETS_EMITTED",
     "REDUCE_EDGES_CONTRACTED",
+    "REDUCE_HEAP_COMPACTIONS",
     "REDUCE_HEAP_REPRIORITISED",
     "REDUCE_HEAP_STALE",
     "REDUCE_VERTICES_AFTER",
@@ -33,6 +34,17 @@ __all__ = [
     "SEARCH_STATES_PER_CALL",
     "SEARCH_STATES_PRUNED",
     "SEARCH_STATES_VISITED",
+    "SERVICE_CACHE_EVICTIONS",
+    "SERVICE_CACHE_HITS",
+    "SERVICE_CACHE_MISSES",
+    "SERVICE_JOBS_COMPLETED",
+    "SERVICE_JOBS_FAILED",
+    "SERVICE_JOBS_SUBMITTED",
+    "SERVICE_JOBS_TIMEOUT",
+    "SERVICE_QUEUE_REJECTIONS",
+    "SERVICE_REQUESTS_TOTAL",
+    "SERVICE_REQUEST_SECONDS",
+    "SERVICE_WORKERS_RESPAWNED",
     "SOLVER_POLISH_IMPROVEMENTS",
     "SOLVER_POLISH_MOVES",
     "SOLVER_ROUNDS",
@@ -71,6 +83,9 @@ REDUCE_HEAP_STALE = "reduce.heap_stale_entries"
 
 REDUCE_HEAP_REPRIORITISED = "reduce.heap_reprioritised"
 """Counter: heap entries re-pushed because their priority had drifted."""
+
+REDUCE_HEAP_COMPACTIONS = "reduce.heap_compactions"
+"""Counter: lazy-deletion heap rebuilds triggered by stale-entry growth."""
 
 # --- exhaustive search / enumeration (naive algorithm) ----------------
 SEARCH_STATES_VISITED = "search.states_visited"
@@ -111,6 +126,40 @@ SUPERGRAPH_MERGES = "supergraph.merges"
 
 SUPERGRAPH_MERGE_ABSORBED_SIZE = "supergraph.merge_absorbed_size"
 """Histogram: size of the smaller group absorbed by each merge."""
+
+# --- serving layer (repro.service) ------------------------------------
+SERVICE_CACHE_HITS = "service.cache.hits"
+"""Counter: super-graph prefix cache lookups answered from the cache."""
+
+SERVICE_CACHE_MISSES = "service.cache.misses"
+"""Counter: prefix cache lookups that fell through to construct + reduce."""
+
+SERVICE_CACHE_EVICTIONS = "service.cache.evictions"
+"""Counter: least-recently-used entries dropped by the bounded cache."""
+
+SERVICE_REQUESTS_TOTAL = "service.requests_total"
+"""Counter: HTTP requests accepted by the mining service."""
+
+SERVICE_REQUEST_SECONDS = "service.request_seconds"
+"""Histogram: wall seconds per HTTP request (handler-side)."""
+
+SERVICE_JOBS_SUBMITTED = "service.jobs_submitted"
+"""Counter: mining jobs enqueued onto the worker pool."""
+
+SERVICE_JOBS_COMPLETED = "service.jobs_completed"
+"""Counter: jobs finished with a mining result."""
+
+SERVICE_JOBS_TIMEOUT = "service.jobs_timeout"
+"""Counter: jobs cancelled cooperatively at their deadline."""
+
+SERVICE_JOBS_FAILED = "service.jobs_failed"
+"""Counter: jobs that errored (bad instance, worker crash, ...)."""
+
+SERVICE_QUEUE_REJECTIONS = "service.queue_rejections"
+"""Counter: submissions rejected because the bounded queue was full."""
+
+SERVICE_WORKERS_RESPAWNED = "service.workers_respawned"
+"""Counter: dead worker processes detected and replaced."""
 
 # --- solver orchestration ---------------------------------------------
 SOLVER_ROUNDS = "solver.rounds"

@@ -1,0 +1,98 @@
+"""Cooperative cancellation (``check_abort``) semantics of the pipeline.
+
+The contract: a callback that never fires cannot change any result (the
+solver and search only *read* it), and a callback that fires raises
+:class:`SearchAbortedError` promptly — within one polling quantum of 256
+search states — leaving no partial result behind.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import mine
+from repro.enumerate.search import ABORT_CHECK_MASK, exhaustive_best_mask
+from repro.exceptions import SearchAbortedError
+from conftest import random_continuous_instance, random_discrete_instance
+
+
+class TestNoOpEquivalence:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_never_firing_callback_changes_nothing_discrete(self, seed):
+        graph, labeling = random_discrete_instance(seed)
+        plain = mine(graph, labeling, top_t=2)
+        watched = mine(graph, labeling, top_t=2, check_abort=lambda: False)
+        assert [s.vertices for s in plain.subgraphs] == [
+            s.vertices for s in watched.subgraphs
+        ]
+        assert [s.chi_square for s in plain.subgraphs] == [
+            s.chi_square for s in watched.subgraphs
+        ]
+        assert plain.report.explored_subgraphs == watched.report.explored_subgraphs
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_never_firing_callback_changes_nothing_continuous(self, seed):
+        graph, labeling = random_continuous_instance(seed)
+        plain = mine(graph, labeling)
+        watched = mine(graph, labeling, check_abort=lambda: False)
+        assert [s.vertices for s in plain.subgraphs] == [
+            s.vertices for s in watched.subgraphs
+        ]
+
+    def test_naive_method_also_polls(self):
+        graph, labeling = random_discrete_instance(1, n=10)
+        plain = mine(graph, labeling, method="naive")
+        watched = mine(
+            graph, labeling, method="naive", check_abort=lambda: False
+        )
+        assert [s.vertices for s in plain.subgraphs] == [
+            s.vertices for s in watched.subgraphs
+        ]
+
+
+class TestAbortFires:
+    def test_immediate_abort_raises(self):
+        graph, labeling = random_discrete_instance(2)
+        with pytest.raises(SearchAbortedError):
+            mine(graph, labeling, check_abort=lambda: True)
+
+    def test_abort_mid_search_raises_promptly(self):
+        graph, labeling = random_discrete_instance(3, n=14, p_edge=0.5)
+        calls = 0
+
+        def abort_after_two():
+            nonlocal calls
+            calls += 1
+            return calls > 2
+
+        with pytest.raises(SearchAbortedError):
+            mine(graph, labeling, method="naive", check_abort=abort_after_two)
+        assert calls >= 3
+
+    def test_search_polls_every_quantum(self, small_labeled):
+        graph, labeling = small_labeled
+        calls = 0
+
+        def count_only():
+            nonlocal calls
+            calls += 1
+            return False
+
+        mine(graph, labeling, check_abort=count_only)
+        # At minimum the upfront check plus one per 256 states per round.
+        assert calls >= 1
+        assert ABORT_CHECK_MASK == 0xFF
+
+    def test_exhaustive_best_mask_honours_abort(self):
+        from repro.enumerate.accumulators import DiscreteAccumulator
+        from repro.enumerate.bitset import BitsetGraph
+        from repro.graph.graph import Graph
+
+        graph = Graph.complete(12)
+        bitset = BitsetGraph(graph)
+        payloads = [(1, 0) if v % 2 else (0, 1) for v in bitset.vertices]
+        accumulator = DiscreteAccumulator((0.5, 0.5), payloads)
+        with pytest.raises(SearchAbortedError):
+            exhaustive_best_mask(
+                bitset.adjacency, accumulator, check_abort=lambda: True
+            )

@@ -96,6 +96,11 @@ class TestReduction:
         assert sg.total_original_vertices() == 40
         sg.validate_against(g)
 
+    def test_invalid_compaction_factor(self):
+        sg = SuperGraph()
+        with pytest.raises(GraphError):
+            reduce_supergraph(sg, 1, compaction_factor=0)
+
     def test_lemma8_bound_holds_during_reduction(self):
         """Lemma 8: merged X^2 <= X^2_1 + X^2_2 for every contraction."""
         sg, ids = chain_supergraph([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
@@ -118,3 +123,48 @@ class TestReduction:
             # adjacent sums, hence certainly by the global sum.
             total_before = sum(chi for _, chi in before.values())
             assert merged[0].chi_square <= total_before + 1e-9
+
+
+class TestHeapCompaction:
+    @staticmethod
+    def sparse_1k_instance():
+        # 1000-vertex sparse graph: heavy contraction (n_theta=15) on a
+        # sparse topology is exactly the regime where neighbour re-pushes
+        # make the lazy-deletion heap balloon with stale entries.
+        g = gnm_random_graph(1000, 1500, seed=42)
+        lab = ContinuousLabeling.random(g, 1, seed=43)
+        return g, lab
+
+    @staticmethod
+    def reduce_with_metrics(compaction_factor):
+        from repro.telemetry import telemetry_session
+
+        g, lab = TestHeapCompaction.sparse_1k_instance()
+        sg = build_continuous_supergraph(g, lab)
+        with telemetry_session() as (_, metrics):
+            reduce_supergraph(sg, 15, compaction_factor=compaction_factor)
+            snapshot = metrics.snapshot()
+        return sg, snapshot
+
+    def test_compaction_bounds_stale_entries_on_sparse_graph(self):
+        compacted_sg, compacted = self.reduce_with_metrics(2)
+        baseline_sg, baseline = self.reduce_with_metrics(None)
+
+        assert compacted["reduce.heap_compactions"] >= 1
+        assert baseline.get("reduce.heap_compactions", 0) == 0
+        # Compaction discards dead entries wholesale instead of popping
+        # them one by one, so the stale-pop count must drop sharply.
+        assert compacted["reduce.heap_stale_entries"] < (
+            baseline["reduce.heap_stale_entries"] / 2
+        )
+
+    def test_compaction_is_exact(self):
+        # Priorities are recomputed on pop either way, so rebuilding the
+        # heap cannot change which edge is contracted next: the final
+        # partitions must coincide block for block.
+        compacted_sg, _ = self.reduce_with_metrics(2)
+        baseline_sg, _ = self.reduce_with_metrics(None)
+        assert compacted_sg.num_super_vertices == baseline_sg.num_super_vertices
+        assert {
+            frozenset(m) for m in compacted_sg.partition()
+        } == {frozenset(m) for m in baseline_sg.partition()}

@@ -1,0 +1,125 @@
+"""Unit tests for the super-graph prefix cache and its solver integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.solver import mine
+from repro.exceptions import ServiceError
+from repro.graph.generators import gnm_random_graph
+from repro.graph.graph import Graph
+from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
+from repro.service.cache import SuperGraphCache
+from conftest import random_continuous_instance, random_discrete_instance
+
+
+@pytest.fixture
+def instance():
+    graph = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+    labeling = DiscreteLabeling(
+        (0.8, 0.2), {0: 1, 1: 1, 2: 1, 3: 0, 4: 0}
+    )
+    return graph, labeling
+
+
+class TestLRUBehaviour:
+    def test_fetch_miss_then_hit(self, instance):
+        graph, labeling = instance
+        cache = SuperGraphCache()
+        assert cache.fetch(graph, labeling, n_theta=10) is None
+        assert cache.counters()["misses"] == 1
+        result = mine(graph, labeling, prefix_cache=cache)
+        assert result.subgraphs
+        # mine() used its default n_theta=20; fetch with the same key hits.
+        entry = cache.fetch(graph, labeling, n_theta=20)
+        assert entry is not None
+        assert cache.hits >= 1
+
+    def test_eviction_is_lru(self, instance):
+        graph, labeling = instance
+        cache = SuperGraphCache(max_entries=2)
+        for n_theta in (5, 6):
+            mine(graph, labeling, n_theta=n_theta, prefix_cache=cache)
+        assert len(cache) == 2
+        # Touch n_theta=5 so n_theta=6 is the LRU entry, then insert a third.
+        assert cache.fetch(graph, labeling, n_theta=5) is not None
+        mine(graph, labeling, n_theta=7, prefix_cache=cache)
+        assert cache.evictions == 1
+        assert cache.fetch(graph, labeling, n_theta=5) is not None
+        assert cache.fetch(graph, labeling, n_theta=6) is None
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ServiceError):
+            SuperGraphCache(max_entries=0)
+
+    def test_uncacheable_inputs_bypass(self):
+        graph, labeling = random_continuous_instance(3)
+        cache = SuperGraphCache()
+        # shuffled without an int seed is not content-addressable.
+        key = cache.key_of(graph, labeling, n_theta=10, edge_order="shuffled")
+        assert key is None
+        assert cache.fetch(
+            graph, labeling, n_theta=10, edge_order="shuffled"
+        ) is None
+        assert len(cache) == 0
+
+
+class TestSolverIntegration:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_cached_results_identical_discrete(self, seed):
+        graph, labeling = random_discrete_instance(seed)
+        cache = SuperGraphCache()
+        cold = mine(graph, labeling, top_t=2, prefix_cache=cache)
+        warm = mine(graph, labeling, top_t=2, prefix_cache=cache)
+        plain = mine(graph, labeling, top_t=2)
+        assert [s.vertices for s in warm.subgraphs] == [
+            s.vertices for s in cold.subgraphs
+        ]
+        assert [s.vertices for s in warm.subgraphs] == [
+            s.vertices for s in plain.subgraphs
+        ]
+        assert cache.hits >= 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cached_results_identical_continuous(self, seed):
+        graph, labeling = random_continuous_instance(seed)
+        cache = SuperGraphCache()
+        cold = mine(graph, labeling, prefix_cache=cache)
+        warm = mine(graph, labeling, prefix_cache=cache)
+        assert [s.vertices for s in warm.subgraphs] == [
+            s.vertices for s in cold.subgraphs
+        ]
+        assert cache.hits >= 1
+
+    def test_warm_report_fields_match_cold(self, instance):
+        graph, labeling = instance
+        cache = SuperGraphCache()
+        cold = mine(graph, labeling, prefix_cache=cache)
+        warm = mine(graph, labeling, prefix_cache=cache)
+        for field in ("supergraph_vertices", "supergraph_edges",
+                      "reduced_vertices", "contractions"):
+            assert getattr(warm.report, field) == getattr(cold.report, field)
+
+    def test_different_search_suffixes_share_one_prefix(self):
+        graph = gnm_random_graph(40, 70, seed=9)
+        labeling = DiscreteLabeling.random(
+            graph, uniform_probabilities(3), seed=10
+        )
+        cache = SuperGraphCache()
+        base = mine(graph, labeling, n_theta=12, prefix_cache=cache)
+        variant = mine(
+            graph, labeling, n_theta=12, polish=True, prune="bounds",
+            prefix_cache=cache,
+        )
+        assert cache.misses >= 1
+        assert cache.hits >= 1
+        # Same prefix, same best region; polish can only keep or improve.
+        assert variant.subgraphs[0].chi_square >= base.subgraphs[0].chi_square
+
+    def test_naive_method_bypasses_cache(self, instance):
+        graph, labeling = instance
+        cache = SuperGraphCache()
+        mine(graph, labeling, method="naive", prefix_cache=cache)
+        assert cache.counters() == {
+            "hits": 0, "misses": 0, "evictions": 0, "entries": 0,
+        }

@@ -1,0 +1,132 @@
+"""Unit tests for the content digests keying the super-graph cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import DigestError
+from repro.graph.graph import Graph
+from repro.labels.continuous import ContinuousLabeling
+from repro.labels.discrete import DiscreteLabeling
+from repro.service.digest import (
+    encode_vertex,
+    graph_digest,
+    labeling_digest,
+    prefix_digest,
+)
+
+
+class TestEncodeVertex:
+    def test_type_tags_prevent_cross_type_collisions(self):
+        assert encode_vertex(1) != encode_vertex("1")
+        assert encode_vertex(1) != encode_vertex(True)
+        assert encode_vertex(1) != encode_vertex((1,))
+        assert encode_vertex("") != encode_vertex(None)
+
+    def test_string_length_prefix_prevents_concatenation_collisions(self):
+        assert encode_vertex("ab") != encode_vertex("a") + "b"
+
+    def test_tuples_encode_recursively(self):
+        assert encode_vertex((1, "a")) == "t:2[i:1,s:1:a]"
+        assert encode_vertex((1, (2,))) != encode_vertex((1, 2))
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(DigestError):
+            encode_vertex(object())
+
+
+class TestGraphDigest:
+    def test_stable_across_insertion_order(self):
+        a = Graph.from_edges([(0, 1), (1, 2), (2, 3)])
+        b = Graph.from_edges([(2, 3), (2, 1), (1, 0)], vertices=[3, 0])
+        assert graph_digest(a) == graph_digest(b)
+
+    def test_edge_endpoint_order_is_irrelevant(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(1, 0)])
+        assert graph_digest(a) == graph_digest(b)
+
+    def test_different_edges_differ(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(0, 1), (0, 2)])
+        assert graph_digest(a) != graph_digest(b)
+
+    def test_isolated_vertices_matter(self):
+        a = Graph.from_edges([(0, 1)])
+        b = Graph.from_edges([(0, 1)], vertices=[2])
+        assert graph_digest(a) != graph_digest(b)
+
+    def test_tuple_and_str_vertices_digest(self):
+        g = Graph.from_edges([(("a", 1), ("b", 2)), (("b", 2), ("c", 3))])
+        h = Graph.from_edges([(("b", 2), ("c", 3)), (("a", 1), ("b", 2))])
+        assert graph_digest(g) == graph_digest(h)
+
+
+class TestLabelingDigest:
+    def test_discrete_stable_across_assignment_order(self):
+        a = DiscreteLabeling((0.8, 0.2), {0: 1, 1: 0, 2: 1})
+        b = DiscreteLabeling((0.8, 0.2), {2: 1, 0: 1, 1: 0})
+        assert labeling_digest(a) == labeling_digest(b)
+
+    def test_discrete_sensitive_to_assignment(self):
+        a = DiscreteLabeling((0.8, 0.2), {0: 1, 1: 0})
+        b = DiscreteLabeling((0.8, 0.2), {0: 0, 1: 1})
+        assert labeling_digest(a) != labeling_digest(b)
+
+    def test_discrete_sensitive_to_probabilities(self):
+        a = DiscreteLabeling((0.8, 0.2), {0: 1, 1: 0})
+        b = DiscreteLabeling((0.7, 0.3), {0: 1, 1: 0})
+        assert labeling_digest(a) != labeling_digest(b)
+
+    def test_discrete_symbol_commas_cannot_collide(self):
+        a = DiscreteLabeling((0.5, 0.5), {0: 0}, symbols=["a,b", "c"])
+        b = DiscreteLabeling((0.5, 0.5), {0: 0}, symbols=["a", "b,c"])
+        assert labeling_digest(a) != labeling_digest(b)
+
+    def test_continuous_stable_across_order(self):
+        a = ContinuousLabeling({0: [1.5, -0.2], 1: [0.0, 0.4]})
+        b = ContinuousLabeling({1: [0.0, 0.4], 0: [1.5, -0.2]})
+        assert labeling_digest(a) == labeling_digest(b)
+
+    def test_continuous_sensitive_to_scores(self):
+        a = ContinuousLabeling({0: [1.5], 1: [0.0]})
+        b = ContinuousLabeling({0: [1.5], 1: [0.1]})
+        assert labeling_digest(a) != labeling_digest(b)
+
+
+class TestPrefixDigest:
+    def test_discrete_ignores_edge_order_and_seed(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        lab = DiscreteLabeling((0.8, 0.2), {0: 1, 1: 1, 2: 0})
+        base = prefix_digest(g, lab, n_theta=10)
+        assert prefix_digest(
+            g, lab, n_theta=10, edge_order="shuffled", seed=7
+        ) == base
+        assert prefix_digest(
+            g, lab, n_theta=10, edge_order="by_chi_square"
+        ) == base
+
+    def test_n_theta_is_part_of_the_key(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        lab = DiscreteLabeling((0.8, 0.2), {0: 1, 1: 1, 2: 0})
+        assert prefix_digest(g, lab, n_theta=10) != prefix_digest(
+            g, lab, n_theta=11
+        )
+
+    def test_continuous_edge_order_is_part_of_the_key(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        lab = ContinuousLabeling({0: [1.0], 1: [2.0], 2: [0.5]})
+        assert prefix_digest(
+            g, lab, n_theta=10, edge_order="input"
+        ) != prefix_digest(g, lab, n_theta=10, edge_order="by_chi_square")
+
+    def test_continuous_shuffled_requires_int_seed(self):
+        g = Graph.from_edges([(0, 1)])
+        lab = ContinuousLabeling({0: [1.0], 1: [2.0]})
+        with pytest.raises(DigestError):
+            prefix_digest(g, lab, n_theta=10, edge_order="shuffled")
+        with pytest.raises(DigestError):
+            prefix_digest(g, lab, n_theta=10, edge_order="shuffled", seed=True)
+        a = prefix_digest(g, lab, n_theta=10, edge_order="shuffled", seed=3)
+        b = prefix_digest(g, lab, n_theta=10, edge_order="shuffled", seed=4)
+        assert a != b

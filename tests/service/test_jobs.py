@@ -1,0 +1,140 @@
+"""Tests for the job queue and the self-healing worker pool.
+
+These spin up real ``spawn`` worker processes, so they carry the
+``service`` marker (run them alone with ``pytest -m service``).
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.exceptions import BackpressureError, ServiceError
+from repro.service.jobs import JobManager
+from repro.service.protocol import validate_request
+
+pytestmark = pytest.mark.service
+
+QUICK_REQUEST = validate_request({
+    "graph": {"edges": [[0, 1], [1, 2], [0, 2], [2, 3], [3, 4]]},
+    "labels": {"type": "discrete", "probabilities": [0.8, 0.2],
+               "assignment": {"0": 1, "1": 1, "2": 1, "3": 0, "4": 0}},
+})
+
+# Exhaustive search on a 40-vertex near-complete graph: effectively
+# unbounded wall time, but cooperatively cancellable every 256 states.
+SLOW_REQUEST = validate_request({
+    "graph": {"edges": [
+        [u, v] for u in range(40) for v in range(u + 1, 40)
+        if (u + v) % 7 != 0
+    ]},
+    "labels": {"type": "discrete", "probabilities": [0.5, 0.5],
+               "assignment": {str(v): v % 2 for v in range(40)}},
+    "params": {"method": "naive"},
+})
+
+
+def wait_for(predicate, timeout=20.0, interval=0.05):
+    """Poll ``predicate`` until true; fail the test on timeout."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return
+        time.sleep(interval)
+    pytest.fail("condition not reached within the timeout")
+
+
+@pytest.fixture(scope="module")
+def manager():
+    with JobManager(workers=2, cache_size=8) as mgr:
+        yield mgr
+
+
+class TestLifecycle:
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ServiceError):
+            JobManager(workers=0)
+        with pytest.raises(ServiceError):
+            JobManager(workers=1, queue_size=0)
+
+    def test_submit_and_complete(self, manager):
+        job = manager.submit(QUICK_REQUEST)
+        assert job.wait(60)
+        assert job.status == "done"
+        assert job.result is not None
+        best = job.result["subgraphs"][0]
+        assert set(best["vertices"]) == {"0", "1", "2"}
+        payload = job.to_payload()
+        assert payload["job_id"] == job.id
+        assert payload["status"] == "done"
+
+    def test_unknown_job_lookup(self, manager):
+        assert manager.get("not-a-job") is None
+
+    def test_cache_deltas_are_folded_pool_wide(self, manager):
+        before = manager.cache_counters["hits"] + manager.cache_counters["misses"]
+        jobs = [manager.submit(QUICK_REQUEST) for _ in range(4)]
+        for job in jobs:
+            assert job.wait(60)
+            assert job.status == "done"
+        wait_for(lambda: (
+            manager.cache_counters["hits"] + manager.cache_counters["misses"]
+        ) >= before + 4)
+        # 4 identical jobs over 2 workers: pigeonhole guarantees a repeat
+        # on some worker, hence at least one cache hit.
+        assert manager.cache_counters["hits"] >= 1
+
+
+class TestDeadlines:
+    def test_timeout_is_structured_and_pool_survives(self, manager):
+        slow = manager.submit(SLOW_REQUEST, deadline_seconds=0.5)
+        assert slow.wait(30)
+        assert slow.status == "timeout"
+        assert slow.error is not None
+        assert slow.result is None
+        payload = slow.to_payload()
+        assert payload["status"] == "timeout"
+        assert payload["deadline_seconds_left"] == 0.0
+        # The worker cancelled cooperatively — it must serve the next job.
+        follow_up = manager.submit(QUICK_REQUEST)
+        assert follow_up.wait(60)
+        assert follow_up.status == "done"
+
+    def test_deadline_already_expired_when_dequeued(self, manager):
+        job = manager.submit(QUICK_REQUEST, deadline_seconds=1e-9)
+        assert job.wait(30)
+        assert job.status == "timeout"
+
+
+class TestBackpressure:
+    def test_full_queue_rejects_submissions(self):
+        with JobManager(workers=1, queue_size=1) as mgr:
+            blocker = mgr.submit(SLOW_REQUEST, deadline_seconds=5.0)
+            with pytest.raises(BackpressureError):
+                mgr.submit(QUICK_REQUEST)
+            assert blocker.wait(30)
+            # The slot freed up once the blocker timed out.
+            job = mgr.submit(QUICK_REQUEST)
+            assert job.wait(60)
+            assert job.status == "done"
+
+
+class TestCrashRecovery:
+    def test_sigkilled_worker_is_detected_and_respawned(self):
+        with JobManager(workers=1, cache_size=8) as mgr:
+            victim = mgr.submit(SLOW_REQUEST)
+            wait_for(lambda: victim.status == "running")
+            assert victim.worker_pid is not None
+            os.kill(victim.worker_pid, signal.SIGKILL)
+            assert victim.wait(30)
+            assert victim.status == "error"
+            assert "died" in victim.error
+            wait_for(lambda: mgr.stats()["workers_alive"] == 1)
+            assert mgr.stats()["workers_respawned"] == 1
+            # The replacement worker serves the next job.
+            job = mgr.submit(QUICK_REQUEST)
+            assert job.wait(60)
+            assert job.status == "done"

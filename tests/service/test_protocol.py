@@ -1,0 +1,117 @@
+"""Unit tests for the service request/response schema (no processes)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.solver import mine
+from repro.exceptions import RequestValidationError
+from repro.service.protocol import (
+    DEFAULT_PARAMS,
+    build_instance,
+    result_to_payload,
+    validate_request,
+)
+
+MINIMAL = {
+    "graph": {"edges": [[0, 1], [1, 2]]},
+    "labels": {"type": "discrete", "probabilities": [0.8, 0.2],
+               "assignment": {"0": 1, "1": 1, "2": 0}},
+}
+
+
+class TestValidateRequest:
+    def test_minimal_request_gets_defaults(self):
+        request = validate_request(json.loads(json.dumps(MINIMAL)))
+        assert request["params"] == DEFAULT_PARAMS
+        assert request["vertex_type"] == "int"
+        assert request["async"] is False
+        assert request["deadline_seconds"] is None
+
+    def test_params_merge_with_defaults(self):
+        doc = dict(MINIMAL, params={"top_t": 3, "prune": "bounds"})
+        request = validate_request(doc)
+        assert request["params"]["top_t"] == 3
+        assert request["params"]["prune"] == "bounds"
+        assert request["params"]["n_theta"] == DEFAULT_PARAMS["n_theta"]
+
+    @pytest.mark.parametrize("doc", [
+        None,
+        [],
+        {},
+        {"graph": {"edges": []}},                          # labels missing
+        {"labels": MINIMAL["labels"]},                     # graph missing
+        dict(MINIMAL, extra=1),
+        dict(MINIMAL, graph={"edges": [[0]]}),             # 1-element edge
+        dict(MINIMAL, graph={"edges": "nope"}),
+        dict(MINIMAL, vertex_type="float"),
+        dict(MINIMAL, params={"top_t": 0}),
+        dict(MINIMAL, params={"top_t": True}),
+        dict(MINIMAL, params={"method": "psychic"}),
+        dict(MINIMAL, params={"edge_order": "sideways"}),
+        dict(MINIMAL, params={"seed": "seven"}),
+        dict(MINIMAL, params={"polish": "yes"}),
+        dict(MINIMAL, params={"unknown": 1}),
+        dict(MINIMAL, **{"async": "yes"}),
+        dict(MINIMAL, deadline_seconds=0),
+        dict(MINIMAL, deadline_seconds=-2.5),
+        dict(MINIMAL, deadline_seconds=True),
+    ])
+    def test_invalid_documents_raise(self, doc):
+        with pytest.raises(RequestValidationError):
+            validate_request(doc)
+
+
+class TestBuildInstance:
+    def test_materialises_graph_and_labels(self):
+        graph, labeling = build_instance(validate_request(MINIMAL))
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert labeling.label_of(0) == 1
+
+    def test_isolated_vertices_and_str_type(self):
+        doc = {
+            "graph": {"edges": [["a", "b"]], "vertices": ["c"]},
+            "labels": {"type": "continuous",
+                       "scores": {"a": [1.0], "b": [2.0], "c": [0.0]}},
+            "vertex_type": "str",
+        }
+        graph, labeling = build_instance(validate_request(doc))
+        assert graph.num_vertices == 3
+        assert labeling.z_score_of("c") == (0.0,)
+
+    def test_bad_label_model_is_a_validation_error(self):
+        doc = dict(MINIMAL, labels={
+            "type": "discrete", "probabilities": [0.8, 0.9],  # sums to 1.7
+            "assignment": {"0": 1, "1": 1, "2": 0},
+        })
+        with pytest.raises(RequestValidationError):
+            build_instance(validate_request(doc))
+
+    def test_malformed_assignment_is_a_validation_error(self):
+        doc = dict(MINIMAL, labels={
+            "type": "discrete", "probabilities": [0.8, 0.2],
+            "assignment": {"zero": 1, "1": 1, "2": 0},  # int() fails
+        })
+        with pytest.raises(RequestValidationError):
+            build_instance(validate_request(doc))
+
+    def test_self_loop_is_a_validation_error(self):
+        doc = dict(MINIMAL, graph={"edges": [[0, 0]]})
+        with pytest.raises(RequestValidationError):
+            build_instance(validate_request(doc))
+
+
+class TestResultPayload:
+    def test_payload_matches_cli_json_shape(self):
+        graph, labeling = build_instance(validate_request(MINIMAL))
+        payload = result_to_payload(mine(graph, labeling))
+        assert set(payload) == {"subgraphs", "report"}
+        best = payload["subgraphs"][0]
+        assert set(best["vertices"]) == {"0", "1"}
+        for key in ("num_vertices", "contractions", "rounds",
+                    "construction_seconds", "total_seconds"):
+            assert key in payload["report"], key
+        json.dumps(payload)  # must be JSON-serialisable as-is

@@ -1,0 +1,174 @@
+"""End-to-end HTTP tests for the mining service.
+
+Real sockets, real worker processes — marked ``service``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.core.solver import mine
+from repro.graph.graph import Graph
+from repro.labels.discrete import DiscreteLabeling
+from repro.service.protocol import result_to_payload
+from repro.service.server import MiningService
+
+pytestmark = pytest.mark.service
+
+EDGES = [[0, 1], [1, 2], [0, 2], [2, 3], [3, 4], [4, 5], [3, 5]]
+ASSIGNMENT = {"0": 1, "1": 1, "2": 1, "3": 0, "4": 0, "5": 0}
+REQUEST = {
+    "graph": {"edges": EDGES},
+    "labels": {"type": "discrete", "probabilities": [0.8, 0.2],
+               "symbols": ["common", "rare"], "assignment": ASSIGNMENT},
+    "params": {"top_t": 2, "n_theta": 10},
+}
+
+
+def http(method, url, doc=None, timeout=60):
+    """One JSON request; returns (status, decoded body)."""
+    data = None if doc is None else json.dumps(doc).encode()
+    request = urllib.request.Request(
+        url, data=data, method=method,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+@pytest.fixture(scope="module")
+def service():
+    with MiningService(port=0, workers=2, cache_size=8) as svc:
+        host, port = svc.address
+        yield f"http://{host}:{port}"
+        # context manager stops the server and reaps the workers
+
+
+class TestMineEndpoint:
+    def test_concurrent_requests_match_direct_mine(self, service):
+        graph = Graph.from_edges([(u, v) for u, v in EDGES])
+        labeling = DiscreteLabeling(
+            (0.8, 0.2), {int(k): v for k, v in ASSIGNMENT.items()},
+            symbols=["common", "rare"],
+        )
+        direct = result_to_payload(mine(graph, labeling, top_t=2, n_theta=10))
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            responses = list(pool.map(
+                lambda _: http("POST", service + "/mine", REQUEST), range(8)
+            ))
+        for status, body in responses:
+            assert status == 200
+            assert body["status"] == "done"
+            assert body["result"]["subgraphs"] == direct["subgraphs"]
+
+        status, body = http("GET", service + "/metricsz")
+        assert status == 200
+        # 8 identical jobs over 2 workers: at least one repeat per pigeonhole.
+        assert body["metrics"]["service.cache.hits"] >= 1
+        assert body["metrics"]["service.cache.misses"] >= 1
+
+    def test_trace_id_present(self, service):
+        status, body = http("POST", service + "/mine", REQUEST)
+        assert status == 200
+        assert len(body["trace_id"]) == 16
+
+    def test_deadline_timeout_is_504_and_pool_survives(self, service):
+        slow = {
+            "graph": {"edges": [
+                [u, v] for u in range(40) for v in range(u + 1, 40)
+                if (u + v) % 7 != 0
+            ]},
+            "labels": {"type": "discrete", "probabilities": [0.5, 0.5],
+                       "assignment": {str(v): v % 2 for v in range(40)}},
+            "params": {"method": "naive"},
+            "deadline_seconds": 0.5,
+        }
+        status, body = http("POST", service + "/mine", slow)
+        assert status == 504
+        assert body["status"] == "timeout"
+        assert "error" in body
+        status, body = http("POST", service + "/mine", REQUEST)
+        assert status == 200
+        assert body["status"] == "done"
+
+
+class TestValidation:
+    def test_non_json_body_is_400(self, service):
+        request = urllib.request.Request(
+            service + "/mine", data=b"this is not json", method="POST"
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=10)
+        assert excinfo.value.code == 400
+
+    def test_schema_violations_are_400(self, service):
+        for doc in (
+            {"labels": REQUEST["labels"]},                      # no graph
+            {"graph": {"edges": []}, "labels": {"type": "nope"}},
+            dict(REQUEST, params={"top_t": 0}),
+            dict(REQUEST, params={"prune": "psychic"}),
+            dict(REQUEST, unknown_field=1),
+            dict(REQUEST, deadline_seconds=-1),
+        ):
+            status, body = http("POST", service + "/mine", doc)
+            assert status == 400, doc
+            assert "error" in body
+
+    def test_unknown_routes_are_404(self, service):
+        assert http("GET", service + "/nope")[0] == 404
+        assert http("POST", service + "/nope", {})[0] == 404
+        assert http("GET", service + "/jobs/unknown")[0] == 404
+
+    def test_oversized_body_is_413(self):
+        with MiningService(
+            port=0, workers=1, max_request_bytes=200
+        ) as small:
+            host, port = small.address
+            status, body = http(
+                "POST", f"http://{host}:{port}/mine", REQUEST
+            )
+            assert status == 413
+
+
+class TestAsyncJobs:
+    def test_async_flow(self, service):
+        status, body = http(
+            "POST", service + "/mine", dict(REQUEST, **{"async": True})
+        )
+        assert status == 202
+        job_id = body["job_id"]
+        deadline = time.monotonic() + 60
+        while time.monotonic() < deadline:
+            status, body = http("GET", f"{service}/jobs/{job_id}")
+            assert status == 200
+            if body["status"] in ("done", "timeout", "error"):
+                break
+            time.sleep(0.05)
+        assert body["status"] == "done"
+        assert body["result"]["subgraphs"]
+
+
+class TestHealth:
+    def test_healthz_reports_pool(self, service):
+        status, body = http("GET", service + "/healthz")
+        assert status == 200
+        assert body["status"] == "ok"
+        assert body["pool"]["workers_alive"] == 2
+
+    def test_metricsz_has_pool_counters(self, service):
+        status, body = http("GET", service + "/metricsz")
+        assert status == 200
+        for key in ("service.cache.hits", "service.cache.misses",
+                    "service.cache.evictions", "service.workers_respawned",
+                    "service.jobs_in_flight", "service.workers_alive"):
+            assert key in body["metrics"], key

@@ -85,6 +85,50 @@ class TestMine:
         with pytest.raises(SystemExit):
             main(["mine", graph_path, labels_path, "--prune", "psychic"])
 
+    def test_mine_passes_search_flags_through(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main([
+            "mine", graph_path, labels_path, "--json",
+            "--min-size", "2", "--search-limit", "100000",
+            "--edge-order", "input", "--seed", "7",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(s["size"] >= 2 for s in payload["subgraphs"])
+
+    def test_mine_min_size_filters_regions(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main([
+            "mine", graph_path, labels_path, "--json", "--min-size", "3",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert all(s["size"] >= 3 for s in payload["subgraphs"])
+
+    def test_mine_search_limit_exceeded_fails_cleanly(
+        self, instance_files, capsys
+    ):
+        graph_path, labels_path = instance_files
+        assert main([
+            "mine", graph_path, labels_path, "--method", "naive",
+            "--search-limit", "2",
+        ]) == 2
+        assert "limit" in capsys.readouterr().err
+
+    def test_mine_json_empty_result_exits_one(self, tmp_path, capsys):
+        graph_path = tmp_path / "empty.txt"
+        graph_path.write_text("")
+        labels_path = tmp_path / "labels.json"
+        labels_path.write_text(json.dumps({
+            "type": "discrete", "probabilities": [0.5, 0.5],
+            "assignment": {},
+        }))
+        assert main([
+            "mine", str(graph_path), str(labels_path), "--json",
+        ]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        # The payload still carries the (empty) subgraphs key and report.
+        assert payload["subgraphs"] == []
+        assert payload["report"]["num_vertices"] == 0
+
     def test_continuous_labels(self, tmp_path, capsys):
         graph = Graph.path(4)
         graph_path = tmp_path / "g.txt"
@@ -208,6 +252,33 @@ class TestTraceSummarize:
         empty.write_text("")
         assert main(["trace", "summarize", str(empty)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestServeParser:
+    def test_serve_flags_parse_with_defaults(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(["serve"])
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.workers == 2
+        assert args.cache_size == 32
+        assert args.queue_size == 64
+        assert args.default_deadline is None
+        assert args.max_request_mb == 8.0
+
+    def test_serve_flags_override(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args([
+            "serve", "--host", "0.0.0.0", "--port", "0", "--workers", "4",
+            "--cache-size", "16", "--queue-size", "8",
+            "--default-deadline", "2.5", "--max-request-mb", "1",
+        ])
+        assert (args.host, args.port, args.workers) == ("0.0.0.0", 0, 4)
+        assert args.cache_size == 16
+        assert args.queue_size == 8
+        assert args.default_deadline == 2.5
 
 
 class TestGenerate:

@@ -43,6 +43,7 @@ class TestTopLevelExports:
             "repro.experiments",
             "repro.community",
             "repro.telemetry",
+            "repro.service",
         ],
     )
     def test_subpackage_all_resolves(self, subpackage):
