@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from pathlib import Path
 
@@ -119,6 +120,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             min_size=args.min_size,
             polish=args.polish,
             prune=args.prune,
+            backend=args.backend,
         )
 
     metrics_snapshot = None
@@ -147,6 +149,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             ],
             "report": {
                 "prune": args.prune,
+                "backend": args.backend,
                 "num_vertices": report.num_vertices,
                 "num_edges": report.num_edges,
                 "supergraph_vertices": report.supergraph_vertices,
@@ -379,6 +382,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="branch-and-bound pruning of the exhaustive search "
         "(admissible bounds; identical optima, fewer states)",
     )
+    mine_cmd.add_argument(
+        "--backend", choices=("python", "numpy"), default="python",
+        help="search backend: the reference python DFS or the vectorized "
+        "numpy batch kernel (identical results, much faster; falls back "
+        "to python above 64 vertices)",
+    )
     mine_cmd.add_argument("--json", action="store_true", help="JSON output")
     mine_cmd.add_argument(
         "--trace", metavar="FILE",
@@ -472,6 +481,14 @@ def main(argv: list[str] | None = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BrokenPipeError:
+        # Downstream closed the pipe early (e.g. `repro trace summarize
+        # ... | head`); suppress the traceback and exit quietly.  stdout
+        # is re-pointed at devnull so the interpreter's shutdown flush
+        # does not raise the same error again.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -124,6 +124,7 @@ def mine(
     min_size: int = 1,
     polish: bool = False,
     prune: str = "none",
+    backend: str = "python",
     check_abort: Callable[[], bool] | None = None,
     prefix_cache: PrefixCache | None = None,
 ) -> MiningResult:
@@ -163,6 +164,12 @@ def mine(
         ``"none"`` — plain exhaustive search; ``"bounds"`` — branch-and-
         bound with admissible chi-square upper bounds (identical optima,
         fewer states visited; see :mod:`repro.enumerate.bounds`).
+    backend:
+        Search backend: ``"python"`` — the reference DFS; ``"numpy"`` —
+        the vectorized batch kernel with block-cut decomposition
+        (:mod:`repro.enumerate.kernel`), identical results, much faster
+        on reduced super-graphs.  Graphs above the kernel's 64-vertex
+        limit fall back to the python walk automatically.
     check_abort:
         Cooperative-cancellation callback, polled between TSSS rounds and
         every few hundred states inside the exhaustive search; when it
@@ -184,6 +191,8 @@ def mine(
         raise GraphError(f"min_size must be >= 1, got {min_size}")
     if prune not in ("none", "bounds"):
         raise GraphError(f"unknown prune mode {prune!r}")
+    if backend not in ("python", "numpy"):
+        raise GraphError(f"unknown search backend {backend!r}")
     labeling.validate_covers(graph)
 
     report = PipelineReport(
@@ -230,6 +239,7 @@ def mine(
                     search_limit=search_limit,
                     min_size=min_size,
                     prune=prune,
+                    backend=backend,
                     check_abort=check_abort,
                     prefix_cache=prefix_cache,
                 )
@@ -273,6 +283,7 @@ def _mine_one(
     search_limit: int | None,
     min_size: int,
     prune: str,
+    backend: str = "python",
     check_abort: Callable[[], bool] | None = None,
     prefix_cache: PrefixCache | None = None,
 ) -> SignificantSubgraph | None:
@@ -342,10 +353,11 @@ def _mine_one(
                 )
 
     explored_before = report.explored_subgraphs
-    with tracer.span("solver.search", prune=prune) as span:
+    with tracer.span("solver.search", prune=prune, backend=backend) as span:
         region = _search_supergraph(
             supergraph, labeling, search_limit=search_limit, min_size=min_size,
-            report=report, prune=prune, check_abort=check_abort,
+            report=report, prune=prune, backend=backend,
+            check_abort=check_abort,
         )
         # Per-round delta, not the running total, so top-t traces show what
         # each round actually cost.
@@ -378,6 +390,7 @@ def _search_supergraph(
     min_size: int,
     report: PipelineReport,
     prune: str = "none",
+    backend: str = "python",
     check_abort: Callable[[], bool] | None = None,
 ) -> SignificantSubgraph | None:
     """Exhaustive MSCS search on a (reduced) super-graph."""
@@ -397,7 +410,7 @@ def _search_supergraph(
 
     outcome = exhaustive_best_mask(
         bitset.adjacency, accumulator, limit=search_limit, prune=prune,
-        check_abort=check_abort,
+        backend=backend, check_abort=check_abort,
     )
     report.explored_subgraphs += outcome.explored
     if outcome.mask == 0:
@@ -419,7 +432,8 @@ def _search_supergraph(
                 return None
             outcome = exhaustive_best_mask(
                 bitset.adjacency, accumulator, min_size=floor,
-                limit=search_limit, prune=prune, check_abort=check_abort,
+                limit=search_limit, prune=prune, backend=backend,
+                check_abort=check_abort,
             )
             report.explored_subgraphs += outcome.explored
             if outcome.mask == 0:

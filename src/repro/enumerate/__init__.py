@@ -26,9 +26,19 @@ from repro.enumerate.connected import (
     enumerate_connected_subsets,
     reference_connected_subsets,
 )
+from repro.enumerate.kernel import (
+    KERNEL_CHUNK,
+    MAX_KERNEL_VERTICES,
+    MIN_DECOMPOSE_VERTICES,
+    batch_neighbors_mask,
+    kernel_available,
+    kernel_best_mask,
+    neighborhood_masks,
+)
 from repro.enumerate.search import (
     ABORT_CHECK_MASK,
     PRUNE_MODES,
+    SEARCH_BACKENDS,
     SearchOutcome,
     exhaustive_best_mask,
     exhaustive_best_subset,
@@ -42,8 +52,13 @@ __all__ = [
     "ContinuousAccumulator",
     "DEFAULT_LIMIT",
     "DiscreteAccumulator",
+    "KERNEL_CHUNK",
+    "MAX_KERNEL_VERTICES",
+    "MIN_DECOMPOSE_VERTICES",
     "PRUNE_MODES",
+    "SEARCH_BACKENDS",
     "SearchOutcome",
+    "batch_neighbors_mask",
     "budget_limited_size",
     "connected_subgraph_masks",
     "continuous_upper_bound",
@@ -53,7 +68,10 @@ __all__ = [
     "exhaustive_best_mask",
     "exhaustive_best_subset",
     "iter_bits",
+    "kernel_available",
+    "kernel_best_mask",
     "mask_of",
+    "neighborhood_masks",
     "popcount",
     "reference_connected_subsets",
     "supports_bounds",

@@ -158,6 +158,20 @@ class DiscreteAccumulator:
         """Current merged count vector."""
         return tuple(self._counts)
 
+    @property
+    def probabilities(self) -> tuple[float, ...]:
+        """The null model shared by all payloads (read-only)."""
+        return tuple(self._probs)
+
+    @property
+    def payloads(self) -> tuple[tuple[int, ...], ...]:
+        """Per-vertex count-vector payloads in index order (read-only).
+
+        Exposed so batch backends (:mod:`repro.enumerate.kernel`) can
+        precompute payload matrices without reaching into private state.
+        """
+        return tuple(self._payloads)
+
 
 class ContinuousAccumulator:
     """Incremental Eq. 8 chi-square over continuous raw-sum payloads.
@@ -245,6 +259,12 @@ class ContinuousAccumulator:
     def size(self) -> int:
         """Total original-vertex count of the current set."""
         return self._size
+
+    @property
+    def payloads(self) -> tuple[tuple[tuple[float, ...], int], ...]:
+        """Per-vertex ``(raw_sums, size)`` payloads in index order
+        (read-only; consumed by :mod:`repro.enumerate.kernel`)."""
+        return tuple(self._payloads)
 
     def z_vector(self) -> tuple[float, ...]:
         """Combined z-score of the current set (Eq. 5 per dimension)."""

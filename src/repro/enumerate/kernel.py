@@ -1,0 +1,759 @@
+"""Vectorized (numpy) search backend with block-cut decomposition.
+
+The python walk in :mod:`repro.enumerate.search` spends its time in
+per-state Python bytecode: one accumulator push/pop pair and one statistic
+per connected set.  This module replaces that inner loop with batch numpy
+evaluation while *provably* returning the identical
+:class:`~repro.enumerate.search.SearchOutcome`:
+
+1. **Same state family.**  Under ``prune="none"`` the DFS counters are
+   functions of the *set* of visited states, not of the visit order — every
+   visited connected set of size ``< size_cap`` contributes exactly one
+   exhausted-frontier frame and every set of size ``== size_cap`` exactly
+   one size-cap prune (see the sibling-chain argument in
+   ``tests/enumerate/test_kernel.py``).  The kernel enumerates exactly the
+   same family level-by-level (all states of super-vertex count ``s`` in
+   one batch), so ``explored``/``evaluated``/``pruned_size_cap``/
+   ``frontier_exhausted`` match the python walk *exactly*.
+2. **Order-independent optimum.**  Both backends break statistic ties
+   toward the numerically smallest winning bitmask, so the optimum does
+   not depend on enumeration order — which is what licenses batching and
+   decomposition in the first place.
+3. **Block-cut decomposition.**  Lemma 2 of the paper guarantees maximal
+   significant subgraphs are bi-connected, which motivates searching the
+   reduced super-graph through its block-cut structure
+   (:mod:`repro.graph.biconnectivity`).  The exact scheme: pick an
+   articulation point ``a`` of a component ``C``; every connected set
+   either contains ``a`` (enumerated once by a search *rooted at* ``a``
+   over ``C``) or avoids it (enumerated by recursing into the components
+   of ``C - a``).  That partitions the search space, so the union over
+   subproblems is exactly the whole-graph family — counters and optimum
+   included — while each subproblem is a smaller, denser batch.
+
+Under ``prune="bounds"`` the kernel batch-evaluates the same admissible
+upper bounds as :mod:`repro.enumerate.bounds` against the incumbent at
+batch time.  Cut accounting is then inherently order-dependent (a DFS and
+a level walk hold different incumbents at corresponding decisions), so
+``bound_cuts``/``bound_evaluations``/``explored`` are backend-specific
+under bounds — but the optimum remains identical because pruning is
+strict and the bounds are admissible.
+
+States are ``uint64`` bitmasks, which caps the kernel at 64 vertices —
+far above the reduction threshold ``n_theta`` (~20) the solver feeds it.
+Larger graphs transparently fall back to the python walk (see
+:func:`repro.enumerate.search.exhaustive_best_mask`).
+
+``check_abort`` is polled between batches (every ``<= KERNEL_CHUNK``
+states); the kernel holds no mutable accumulator state, so an abort
+mid-batch leaves nothing to unwind.  ``limit`` aborts at batch granularity
+with the flushed ``explored`` capped to ``limit + 1`` like the python
+walk; per-counter partials at abort are backend-specific.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Callable, Sequence
+
+from repro.exceptions import (
+    EnumerationLimitError,
+    KernelError,
+    SearchAbortedError,
+)
+from repro.enumerate.accumulators import (
+    ChiSquareAccumulator,
+    ContinuousAccumulator,
+    DiscreteAccumulator,
+)
+from repro.enumerate.bitset import iter_bits
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
+
+try:  # pragma: no cover - exercised indirectly via kernel_available()
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image bakes numpy in
+    _np = None
+
+__all__ = [
+    "KERNEL_CHUNK",
+    "MAX_KERNEL_VERTICES",
+    "MIN_DECOMPOSE_VERTICES",
+    "batch_neighbors_mask",
+    "kernel_available",
+    "kernel_best_mask",
+    "neighborhood_masks",
+]
+
+MAX_KERNEL_VERTICES = 64
+"""Hard vertex cap: states are single ``uint64`` machine words."""
+
+KERNEL_CHUNK = 1 << 15
+"""Maximum states per batch: bounds both peak memory for the bit-matrix
+scratch (``KERNEL_CHUNK x 64`` bytes) and ``check_abort`` latency."""
+
+MIN_DECOMPOSE_VERTICES = 10
+"""Components smaller than this are searched whole: an articulation split
+saves nothing once the batch already fits one cache line per state."""
+
+
+def kernel_available() -> bool:
+    """Whether the numpy backend can run at all (numpy importable)."""
+    return _np is not None
+
+
+def _require_numpy() -> None:
+    if _np is None:
+        raise KernelError(
+            "the numpy search backend requires numpy, which is not "
+            "installed; use backend='python'"
+        )
+
+
+def neighborhood_masks(adjacency: Sequence[int]) -> "object":
+    """The adjacency bitmasks as a ``(n,)`` uint64 numpy vector.
+
+    This is the kernel's precomputed neighborhood structure: row ``i`` is
+    ``BitsetGraph.adjacency[i]`` verbatim, so batch frontier expansion is
+    a gather plus a bitwise-or reduction instead of a Python loop.
+    """
+    _require_numpy()
+    n = len(adjacency)
+    if n > MAX_KERNEL_VERTICES:
+        raise KernelError(
+            f"the numpy kernel handles at most {MAX_KERNEL_VERTICES} "
+            f"vertices, got {n}; use backend='python'"
+        )
+    arr = _np.zeros(n, dtype=_np.uint64)
+    for i, mask in enumerate(adjacency):
+        arr[i] = mask
+    return arr
+
+
+def batch_neighbors_mask(adj: "object", masks: "object") -> "object":
+    """Vectorized :meth:`BitsetGraph.neighbors_mask` over many vertex sets.
+
+    ``adj`` is a :func:`neighborhood_masks` vector and ``masks`` a
+    ``(B,)`` uint64 array of vertex sets; returns the union of neighbours
+    of every member, minus the set itself, per row.
+    """
+    _require_numpy()
+    n = adj.shape[0]
+    selected = adj[None, :] * _bits_u64(masks, n)
+    return _np.bitwise_or.reduce(selected, axis=1) & ~masks
+
+
+# ----------------------------------------------------------------------
+# Bit-matrix helpers
+# ----------------------------------------------------------------------
+def _bits_u64(masks: "object", n: int) -> "object":
+    """Expand ``(B,)`` uint64 masks into a ``(B, n)`` 0/1 uint64 matrix."""
+    shifts = _np.arange(n, dtype=_np.uint64)
+    return (masks[:, None] >> shifts[None, :]) & _np.uint64(1)
+
+
+def _bit_matrix(masks: "object", n: int) -> "object":
+    """Expand ``(B,)`` uint64 masks into a ``(B, n)`` 0/1 int64 matrix.
+
+    The int64 view is free: the 0/1 bit patterns are identical in both
+    dtypes, so no element conversion pass is needed.
+    """
+    return _bits_u64(masks, n).view(_np.int64)
+
+
+def _popcount(masks: "object") -> "object":
+    """Per-row population count of a uint64 mask array."""
+    if hasattr(_np, "bitwise_count"):  # numpy >= 2.0: native popcount
+        return _np.bitwise_count(masks).astype(_np.int64)
+    return _bit_matrix(masks, MAX_KERNEL_VERTICES).sum(axis=1)
+
+
+def _batch_closure(adj: "object", frontier: "object", blocked: "object") -> "object":
+    """Connected closure of each row's frontier avoiding ``blocked``.
+
+    Vectorized :func:`repro.enumerate.search._reachable_closure`: the
+    returned masks include the frontier itself plus everything reachable
+    from it without entering the corresponding ``blocked`` set.
+    """
+    n = adj.shape[0]
+    visited = frontier.copy()
+    allowed = ~blocked
+    while True:
+        selected = adj[None, :] * _bits_u64(visited, n)
+        reach = _np.bitwise_or.reduce(selected, axis=1)
+        grown = visited | (reach & allowed)
+        if _np.array_equal(grown, visited):
+            return visited
+        visited = grown
+
+
+# ----------------------------------------------------------------------
+# Batch scorers: vectorized accumulators + bounds
+# ----------------------------------------------------------------------
+class _DiscreteScorer:
+    """Batch Eq. 2 chi-square and chord-relaxation bound over count payloads.
+
+    Count matrices are integer matmuls (exact); the statistic and bound
+    use the same elementwise expression trees as the scalar
+    :class:`~repro.enumerate.accumulators.DiscreteAccumulator` /
+    :func:`~repro.enumerate.bounds.discrete_upper_bound`, so with dyadic
+    label probabilities every value is bit-identical to the python walk.
+    """
+
+    def __init__(
+        self,
+        probabilities: Sequence[float],
+        payloads: Sequence[Sequence[int]],
+    ) -> None:
+        self.probs = _np.asarray(probabilities, dtype=_np.float64)
+        self.payload_matrix = _np.array(
+            [list(p) for p in payloads], dtype=_np.int64
+        ).reshape(len(payloads), len(probabilities))
+        self.mass = self.payload_matrix.sum(axis=1)
+        self.planes = self._build_planes()
+
+    def _build_planes(self) -> "object | None":
+        """Bit-plane masks enabling popcount-only count extraction.
+
+        Writing payload counts in binary, ``counts[:, l]`` over a batch of
+        vertex-set masks is ``sum_k 2**k * popcount(mask & planes[l, k])``
+        where ``planes[l, k]`` collects the vertices whose label-``l``
+        count has bit ``k`` set.  That replaces the (B, n) membership
+        matrix + matmul of :meth:`chi` with a few popcount ufunc passes
+        over the raw uint64 masks — same integers, so the statistic stays
+        bit-identical.  Returns ``None`` (disabling the fast path) when
+        the native popcount ufunc is missing, counts are negative, or
+        there are more vertices than mask bits.
+        """
+        n, n_labels = self.payload_matrix.shape
+        if (
+            not hasattr(_np, "bitwise_count")
+            or n > MAX_KERNEL_VERTICES
+            or (n and int(self.payload_matrix.min()) < 0)
+        ):
+            return None
+        depth = max(1, int(self.payload_matrix.max(initial=0)).bit_length())
+        planes = _np.zeros((n_labels, depth), dtype=_np.uint64)
+        for label in range(n_labels):
+            for k in range(depth):
+                mask = 0
+                for v in range(n):
+                    if (int(self.payload_matrix[v, label]) >> k) & 1:
+                        mask |= 1 << v
+                planes[label, k] = mask
+        return planes
+
+    def counts_for_masks(self, masks: "object") -> "object":
+        """Per-row label counts, ``(B, n_labels)`` int64, from raw masks."""
+        if self.planes is None:
+            return _bit_matrix(masks, self.payload_matrix.shape[0]) @ self.payload_matrix
+        hits = _np.bitwise_count(masks[:, None, None] & self.planes[None, :, :])
+        weights = _np.int64(1) << _np.arange(
+            self.planes.shape[1], dtype=_np.int64
+        )
+        return (hits.astype(_np.int64) * weights[None, None, :]).sum(axis=2)
+
+    def chi_masks(self, masks: "object") -> "object":
+        """:meth:`chi` computed directly from ``(B,)`` uint64 masks."""
+        counts = self.counts_for_masks(masks)
+        mass = counts.sum(axis=1).astype(_np.float64)
+        with _np.errstate(divide="ignore", invalid="ignore"):
+            weighted = (
+                counts.astype(_np.float64) ** 2 / self.probs[None, :]
+            ).sum(axis=1)
+            return _np.where(mass > 0, weighted / mass - mass, 0.0)
+
+    def chi(self, bits: "object") -> "object":
+        """Eq. 2 statistic per row of a ``(B, n)`` membership matrix."""
+        counts = bits @ self.payload_matrix
+        mass = (bits @ self.mass).astype(_np.float64)
+        with _np.errstate(divide="ignore", invalid="ignore"):
+            weighted = (
+                counts.astype(_np.float64) ** 2 / self.probs[None, :]
+            ).sum(axis=1)
+            return _np.where(mass > 0, weighted / mass - mass, 0.0)
+
+    def bound(
+        self, bits: "object", closure_bits: "object", budget: int
+    ) -> "object":
+        """Admissible Eq. 2 bound per row; mirrors the scalar formula."""
+        counts = bits @ self.payload_matrix
+        mass = (bits @ self.mass).astype(_np.float64)
+        with _np.errstate(divide="ignore", invalid="ignore"):
+            weighted = (
+                counts.astype(_np.float64) ** 2 / self.probs[None, :]
+            ).sum(axis=1)
+            current = weighted / mass - mass
+
+        candidate_counts = closure_bits @ self.payload_matrix
+        available = closure_bits @ self.mass
+        if budget >= self.payload_matrix.shape[0]:
+            budget_size = available
+        else:
+            member_sizes = closure_bits * self.mass[None, :]
+            member_sizes = -_np.sort(-member_sizes, axis=1)
+            budget_size = member_sizes[:, :budget].sum(axis=1)
+        m_cap = _np.minimum(budget_size, available)
+
+        with _np.errstate(divide="ignore", invalid="ignore"):
+            gain = (2 * counts + candidate_counts) / self.probs[None, :]
+            rho = _np.where(candidate_counts > 0, gain, -_np.inf).max(axis=1)
+            m_cap_f = m_cap.astype(_np.float64)
+            t_cap = mass + m_cap_f
+            best = _np.maximum(current, (weighted + m_cap_f * rho) / t_cap - t_cap)
+            interior = mass * rho - weighted
+            positive = interior > 0.0
+            if positive.any():
+                t_star = _np.sqrt(_np.where(positive, interior, 1.0))
+                for t in (_np.floor(t_star), _np.ceil(t_star)):
+                    m = t - mass
+                    viable = positive & (m > 0) & (m < m_cap_f)
+                    candidate = (weighted + m * rho) / t - t
+                    best = _np.where(
+                        viable, _np.maximum(best, candidate), best
+                    )
+        return _np.where(m_cap <= 0, current, best)
+
+
+class _ContinuousScorer:
+    """Batch Eq. 8 chi-square and triangle-inequality bound over z payloads.
+
+    Raw-sum matrices are float matmuls; summation order differs from the
+    scalar accumulator's incremental path, so values agree to a few ulps
+    (the winning mask and the outcome accounting remain exact — see the
+    differential property suite).
+    """
+
+    def __init__(
+        self, payloads: Sequence[tuple[Sequence[float], int]]
+    ) -> None:
+        self.z_matrix = _np.array(
+            [list(sums) for sums, _ in payloads], dtype=_np.float64
+        ).reshape(len(payloads), -1)
+        self.abs_z = _np.abs(self.z_matrix)
+        self.mass = _np.array([size for _, size in payloads], dtype=_np.int64)
+
+    def chi_masks(self, masks: "object") -> "object":
+        """:meth:`chi` from raw masks; z sums are floats, so no popcount
+        shortcut exists — expand the membership matrix and delegate."""
+        return self.chi(_bit_matrix(masks, self.z_matrix.shape[0]))
+
+    def chi(self, bits: "object") -> "object":
+        """Eq. 8 statistic per row of a ``(B, n)`` membership matrix."""
+        sums = bits @ self.z_matrix
+        mass = (bits @ self.mass).astype(_np.float64)
+        with _np.errstate(divide="ignore", invalid="ignore"):
+            return _np.where(mass > 0, (sums * sums).sum(axis=1) / mass, 0.0)
+
+    def bound(
+        self, bits: "object", closure_bits: "object", budget: int
+    ) -> "object":
+        """Admissible Eq. 8 bound per row; mirrors the scalar formula."""
+        sums = bits @ self.z_matrix
+        mass = (bits @ self.mass).astype(_np.float64)
+        frontier = closure_bits @ self.abs_z
+        reach = _np.abs(sums) + frontier
+        return (reach * reach).sum(axis=1) / mass
+
+
+def _scorer_for(accumulator: ChiSquareAccumulator):
+    """Build the batch scorer matching a bundled accumulator type."""
+    if isinstance(accumulator, DiscreteAccumulator):
+        return _DiscreteScorer(accumulator.probabilities, accumulator.payloads)
+    if isinstance(accumulator, ContinuousAccumulator):
+        return _ContinuousScorer(accumulator.payloads)
+    raise KernelError(
+        f"the numpy backend cannot batch {type(accumulator).__name__} "
+        "payloads; use backend='python' for custom accumulators"
+    )
+
+
+# ----------------------------------------------------------------------
+# Block-cut decomposition plan
+# ----------------------------------------------------------------------
+def _mask_components(adjacency: Sequence[int], region: int) -> list[int]:
+    """Connected components of the sub-bitset ``region``, lowest bit first."""
+    components: list[int] = []
+    remaining = region
+    while remaining:
+        component = remaining & -remaining
+        frontier = component
+        while frontier:
+            reach = 0
+            for i in iter_bits(frontier):
+                reach |= adjacency[i]
+            frontier = reach & region & ~component
+            component |= frontier
+        components.append(component)
+        remaining &= ~component
+    return components
+
+
+def _articulation_split(adjacency: Sequence[int], component: int) -> int | None:
+    """The best articulation point to split ``component`` at, or None.
+
+    "Best" minimizes the largest piece of ``component - a`` (a balanced
+    split keeps every subproblem small), ties toward the smallest vertex
+    index for determinism.  Reuses the graph-level Tarjan-Hopcroft pass
+    from :mod:`repro.graph.biconnectivity` on the induced subgraph.
+    """
+    from repro.graph.biconnectivity import articulation_points
+    from repro.graph.graph import Graph
+
+    members = list(iter_bits(component))
+    if len(members) < 3:
+        return None
+    edges = [
+        (u, v)
+        for u in members
+        for v in iter_bits(adjacency[u] & component)
+        if v > u
+    ]
+    points = articulation_points(Graph.from_edges(edges, vertices=members))
+    best: int | None = None
+    best_key: tuple[int, int] | None = None
+    for a in sorted(points):
+        rest = component & ~(1 << a)
+        largest = max(
+            piece.bit_count() for piece in _mask_components(adjacency, rest)
+        )
+        key = (largest, a)
+        if best_key is None or key < best_key:
+            best, best_key = a, key
+    return best
+
+
+def _build_plan(
+    adjacency: Sequence[int], n: int, decompose: bool
+) -> list[tuple[int, int | None]]:
+    """The subproblem plan: ``(region_mask, forced_root | None)`` entries.
+
+    Rooted entries enumerate exactly the connected sets *containing* the
+    root within the region; unrooted entries enumerate every connected set
+    of the region.  Together the entries partition the connected subsets
+    of the whole graph (see the module docstring), so counters and optima
+    sum/compare exactly against a whole-graph walk.
+    """
+    plan: list[tuple[int, int | None]] = []
+    pending: list[int] = [(1 << n) - 1] if n else []
+    while pending:
+        region = pending.pop()
+        for component in _mask_components(adjacency, region):
+            split: int | None = None
+            if decompose and component.bit_count() >= MIN_DECOMPOSE_VERTICES:
+                split = _articulation_split(adjacency, component)
+            if split is None:
+                plan.append((component, None))
+            else:
+                plan.append((component, split))
+                pending.append(component & ~(1 << split))
+    return plan
+
+
+# ----------------------------------------------------------------------
+# The level-synchronous batch search
+# ----------------------------------------------------------------------
+@dataclass
+class _Counters:
+    """Mutable outcome accounting shared across subproblems."""
+
+    explored: int = 0
+    pruned_size_cap: int = 0
+    frontier_exhausted: int = 0
+    evaluated: int = 0
+    bound_cuts: int = 0
+    bound_evaluations: int = 0
+    best_updates: int = 0
+    batches: int = 0
+
+
+class _KernelRun:
+    """One kernel invocation: global incumbent, counters, and batch loops."""
+
+    def __init__(
+        self,
+        scorer,
+        n: int,
+        *,
+        min_size: int,
+        size_cap: int,
+        limit: int | None,
+        bounded: bool,
+        check_abort: Callable[[], bool] | None,
+    ) -> None:
+        self.scorer = scorer
+        self.n = n
+        self.min_size = min_size
+        self.size_cap = size_cap
+        self.limit = limit
+        self.bounded = bounded
+        self.check_abort = check_abort
+        self.counters = _Counters()
+        self.best_value = float("-inf")
+        self.best_mask = 0
+        self.seed_value = float("-inf")
+
+    # -- visiting -------------------------------------------------------
+    def _visit_chunk(self, subsets: "object", size: int) -> None:
+        """Count, score, and fold one batch of newly created states."""
+        batch = int(subsets.shape[0])
+        if self.limit is not None and self.counters.explored + batch > self.limit:
+            self.counters.explored = self.limit + 1
+            raise EnumerationLimitError(self.limit)
+        if self.check_abort is not None and self.check_abort():
+            raise SearchAbortedError()
+        self.counters.explored += batch
+        self.counters.batches += 1
+        if size < self.min_size:
+            return
+        self.counters.evaluated += batch
+        chi = self.scorer.chi_masks(subsets)
+        top = float(chi.max())
+        if top < self.best_value:
+            return
+        top_mask = int(subsets[chi == top].min())
+        if top > self.best_value or top_mask < self.best_mask:
+            self.best_value = top
+            self.best_mask = top_mask
+            self.counters.best_updates += 1
+
+    def _visit_level(self, subsets: "object", size: int) -> None:
+        """Visit a whole level in ``KERNEL_CHUNK`` batches, then classify.
+
+        Classification mirrors the python walk's frame accounting: every
+        visited set of size ``== size_cap`` is exactly one size-cap prune,
+        every smaller one exactly one exhausted frontier (its sibling
+        chain always ends with an empty extension).
+        """
+        for lo in range(0, subsets.shape[0], KERNEL_CHUNK):
+            self._visit_chunk(subsets[lo : lo + KERNEL_CHUNK], size)
+        if size >= self.size_cap:
+            self.counters.pruned_size_cap += int(subsets.shape[0])
+        else:
+            self.counters.frontier_exhausted += int(subsets.shape[0])
+
+    # -- pruning --------------------------------------------------------
+    def _prune_level(
+        self,
+        adj: "object",
+        subsets: "object",
+        ext: "object",
+        forbidden: "object",
+        size: int,
+    ) -> "object":
+        """Bounds-mode cuts: reachability then admissible bound vs incumbent.
+
+        Returns the boolean keep-mask over rows.  Mirrors the python
+        walk's per-frame cuts (both count into ``bound_cuts``), with the
+        incumbent taken at batch time — admissible either way because
+        pruning is strict and the bound never underestimates.
+        """
+        closure = _batch_closure(adj, ext, subsets | forbidden)
+        keep = size + _popcount(closure) >= self.min_size
+        self.counters.bound_cuts += int((~keep).sum())
+        threshold = max(self.best_value, self.seed_value)
+        if threshold == float("-inf") or not keep.any():
+            return keep
+        rows = _np.flatnonzero(keep)
+        self.counters.bound_evaluations += int(rows.shape[0])
+        bound = self.scorer.bound(
+            _bit_matrix(subsets[rows], self.n),
+            _bit_matrix(closure[rows], self.n),
+            self.size_cap - size,
+        )
+        cut = bound < threshold
+        self.counters.bound_cuts += int(cut.sum())
+        keep[rows[cut]] = False
+        return keep
+
+    # -- expansion ------------------------------------------------------
+    def _expand_level(
+        self,
+        adj: "object",
+        subsets: "object",
+        ext: "object",
+        forbidden: "object",
+    ) -> tuple["object", "object", "object"]:
+        """All children of the given states, one per extension candidate.
+
+        Vectorizes the python walk's binary branching: expanding candidate
+        ``u`` of a state forbids every smaller candidate of the same
+        state, keeps the larger ones, and adds ``u``'s unseen neighbours
+        to the frontier — identical successor semantics, whole level at
+        once.
+        """
+        one = _np.uint64(1)
+        out_sub, out_ext, out_fb = [], [], []
+        for lo in range(0, subsets.shape[0], KERNEL_CHUNK):
+            sub_c = subsets[lo : lo + KERNEL_CHUNK]
+            ext_c = ext[lo : lo + KERNEL_CHUNK]
+            fb_c = forbidden[lo : lo + KERNEL_CHUNK]
+            rows, cols = _np.nonzero(_bits_u64(ext_c, self.n))
+            u_bit = one << cols.astype(_np.uint64)
+            below = u_bit - one
+            parent_sub = sub_c[rows]
+            parent_ext = ext_c[rows]
+            parent_fb = fb_c[rows]
+            out_sub.append(parent_sub | u_bit)
+            out_fb.append(parent_fb | (parent_ext & below))
+            out_ext.append(
+                (parent_ext & ~(u_bit | below))
+                | (adj[cols] & ~(parent_sub | parent_fb | parent_ext))
+            )
+        return (
+            _np.concatenate(out_sub),
+            _np.concatenate(out_ext),
+            _np.concatenate(out_fb),
+        )
+
+    # -- one subproblem -------------------------------------------------
+    def run_subproblem(
+        self, adjacency: Sequence[int], region: int, root: int | None
+    ) -> None:
+        """Level-synchronous search of one plan entry."""
+        adj = neighborhood_masks(adjacency) & _np.uint64(region)
+        if root is None:
+            members = list(iter_bits(region))
+            subsets = _np.array([1 << v for v in members], dtype=_np.uint64)
+            ext = _np.array(
+                [
+                    adjacency[v] & region & ~((1 << (v + 1)) - 1)
+                    for v in members
+                ],
+                dtype=_np.uint64,
+            )
+            forbidden = _np.array(
+                [(1 << v) - 1 for v in members], dtype=_np.uint64
+            )
+        else:
+            subsets = _np.array([1 << root], dtype=_np.uint64)
+            ext = _np.array(
+                [adjacency[root] & region & ~(1 << root)], dtype=_np.uint64
+            )
+            forbidden = _np.array([0], dtype=_np.uint64)
+
+        size = 1
+        while subsets.shape[0]:
+            self._visit_level(subsets, size)
+            if size >= self.size_cap:
+                break
+            live = ext != _np.uint64(0)
+            if self.bounded and live.any():
+                rows = _np.flatnonzero(live)
+                keep = self._prune_level(
+                    adj, subsets[rows], ext[rows], forbidden[rows], size
+                )
+                live[rows[~keep]] = False
+            if not live.any():
+                break
+            subsets, ext, forbidden = self._expand_level(
+                adj, subsets[live], ext[live], forbidden[live]
+            )
+            size += 1
+
+    # -- telemetry ------------------------------------------------------
+    def flush_metrics(self, blocks: int) -> None:
+        """Publish the same counter names the python walk flushes, plus
+        the kernel-specific batch/block counts."""
+        if not _TELEMETRY.enabled:
+            return
+        c = self.counters
+        metrics = _TELEMETRY.metrics
+        metrics.count(_metric.SEARCH_STATES_VISITED, c.explored)
+        metrics.count(
+            _metric.SEARCH_STATES_PRUNED,
+            c.pruned_size_cap + c.frontier_exhausted,
+        )
+        metrics.count(_metric.SEARCH_PRUNED_SIZE_CAP, c.pruned_size_cap)
+        metrics.count(_metric.SEARCH_FRONTIER_EXHAUSTED, c.frontier_exhausted)
+        metrics.count(_metric.SEARCH_CHI_SQUARE_EVALUATIONS, c.evaluated)
+        metrics.count(_metric.SEARCH_BEST_UPDATES, c.best_updates)
+        if self.bounded:
+            metrics.count(_metric.SEARCH_BOUND_CUTS, c.bound_cuts)
+            metrics.count(_metric.SEARCH_BOUND_EVALUATIONS, c.bound_evaluations)
+        metrics.count(_metric.SEARCH_KERNEL_BATCHES, c.batches)
+        metrics.count(_metric.SEARCH_BLOCKS_SEARCHED, blocks)
+        metrics.observe(_metric.SEARCH_STATES_PER_CALL, c.explored)
+
+
+def kernel_best_mask(
+    adjacency: Sequence[int],
+    accumulator: ChiSquareAccumulator,
+    *,
+    min_size: int = 1,
+    max_size: int | None = None,
+    limit: int | None = None,
+    prune: str = "none",
+    check_abort: Callable[[], bool] | None = None,
+    decompose: bool = True,
+):
+    """Numpy-backend equivalent of :func:`~repro.enumerate.search.exhaustive_best_mask`.
+
+    Accepts the same arguments plus ``decompose`` (disable the block-cut
+    split; the equivalence property suite exercises both).  The
+    accumulator must be one of the bundled payload types, passed in its
+    empty state exactly as the python walk expects; the kernel reads its
+    payloads and never mutates it.  Returns the identical
+    :class:`~repro.enumerate.search.SearchOutcome` as ``backend="python"``
+    — bit-identical under ``prune="none"``, identical optimum under
+    ``prune="bounds"`` (see the module docstring for the accounting
+    caveat).  Raises :class:`~repro.exceptions.KernelError` when numpy is
+    missing, the graph exceeds :data:`MAX_KERNEL_VERTICES`, or the
+    accumulator type is not batchable.
+    """
+    from repro.enumerate.search import PRUNE_MODES, SearchOutcome
+
+    _require_numpy()
+    n = len(adjacency)
+    if n > MAX_KERNEL_VERTICES:
+        raise KernelError(
+            f"the numpy kernel handles at most {MAX_KERNEL_VERTICES} "
+            f"vertices, got {n}; use backend='python'"
+        )
+    if min_size < 1:
+        raise ValueError(f"min_size must be >= 1, got {min_size}")
+    if max_size is not None and max_size < min_size:
+        raise ValueError(f"max_size ({max_size}) must be >= min_size ({min_size})")
+    if prune not in PRUNE_MODES:
+        raise ValueError(f"prune must be one of {PRUNE_MODES}, got {prune!r}")
+    scorer = _scorer_for(accumulator)
+    if check_abort is not None and check_abort():
+        raise SearchAbortedError()
+    if n == 0:
+        return SearchOutcome(mask=0, chi_square=0.0, explored=0)
+
+    size_cap = n if max_size is None else min(max_size, n)
+    run = _KernelRun(
+        scorer,
+        n,
+        min_size=min_size,
+        size_cap=size_cap,
+        limit=limit,
+        bounded=prune == "bounds",
+        check_abort=check_abort,
+    )
+    plan = _build_plan(adjacency, n, decompose)
+    try:
+        if run.bounded and min_size <= 1:
+            # Same incumbent seeding as the python walk: singles are valid
+            # results when min_size <= 1, so their maximum is a sound
+            # threshold before any subtree is entered.  Value only — the
+            # seed never selects a mask, exactly like the scalar path.
+            singles = scorer.chi(_np.eye(n, dtype=_np.int64))
+            run.seed_value = float(singles.max())
+        for region, root in plan:
+            run.run_subproblem(adjacency, region, root)
+    finally:
+        run.flush_metrics(len(plan))
+
+    c = run.counters
+    best_value = run.best_value if run.best_mask else 0.0
+    return SearchOutcome(
+        mask=run.best_mask,
+        chi_square=best_value,
+        explored=c.explored,
+        pruned_size_cap=c.pruned_size_cap,
+        frontier_exhausted=c.frontier_exhausted,
+        evaluated=c.evaluated,
+        bound_cuts=c.bound_cuts,
+        bound_evaluations=c.bound_evaluations,
+    )

@@ -11,9 +11,15 @@ super-graphs whose vertices carry merged payloads.
 seeded with the best single vertex, and any branch whose admissible upper
 bound (see :mod:`repro.enumerate.bounds`) cannot beat the incumbent is cut.
 Because the bound is admissible and pruning is strict (``bound <
-incumbent``), every optimal state survives and is visited in the same
-relative order as ``prune="none"``, so both modes return the identical
-winning mask and statistic — ``prune="bounds"`` just visits fewer states.
+incumbent``), every optimal state survives, so both modes return the
+identical winning mask and statistic — ``prune="bounds"`` just visits
+fewer states.
+
+Statistic ties break toward the numerically smallest winning bitmask.
+That makes the optimum a function of the visited *set family* rather than
+of the visit order, which is what lets the vectorized numpy backend
+(:mod:`repro.enumerate.kernel`, selected with ``backend="numpy"``) batch
+and decompose the walk while returning bit-identical results.
 """
 
 from __future__ import annotations
@@ -31,6 +37,7 @@ from repro.telemetry import names as _metric
 __all__ = [
     "ABORT_CHECK_MASK",
     "PRUNE_MODES",
+    "SEARCH_BACKENDS",
     "SearchOutcome",
     "exhaustive_best_mask",
     "exhaustive_best_subset",
@@ -38,6 +45,15 @@ __all__ = [
 
 PRUNE_MODES = ("none", "bounds")
 """Valid values of the ``prune`` search argument."""
+
+SEARCH_BACKENDS = ("python", "numpy")
+"""Valid values of the ``backend`` search argument.
+
+``"python"`` is the reference DFS in this module; ``"numpy"`` is the
+vectorized batch kernel in :mod:`repro.enumerate.kernel`, which returns
+provably identical results (see the differential property suite) and
+falls back to the python walk for graphs above the kernel's 64-vertex
+machine-word limit."""
 
 ABORT_CHECK_MASK = 0xFF
 """``check_abort`` polling cadence: every ``ABORT_CHECK_MASK + 1`` states.
@@ -97,22 +113,34 @@ def exhaustive_best_mask(
     limit: int | None = None,
     prune: str = "none",
     check_abort: Callable[[], bool] | None = None,
+    backend: str = "python",
 ) -> SearchOutcome:
     """Find the connected vertex set with the maximum accumulator statistic.
 
-    Ties are broken toward the set found first (deterministic given vertex
-    order).  ``min_size``/``max_size`` bound the *vertex count of the set in
-    this graph* (i.e. super-vertices count as one).  ``limit`` bounds the
-    number of evaluated sets, raising :class:`EnumerationLimitError` beyond.
+    Statistic ties break toward the numerically smallest winning bitmask
+    (deterministic and enumeration-order independent).  ``min_size``/
+    ``max_size`` bound the *vertex count of the set in this graph* (i.e.
+    super-vertices count as one).  ``limit`` bounds the number of evaluated
+    sets, raising :class:`EnumerationLimitError` beyond.
     ``prune="bounds"`` enables admissible branch-and-bound cutting (the
     accumulator must implement ``upper_bound``); the optimum — including
     tie-breaks — is provably identical to ``prune="none"``.
 
+    ``backend="numpy"`` routes the walk through the vectorized batch
+    kernel (:mod:`repro.enumerate.kernel`), which requires numpy and one
+    of the bundled accumulator types and returns the identical outcome —
+    bit-identical under ``prune="none"``, identical optimum under
+    ``prune="bounds"`` (cut accounting is enumeration-order dependent
+    there).  Graphs above the kernel's 64-vertex machine-word limit fall
+    back to the python walk transparently, so callers can request
+    ``"numpy"`` unconditionally.
+
     ``check_abort`` is polled every ``ABORT_CHECK_MASK + 1`` visited states
-    (cooperative cancellation for serving deadlines); when it returns True
-    the walk raises :class:`~repro.exceptions.SearchAbortedError`.  A
-    callback that never fires provably cannot change the result — it is
-    only ever *read*, never consulted for ordering or pruning decisions.
+    (python walk) or between state batches (numpy kernel) — cooperative
+    cancellation for serving deadlines; when it returns True the walk
+    raises :class:`~repro.exceptions.SearchAbortedError`.  A callback that
+    never fires provably cannot change the result — it is only ever
+    *read*, never consulted for ordering or pruning decisions.
     """
     n = len(adjacency)
     if min_size < 1:
@@ -121,12 +149,25 @@ def exhaustive_best_mask(
         raise ValueError(f"max_size ({max_size}) must be >= min_size ({min_size})")
     if prune not in PRUNE_MODES:
         raise ValueError(f"prune must be one of {PRUNE_MODES}, got {prune!r}")
+    if backend not in SEARCH_BACKENDS:
+        raise ValueError(
+            f"backend must be one of {SEARCH_BACKENDS}, got {backend!r}"
+        )
     if prune == "bounds" and not supports_bounds(accumulator):
         raise TypeError(
             f"{type(accumulator).__name__} does not implement upper_bound(); "
             "prune='bounds' needs a bound-capable accumulator "
             "(see repro.enumerate.bounds)"
         )
+    if backend == "numpy":
+        from repro.enumerate.kernel import MAX_KERNEL_VERTICES, kernel_best_mask
+
+        if n <= MAX_KERNEL_VERTICES:
+            return kernel_best_mask(
+                adjacency, accumulator,
+                min_size=min_size, max_size=max_size, limit=limit,
+                prune=prune, check_abort=check_abort,
+            )
     size_cap = n if max_size is None else min(max_size, n)
     if check_abort is not None and check_abort():
         raise SearchAbortedError()
@@ -176,7 +217,10 @@ def _search_unbounded(
         if size >= min_size:
             evaluated += 1
             value = accumulator.chi_square()
-            if value > best_value:
+            # Canonical tie-break: on equal statistic the numerically
+            # smallest mask wins, so the optimum is independent of the
+            # enumeration order (required for backend equivalence).
+            if value > best_value or (value == best_value and mask < best_mask):
                 best_value = value
                 best_mask = mask
                 best_updates += 1
@@ -326,7 +370,10 @@ def _search_bounded(
         if size >= min_size:
             evaluated += 1
             value = accumulator.chi_square()
-            if value > best_value:
+            # Canonical tie-break: on equal statistic the numerically
+            # smallest mask wins, so the optimum is independent of the
+            # enumeration order (required for backend equivalence).
+            if value > best_value or (value == best_value and mask < best_mask):
                 best_value = value
                 best_mask = mask
                 best_updates += 1
@@ -416,11 +463,13 @@ def exhaustive_best_subset(
     limit: int | None = None,
     prune: str = "none",
     check_abort: Callable[[], bool] | None = None,
+    backend: str = "python",
 ) -> tuple[frozenset[Hashable], float, int]:
     """Convenience wrapper returning original vertex objects.
 
     Returns ``(vertex_set, chi_square, explored)``; the vertex set is empty
-    when the graph has no vertices.
+    when the graph has no vertices.  All keyword arguments — including
+    ``backend`` — are forwarded to :func:`exhaustive_best_mask`.
     """
     outcome = exhaustive_best_mask(
         bitset.adjacency,
@@ -430,6 +479,7 @@ def exhaustive_best_subset(
         limit=limit,
         prune=prune,
         check_abort=check_abort,
+        backend=backend,
     )
     return bitset.vertex_set(outcome.mask), outcome.chi_square, outcome.explored
 

@@ -9,8 +9,10 @@ generators, and edge-list / JSON persistence.
 """
 
 from repro.graph.biconnectivity import (
+    BlockCutTree,
     articulation_points,
     biconnected_components,
+    block_cut_tree,
     is_biconnected,
     is_biconnected_subset,
 )
@@ -56,6 +58,7 @@ from repro.graph.properties import (
 )
 
 __all__ = [
+    "BlockCutTree",
     "DiGraph",
     "Graph",
     "articulation_points",
@@ -63,6 +66,7 @@ __all__ = [
     "barabasi_albert_graph",
     "bfs_order",
     "biconnected_components",
+    "block_cut_tree",
     "connect_components",
     "connected_component",
     "connected_components",

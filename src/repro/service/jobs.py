@@ -126,6 +126,7 @@ def _execute_request(
         min_size=params["min_size"],
         polish=params["polish"],
         prune=params["prune"],
+        backend=params["backend"],
         check_abort=check_abort,
         prefix_cache=cache,
     )

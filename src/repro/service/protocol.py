@@ -12,7 +12,8 @@ parameters::
       "params": {"top_t": 1, "n_theta": 20, "method": "supergraph",
                  "edge_order": "input", "seed": null,
                  "search_limit": null, "min_size": 1,
-                 "polish": false, "prune": "none"},
+                 "polish": false, "prune": "none",
+                 "backend": "python"},
       "async": false,
       "deadline_seconds": null
     }
@@ -61,6 +62,7 @@ DEFAULT_PARAMS: dict[str, Any] = {
     "min_size": 1,
     "polish": False,
     "prune": "none",
+    "backend": "python",
 }
 """Defaults applied to ``params`` fields a request leaves out; they match
 the CLI's ``repro mine`` defaults."""
@@ -71,6 +73,7 @@ _TOP_LEVEL_KEYS = {
 _METHODS = ("supergraph", "naive")
 _EDGE_ORDERS = ("input", "shuffled", "by_chi_square")
 _PRUNES = ("none", "bounds")
+_BACKENDS = ("python", "numpy")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -158,6 +161,11 @@ def validate_request(doc: Any) -> dict[str, Any]:
     _require(
         params["prune"] in _PRUNES,
         f"params.prune must be one of {_PRUNES}, got {params['prune']!r}",
+    )
+    _require(
+        params["backend"] in _BACKENDS,
+        f"params.backend must be one of {_BACKENDS}, "
+        f"got {params['backend']!r}",
     )
     _require(
         isinstance(params["polish"], bool),

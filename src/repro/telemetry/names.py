@@ -26,10 +26,12 @@ __all__ = [
     "REDUCE_VERTICES_AFTER",
     "REDUCE_VERTICES_BEFORE",
     "SEARCH_BEST_UPDATES",
+    "SEARCH_BLOCKS_SEARCHED",
     "SEARCH_BOUND_CUTS",
     "SEARCH_BOUND_EVALUATIONS",
     "SEARCH_CHI_SQUARE_EVALUATIONS",
     "SEARCH_FRONTIER_EXHAUSTED",
+    "SEARCH_KERNEL_BATCHES",
     "SEARCH_PRUNED_SIZE_CAP",
     "SEARCH_STATES_PER_CALL",
     "SEARCH_STATES_PRUNED",
@@ -116,6 +118,15 @@ SEARCH_BEST_UPDATES = "search.best_updates"
 
 SEARCH_STATES_PER_CALL = "search.states_per_call"
 """Histogram: states visited by each individual search invocation."""
+
+SEARCH_KERNEL_BATCHES = "search.kernel_batches"
+"""Counter: state batches evaluated by the vectorized numpy kernel
+(``backend="numpy"`` only; the python walk records 0)."""
+
+SEARCH_BLOCKS_SEARCHED = "search.blocks_searched"
+"""Counter: independent subproblems run by the kernel's block-cut
+decomposition — one per connected component or articulation split
+(``backend="numpy"`` only)."""
 
 ENUMERATE_SETS_EMITTED = "enumerate.sets_emitted"
 """Counter: connected sets yielded by the standalone enumerator."""

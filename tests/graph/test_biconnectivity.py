@@ -1,16 +1,37 @@
-"""Unit tests for articulation points and bi-connectivity."""
+"""Unit and property tests for bi-connectivity and the block-cut tree.
+
+Besides the structural checks, this module verifies the *search-level*
+guarantee the block-cut tree exists to provide: splitting a search region
+at an articulation point — rooted search through the cut vertex plus
+recursion into the remaining components — must reproduce the whole-region
+search exactly (optimum and every counter), because the split partitions
+the family of connected vertex sets.  :mod:`repro.enumerate.kernel` relies
+on exactly this property.
+"""
 
 from __future__ import annotations
 
+import random
+
 import pytest
 
+from repro.enumerate.accumulators import DiscreteAccumulator
+from repro.enumerate.bitset import BitsetGraph
+from repro.enumerate.kernel import kernel_best_mask
+from repro.enumerate.search import exhaustive_best_mask
 from repro.graph.biconnectivity import (
     articulation_points,
     biconnected_components,
+    block_cut_tree,
     is_biconnected,
     is_biconnected_subset,
 )
+from repro.graph.components import connected_components
+from repro.graph.generators import gnm_random_graph, gnp_random_graph
 from repro.graph.graph import Graph
+from repro.labels.discrete import DiscreteLabeling
+
+DYADIC_PROBS = (0.5, 0.25, 0.25)
 
 
 class TestArticulationPoints:
@@ -85,6 +106,166 @@ class TestBiconnectedComponents:
         )
         comps = {frozenset(c) for c in biconnected_components(g)}
         assert comps == {frozenset({0, 1, 2}), frozenset({2, 3, 4})}
+
+
+class TestBlockCutTree:
+    def test_two_triangles_and_pendant(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3), (3, 4)])
+        tree = block_cut_tree(g)
+        assert set(tree.blocks) == {
+            frozenset({0, 1, 2}),
+            frozenset({2, 3}),
+            frozenset({3, 4}),
+        }
+        assert tree.cut_vertices == frozenset({2, 3})
+        assert tree.num_blocks == 3
+        # Cut vertex 2 sits in two blocks, interior vertex 0 in one.
+        assert len(tree.blocks_of(2)) == 2
+        assert len(tree.blocks_of(0)) == 1
+        # The tree has 3 blocks in a path: the two ends are leaves.
+        leaves = {tree.blocks[i] for i in tree.leaf_blocks()}
+        assert leaves == {frozenset({0, 1, 2}), frozenset({3, 4})}
+
+    def test_biconnected_graph_single_block(self):
+        tree = block_cut_tree(Graph.cycle(6))
+        assert tree.num_blocks == 1
+        assert tree.cut_vertices == frozenset()
+        assert tree.edges == ()
+
+    def test_isolated_vertices_become_singleton_blocks(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2, 3])
+        tree = block_cut_tree(g)
+        assert set(tree.blocks) == {
+            frozenset({0, 1}), frozenset({2}), frozenset({3})
+        }
+        assert tree.blocks_of(2) != ()
+
+    def test_empty_graph(self):
+        tree = block_cut_tree(Graph())
+        assert tree.num_blocks == 0
+        assert tree.cut_vertices == frozenset()
+
+    @pytest.mark.parametrize("seed", range(20))
+    def test_every_vertex_covered_and_edges_consistent(self, seed):
+        g = gnm_random_graph(20, 26, seed=seed)
+        tree = block_cut_tree(g)
+        covered = set()
+        for block in tree.blocks:
+            covered.update(block)
+        assert covered == set(g.vertices())
+        # Tree edges are exactly (block, cut-vertex) containments.
+        expected = {
+            (i, v)
+            for i, block in enumerate(tree.blocks)
+            for v in block
+            if v in tree.cut_vertices
+        }
+        assert set(tree.edges) == expected
+        # A graph-and-forest identity: with b blocks and c cut vertices the
+        # block-cut tree is a forest, so it has at most b + c - 1 edges.
+        if tree.num_blocks:
+            assert len(tree.edges) <= tree.num_blocks + len(tree.cut_vertices) - 1
+
+
+class TestArticulationBruteForce:
+    """Cross-check Tarjan-Hopcroft against remove-a-vertex counting."""
+
+    @staticmethod
+    def _brute_force(graph):
+        # v is an articulation point iff deleting it increases the number
+        # of connected components.  (Removing a non-cut vertex of positive
+        # degree leaves its component connected; isolated vertices are
+        # never cuts and would decrease the count, so they are skipped.)
+        before = sum(1 for _ in connected_components(graph))
+        points = set()
+        for v in graph.vertices():
+            if graph.degree(v) == 0:
+                continue
+            rest = graph.copy()
+            rest.remove_vertices([v])
+            after = sum(1 for _ in connected_components(rest))
+            if after > before:
+                points.add(v)
+        return frozenset(points)
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_matches_brute_force(self, seed):
+        g = gnm_random_graph(14, 17, seed=seed)
+        assert articulation_points(g) == self._brute_force(g)
+
+    @pytest.mark.parametrize("seed", range(25, 40))
+    def test_matches_brute_force_sparse(self, seed):
+        g = gnp_random_graph(12, 0.15, seed=seed)
+        assert articulation_points(g) == self._brute_force(g)
+
+
+def _dyadic_accumulator(graph, seed):
+    bitset = BitsetGraph(graph)
+    lab = DiscreteLabeling.random(graph, DYADIC_PROBS, seed=seed)
+    payloads = []
+    for v in bitset.vertices:
+        counts = [0] * len(DYADIC_PROBS)
+        counts[lab.label_of(v)] = 1
+        payloads.append(tuple(counts))
+    return bitset, DiscreteAccumulator(DYADIC_PROBS, payloads)
+
+
+def _articulated_graph(seed):
+    """Two random blobs glued at a shared vertex plus a pendant path.
+
+    Guarantees articulation points on a component big enough (>= 10
+    vertices) to cross the kernel's decomposition threshold.
+    """
+    rng = random.Random(seed)
+    edges = []
+    # Blob A on 0-5, blob B on 5-10 (vertex 5 shared), path 10-11-12.
+    for lo, hi in ((0, 5), (5, 10)):
+        members = list(range(lo, hi + 1))
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                if rng.random() < 0.55:
+                    edges.append((u, v))
+        # Spanning cycle so each blob is connected and bi-connected-ish.
+        for i in range(len(members)):
+            edges.append((members[i], members[(i + 1) % len(members)]))
+    edges += [(10, 11), (11, 12)]
+    return Graph.from_edges(edges, vertices=range(13))
+
+
+class TestDecompositionSearchEquivalence:
+    """Block-decomposed search == whole-graph search, counters included."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_kernel_decomposition_exact(self, seed):
+        graph = _articulated_graph(seed)
+        assert articulation_points(graph), "fixture must have cut vertices"
+        bitset, acc = _dyadic_accumulator(graph, seed)
+        whole = kernel_best_mask(bitset.adjacency, acc, decompose=False)
+        split = kernel_best_mask(bitset.adjacency, acc, decompose=True)
+        assert split == whole
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_kernel_decomposition_matches_python_walk(self, seed):
+        graph = _articulated_graph(seed)
+        bitset, acc = _dyadic_accumulator(graph, seed)
+        python = exhaustive_best_mask(bitset.adjacency, acc, backend="python")
+        split = kernel_best_mask(bitset.adjacency, acc, decompose=True)
+        assert split == python
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_decomposition_with_size_window_and_bounds(self, seed):
+        graph = _articulated_graph(seed + 100)
+        bitset, acc = _dyadic_accumulator(graph, seed + 100)
+        python = exhaustive_best_mask(
+            bitset.adjacency, acc, min_size=2, max_size=6,
+            prune="bounds", backend="python",
+        )
+        split = kernel_best_mask(
+            bitset.adjacency, acc, min_size=2, max_size=6,
+            prune="bounds", decompose=True,
+        )
+        assert split.mask == python.mask
+        assert split.chi_square == python.chi_square
 
 
 class TestNetworkxOracle:

@@ -2,12 +2,17 @@
 
 from __future__ import annotations
 
+import pytest
+
 import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.stats.chi_square import CountVector, chi_square_statistic
+
+pytestmark = pytest.mark.properties
+
 
 
 @st.composite

@@ -2,11 +2,16 @@
 
 from __future__ import annotations
 
+import pytest
+
 import networkx as nx
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.graph.digraph import DiGraph
+
+pytestmark = pytest.mark.properties
+
 
 
 @st.composite

@@ -1,16 +1,36 @@
-"""Property-based tests for connected-subgraph enumeration."""
+"""Property-based tests for connected-subgraph enumeration and search.
+
+Besides the enumeration-vs-oracle checks, this module runs the search
+*differentially across backends* on hypothesis-generated graphs: the
+vectorized numpy kernel must return the bit-identical
+:class:`SearchOutcome` as the reference python DFS, with and without the
+block-cut decomposition.  Labelings use dyadic probabilities so the
+statistics are exact in floating point and the equality can be ``==``.
+"""
 
 from __future__ import annotations
+
+import pytest
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.enumerate.accumulators import DiscreteAccumulator
+from repro.enumerate.bitset import BitsetGraph
 from repro.enumerate.connected import (
+    count_connected_subgraphs,
     enumerate_connected_subsets,
     reference_connected_subsets,
 )
+from repro.enumerate.kernel import kernel_best_mask
+from repro.enumerate.search import exhaustive_best_mask
 from repro.graph.components import is_connected_subset
 from repro.graph.graph import Graph
+
+pytestmark = pytest.mark.properties
+
+
+DYADIC_PROBS = (0.5, 0.25, 0.25)
 
 
 @st.composite
@@ -58,3 +78,67 @@ class TestEnumerationProperties:
         subsets = set(enumerate_connected_subsets(graph))
         for v in graph.vertices():
             assert frozenset({v}) in subsets
+
+
+def _dyadic_instance(graph, labels):
+    """Adjacency + a fresh dyadic accumulator for a labeled graph."""
+    bitset = BitsetGraph(graph)
+    payloads = []
+    for v in bitset.vertices:
+        counts = [0] * len(DYADIC_PROBS)
+        counts[labels[v]] = 1
+        payloads.append(tuple(counts))
+    return bitset.adjacency, DiscreteAccumulator(DYADIC_PROBS, payloads)
+
+
+@st.composite
+def labeled_graphs(draw, max_vertices=8):
+    graph = draw(small_graphs(max_vertices=max_vertices))
+    labels = {
+        v: draw(st.integers(0, len(DYADIC_PROBS) - 1))
+        for v in graph.vertices()
+    }
+    return graph, labels
+
+
+class TestBackendDifferentialProperties:
+    """The numpy kernel is indistinguishable from the python DFS."""
+
+    @settings(max_examples=60, deadline=None)
+    @given(labeled_graphs(), st.integers(1, 3), st.sampled_from([None, 3, 6]))
+    def test_bit_identical_outcome(self, instance, min_size, max_size):
+        graph, labels = instance
+        if max_size is not None and max_size < min_size:
+            max_size = min_size
+        adjacency, acc = _dyadic_instance(graph, labels)
+        python = exhaustive_best_mask(
+            adjacency, acc, min_size=min_size, max_size=max_size,
+            backend="python",
+        )
+        numpy_ = exhaustive_best_mask(
+            adjacency, acc, min_size=min_size, max_size=max_size,
+            backend="numpy",
+        )
+        assert numpy_ == python
+
+    @settings(max_examples=60, deadline=None)
+    @given(labeled_graphs())
+    def test_decomposition_changes_nothing(self, instance):
+        graph, labels = instance
+        adjacency, acc = _dyadic_instance(graph, labels)
+        whole = kernel_best_mask(adjacency, acc, decompose=False)
+        split = kernel_best_mask(adjacency, acc, decompose=True)
+        assert split == whole
+
+    @settings(max_examples=40, deadline=None)
+    @given(labeled_graphs())
+    def test_explored_matches_connected_set_count(self, instance):
+        # Under prune="none" both backends must visit every connected set
+        # exactly once; the standalone enumerator is the oracle count.
+        graph, labels = instance
+        adjacency, acc = _dyadic_instance(graph, labels)
+        expected = count_connected_subgraphs(graph, limit=None)
+        python = exhaustive_best_mask(adjacency, acc, backend="python")
+        numpy_ = exhaustive_best_mask(adjacency, acc, backend="numpy")
+        assert python.explored == expected
+        assert numpy_.explored == expected

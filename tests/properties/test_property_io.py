@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -12,6 +14,9 @@ from repro.graph.io import (
     read_edge_list,
     write_edge_list,
 )
+
+pytestmark = pytest.mark.properties
+
 
 
 @st.composite

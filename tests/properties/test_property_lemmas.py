@@ -10,6 +10,9 @@ from hypothesis import strategies as st
 
 from repro.stats.chi_square import CountVector
 
+pytestmark = pytest.mark.properties
+
+
 
 @st.composite
 def null_models(draw, min_labels=2, max_labels=5):

@@ -12,6 +12,9 @@ from repro.labels.continuous import ContinuousLabeling
 from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
 from repro.core.solver import mine
 
+pytestmark = pytest.mark.properties
+
+
 
 @st.composite
 def discrete_instances(draw):

@@ -14,6 +14,9 @@ from repro.core.construct_continuous import build_continuous_supergraph
 from repro.core.construct_discrete import build_discrete_supergraph
 from repro.core.reduce import reduce_supergraph
 
+pytestmark = pytest.mark.properties
+
+
 
 @st.composite
 def graph_params(draw):

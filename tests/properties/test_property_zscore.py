@@ -10,6 +10,9 @@ from hypothesis import strategies as st
 
 from repro.stats.zscore import RegionScore, combine_z_scores, combined_region_z
 
+pytestmark = pytest.mark.properties
+
+
 finite_floats = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
 
 

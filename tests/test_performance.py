@@ -81,6 +81,75 @@ class TestScalability:
         assert seconds < 90.0, f"enumerated {count} in {seconds:.1f}s"
 
 
+@pytest.mark.perf
+class TestKernelBackendSpeed:
+    """Guard: the numpy kernel must actually beat the python walk.
+
+    Uses the ``bench_ablation_bounds.py`` naive regime (a sparse G(n, m)
+    searched directly, no super-graph reduction) where the state space is
+    large enough for batching to amortize.  The states-visited comparison
+    is deterministic (same set family under ``prune="none"``); the
+    wall-time one takes the min over repeats and only requires the kernel
+    to win outright, far below its typical ~10x margin, so CI noise
+    cannot trip it.
+    """
+
+    @staticmethod
+    def _naive_instance():
+        from repro.enumerate.accumulators import DiscreteAccumulator
+        from repro.enumerate.bitset import BitsetGraph
+        from repro.graph.generators import gnm_random_graph
+
+        probs = (0.5, 0.25, 0.25)
+        graph = gnm_random_graph(30, 45, seed=7)
+        labeling = DiscreteLabeling.random(graph, probs, seed=8)
+        bitset = BitsetGraph(graph)
+        payloads = []
+        for v in bitset.vertices:
+            counts = [0] * len(probs)
+            counts[labeling.label_of(v)] = 1
+            payloads.append(tuple(counts))
+        return bitset.adjacency, DiscreteAccumulator(probs, payloads)
+
+    def test_numpy_beats_python_wall_time(self):
+        from repro.enumerate.search import exhaustive_best_mask
+
+        adjacency, acc = self._naive_instance()
+
+        def run(backend):
+            best = float("inf")
+            outcome = None
+            for _ in range(3):
+                start = time.perf_counter()
+                outcome = exhaustive_best_mask(
+                    adjacency, acc, max_size=10, backend=backend
+                )
+                best = min(best, time.perf_counter() - start)
+            return outcome, best
+
+        python, python_s = run("python")
+        numpy_, numpy_s = run("numpy")
+        assert numpy_ == python  # same family, same optimum, same counters
+        assert numpy_s < python_s, (
+            f"numpy backend took {numpy_s:.3f}s vs python {python_s:.3f}s"
+        )
+
+    def test_numpy_never_explores_more_states_under_bounds(self):
+        from repro.enumerate.search import exhaustive_best_mask
+
+        adjacency, acc = self._naive_instance()
+        unpruned = exhaustive_best_mask(
+            adjacency, acc, max_size=10, prune="none", backend="python"
+        )
+        for backend in ("python", "numpy"):
+            bounded = exhaustive_best_mask(
+                adjacency, acc, max_size=10, prune="bounds", backend=backend
+            )
+            assert bounded.explored <= unpruned.explored
+            assert bounded.mask == unpruned.mask
+            assert bounded.chi_square == unpruned.chi_square
+
+
 @pytest.mark.telemetry
 class TestTelemetryOverhead:
     """Guard: disabled telemetry must not tax the solver hot path.
