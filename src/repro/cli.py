@@ -102,26 +102,57 @@ def _cmd_info(args: argparse.Namespace) -> int:
     return 0
 
 
+def _progress_ticker(stream):
+    """A :class:`SearchProgress` callback rendering a one-line ticker.
+
+    Rewrites the same stderr line (``\\r``, no newline) on every snapshot
+    so a long search shows live counters without scrolling the output.
+    """
+
+    def tick(snapshot) -> None:
+        best = (
+            "-" if snapshot.best_chi_square is None
+            else f"{snapshot.best_chi_square:.3f}"
+        )
+        stream.write(
+            f"\r  {snapshot.states_visited:>10} states"
+            f" | {snapshot.bound_cuts:>8} cuts"
+            f" | blocks {snapshot.blocks_completed}"
+            f" | best X^2 {best}"
+            f" | {snapshot.elapsed_seconds:6.1f}s "
+        )
+        stream.flush()
+
+    return tick
+
+
 def _cmd_mine(args: argparse.Namespace) -> int:
     vertex_type = _VERTEX_TYPES[args.vertex_type]
     graph = _load_graph(args.graph, vertex_type)
     labeling = _load_labeling(args.labels, vertex_type)
+    progress = _progress_ticker(sys.stderr) if args.progress else None
 
     def run():
-        return mine(
-            graph,
-            labeling,
-            top_t=args.top,
-            n_theta=args.n_theta,
-            method=args.method,
-            edge_order=args.edge_order,
-            seed=args.seed,
-            search_limit=args.search_limit,
-            min_size=args.min_size,
-            polish=args.polish,
-            prune=args.prune,
-            backend=args.backend,
-        )
+        try:
+            return mine(
+                graph,
+                labeling,
+                top_t=args.top,
+                n_theta=args.n_theta,
+                method=args.method,
+                edge_order=args.edge_order,
+                seed=args.seed,
+                search_limit=args.search_limit,
+                min_size=args.min_size,
+                polish=args.polish,
+                prune=args.prune,
+                backend=args.backend,
+                progress=progress,
+            )
+        finally:
+            if progress is not None:
+                sys.stderr.write("\n")
+                sys.stderr.flush()
 
     metrics_snapshot = None
     if args.trace or args.metrics:
@@ -206,8 +237,16 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import logging
+
     from repro.service.server import MiningService
 
+    if args.access_log:
+        access = logging.getLogger("repro.service.access")
+        access.setLevel(logging.INFO)
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        access.addHandler(handler)
     service = MiningService(
         host=args.host,
         port=args.port,
@@ -216,6 +255,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         queue_size=args.queue_size,
         default_deadline=args.default_deadline,
         max_request_bytes=int(args.max_request_mb * 1024 * 1024),
+        trace_dir=args.trace_dir,
     )
     host, port = service.address
     print(f"repro service on http://{host}:{port} "
@@ -397,6 +437,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics", action="store_true",
         help="collect and report pipeline metrics (counters/histograms)",
     )
+    mine_cmd.add_argument(
+        "--progress", action="store_true",
+        help="live search-progress ticker on stderr (states visited, bound "
+        "cuts, best statistic, elapsed)",
+    )
     mine_cmd.set_defaults(func=_cmd_mine)
 
     gen = sub.add_parser("generate", help="write synthetic graphs/labelings")
@@ -458,6 +503,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-request-mb", type=float, default=8.0,
         help="reject request bodies larger than this (HTTP 413)",
     )
+    serve.add_argument(
+        "--trace-dir", default=None, metavar="DIR",
+        help="directory for per-job JSONL trace artifacts "
+        "(default: a fresh temporary directory)",
+    )
+    serve.add_argument(
+        "--access-log", action="store_true",
+        help="log one JSON line per request (trace_id, method, path, "
+        "status, duration) to stderr",
+    )
     serve.set_defaults(func=_cmd_serve)
 
     trace = sub.add_parser(
@@ -465,9 +520,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace_sub = trace.add_subparsers(dest="trace_command", required=True)
     summarize = trace_sub.add_parser(
-        "summarize", help="render a per-stage breakdown table from a trace"
+        "summarize", help="render a per-stage breakdown table from one or "
+        "more traces (multiple files are merged; per-process rollup)"
     )
-    summarize.add_argument("trace_file", help="JSONL trace file")
+    summarize.add_argument(
+        "trace_file", nargs="+",
+        help="JSONL trace file(s) — e.g. one per job, merged without "
+        "double-counting",
+    )
     summarize.set_defaults(func=_cmd_trace_summarize)
     return parser
 
@@ -489,6 +549,10 @@ def main(argv: list[str] | None = None) -> int:
         devnull = os.open(os.devnull, os.O_WRONLY)
         os.dup2(devnull, sys.stdout.fileno())
         return 0
+    except OSError as exc:
+        # Missing/unreadable input files surface as a clean CLI error.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

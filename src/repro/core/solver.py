@@ -47,7 +47,8 @@ from repro.stats.significance import continuous_p_value, discrete_p_value
 from repro.stats.zscore import RegionScore
 from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
-from repro.telemetry.span import Span, Tracer
+from repro.telemetry.progress import ProgressAggregator, ProgressCallback
+from repro.telemetry.span import Tracer
 
 __all__ = ["DEFAULT_N_THETA", "PrefixCache", "find_mscs", "mine"]
 
@@ -127,6 +128,7 @@ def mine(
     backend: str = "python",
     check_abort: Callable[[], bool] | None = None,
     prefix_cache: PrefixCache | None = None,
+    progress: ProgressCallback | None = None,
 ) -> MiningResult:
     """Mine the top-t statistically significant connected subgraphs.
 
@@ -182,6 +184,15 @@ def mine(
         reduce prefix of every round (``method="supergraph"`` only — the
         naïve singleton build is cheaper than a digest).  Hits skip both
         stages; results are identical because the prefix is deterministic.
+    progress:
+        Optional live-progress consumer.  It receives
+        :class:`~repro.telemetry.progress.SearchProgress` snapshots whose
+        counters are **cumulative over the whole call** (an internal
+        :class:`~repro.telemetry.progress.ProgressAggregator` folds the
+        per-search streams across TSSS rounds and ``min_size``
+        escalations, so ``states_visited`` advances monotonically), with
+        one final snapshot guaranteed when :func:`mine` returns or
+        raises.  Observe-only; cannot change the result.
     """
     if top_t < 1:
         raise GraphError(f"top_t must be >= 1, got {top_t}")
@@ -215,41 +226,49 @@ def mine(
     tracer = _TELEMETRY.tracer if _TELEMETRY.enabled else Tracer()
     working = graph.copy()
     found: list[SignificantSubgraph] = []
-    with tracer.span(
-        "solver.mine",
-        method=method,
-        top_t=top_t,
-        n_theta=n_theta,
-        num_vertices=graph.num_vertices,
-        num_edges=graph.num_edges,
-    ):
-        while len(found) < top_t and working.num_vertices > 0:
-            if check_abort is not None and check_abort():
-                raise SearchAbortedError()
-            with tracer.span("solver.round", round=report.rounds):
-                region = _mine_one(
-                    working,
-                    labeling,
-                    report,
-                    tracer,
-                    n_theta=n_theta,
-                    method=method,
-                    edge_order=edge_order,
-                    seed=seed,
-                    search_limit=search_limit,
-                    min_size=min_size,
-                    prune=prune,
-                    backend=backend,
-                    check_abort=check_abort,
-                    prefix_cache=prefix_cache,
-                )
-                if region is None:
-                    break
-                if polish:
-                    region = _polish(working, labeling, region, tracer)
-                found.append(region)
-                report.rounds += 1
-                working.remove_vertices(region.vertices)
+    aggregator = None if progress is None else ProgressAggregator(progress)
+    try:
+        with tracer.span(
+            "solver.mine",
+            method=method,
+            top_t=top_t,
+            n_theta=n_theta,
+            num_vertices=graph.num_vertices,
+            num_edges=graph.num_edges,
+        ):
+            while len(found) < top_t and working.num_vertices > 0:
+                if check_abort is not None and check_abort():
+                    raise SearchAbortedError()
+                with tracer.span("solver.round", round=report.rounds):
+                    region = _mine_one(
+                        working,
+                        labeling,
+                        report,
+                        tracer,
+                        n_theta=n_theta,
+                        method=method,
+                        edge_order=edge_order,
+                        seed=seed,
+                        search_limit=search_limit,
+                        min_size=min_size,
+                        prune=prune,
+                        backend=backend,
+                        check_abort=check_abort,
+                        prefix_cache=prefix_cache,
+                        progress=aggregator,
+                    )
+                    if region is None:
+                        break
+                    if polish:
+                        region = _polish(working, labeling, region, tracer)
+                    found.append(region)
+                    report.rounds += 1
+                    working.remove_vertices(region.vertices)
+    finally:
+        # The guaranteed final snapshot: cumulative over every search call
+        # this mine() issued, emitted on success, abort, and error alike.
+        if aggregator is not None:
+            aggregator.flush()
     if _TELEMETRY.enabled:
         _TELEMETRY.metrics.count(_metric.SOLVER_ROUNDS, report.rounds)
     return MiningResult(subgraphs=tuple(found), report=report)
@@ -286,6 +305,7 @@ def _mine_one(
     backend: str = "python",
     check_abort: Callable[[], bool] | None = None,
     prefix_cache: PrefixCache | None = None,
+    progress: ProgressAggregator | None = None,
 ) -> SignificantSubgraph | None:
     """One MSCS round on the current working graph; None when nothing left."""
     first_round = report.rounds == 0
@@ -357,7 +377,7 @@ def _mine_one(
         region = _search_supergraph(
             supergraph, labeling, search_limit=search_limit, min_size=min_size,
             report=report, prune=prune, backend=backend,
-            check_abort=check_abort,
+            check_abort=check_abort, progress=progress,
         )
         # Per-round delta, not the running total, so top-t traces show what
         # each round actually cost.
@@ -392,6 +412,7 @@ def _search_supergraph(
     prune: str = "none",
     backend: str = "python",
     check_abort: Callable[[], bool] | None = None,
+    progress: ProgressAggregator | None = None,
 ) -> SignificantSubgraph | None:
     """Exhaustive MSCS search on a (reduced) super-graph."""
     if supergraph.num_super_vertices == 0:
@@ -410,8 +431,12 @@ def _search_supergraph(
 
     outcome = exhaustive_best_mask(
         bitset.adjacency, accumulator, limit=search_limit, prune=prune,
-        backend=backend, check_abort=check_abort,
+        backend=backend, check_abort=check_abort, progress=progress,
     )
+    # Each search call emits per-call cumulative snapshots; banking the
+    # finished call keeps the aggregator's totals monotone across calls.
+    if progress is not None:
+        progress.finish_call()
     report.explored_subgraphs += outcome.explored
     if outcome.mask == 0:
         return None
@@ -433,8 +458,10 @@ def _search_supergraph(
             outcome = exhaustive_best_mask(
                 bitset.adjacency, accumulator, min_size=floor,
                 limit=search_limit, prune=prune, backend=backend,
-                check_abort=check_abort,
+                check_abort=check_abort, progress=progress,
             )
+            if progress is not None:
+                progress.finish_call()
             report.explored_subgraphs += outcome.explored
             if outcome.mask == 0:
                 return None

@@ -52,6 +52,7 @@ walk; per-counter partials at abort are backend-specific.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from collections.abc import Callable, Sequence
 
@@ -68,6 +69,7 @@ from repro.enumerate.accumulators import (
 from repro.enumerate.bitset import iter_bits
 from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
+from repro.telemetry.progress import ProgressCallback, SearchProgress
 
 try:  # pragma: no cover - exercised indirectly via kernel_available()
     import numpy as _np
@@ -479,6 +481,7 @@ class _KernelRun:
         limit: int | None,
         bounded: bool,
         check_abort: Callable[[], bool] | None,
+        progress: ProgressCallback | None = None,
     ) -> None:
         self.scorer = scorer
         self.n = n
@@ -487,10 +490,26 @@ class _KernelRun:
         self.limit = limit
         self.bounded = bounded
         self.check_abort = check_abort
+        self.progress = progress
         self.counters = _Counters()
+        self.blocks_done = 0
         self.best_value = float("-inf")
         self.best_mask = 0
         self.seed_value = float("-inf")
+        self._started = time.perf_counter() if progress is not None else 0.0
+
+    # -- progress -------------------------------------------------------
+    def snapshot(self) -> SearchProgress:
+        """The per-call cumulative progress view of this run."""
+        c = self.counters
+        return SearchProgress(
+            states_visited=c.explored,
+            bound_cuts=c.bound_cuts,
+            best_chi_square=self.best_value if self.best_mask else None,
+            blocks_completed=self.blocks_done,
+            kernel_batches=c.batches,
+            elapsed_seconds=time.perf_counter() - self._started,
+        )
 
     # -- visiting -------------------------------------------------------
     def _visit_chunk(self, subsets: "object", size: int) -> None:
@@ -503,6 +522,8 @@ class _KernelRun:
             raise SearchAbortedError()
         self.counters.explored += batch
         self.counters.batches += 1
+        if self.progress is not None:
+            self.progress(self.snapshot())
         if size < self.min_size:
             return
         self.counters.evaluated += batch
@@ -684,12 +705,15 @@ def kernel_best_mask(
     limit: int | None = None,
     prune: str = "none",
     check_abort: Callable[[], bool] | None = None,
+    progress: ProgressCallback | None = None,
     decompose: bool = True,
 ):
     """Numpy-backend equivalent of :func:`~repro.enumerate.search.exhaustive_best_mask`.
 
-    Accepts the same arguments plus ``decompose`` (disable the block-cut
-    split; the equivalence property suite exercises both).  The
+    Accepts the same arguments (``progress`` snapshots fire per state
+    batch and additionally report block/batch counts) plus ``decompose``
+    (disable the block-cut split; the equivalence property suite
+    exercises both).  The
     accumulator must be one of the bundled payload types, passed in its
     empty state exactly as the python walk expects; the kernel reads its
     payloads and never mutates it.  Returns the identical
@@ -730,6 +754,7 @@ def kernel_best_mask(
         limit=limit,
         bounded=prune == "bounds",
         check_abort=check_abort,
+        progress=progress,
     )
     plan = _build_plan(adjacency, n, decompose)
     try:
@@ -742,7 +767,12 @@ def kernel_best_mask(
             run.seed_value = float(singles.max())
         for region, root in plan:
             run.run_subproblem(adjacency, region, root)
+            run.blocks_done += 1
     finally:
+        # Final snapshot fires even on abort/limit so consumers see the
+        # call's complete counters before the metrics flush.
+        if progress is not None:
+            progress(run.snapshot())
         run.flush_metrics(len(plan))
 
     c = run.counters

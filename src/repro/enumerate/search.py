@@ -24,6 +24,7 @@ and decompose the walk while returning bit-identical results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from collections.abc import Callable, Hashable, Sequence
 
@@ -33,6 +34,7 @@ from repro.enumerate.bitset import BitsetGraph, iter_bits
 from repro.enumerate.bounds import supports_bounds
 from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
+from repro.telemetry.progress import ProgressCallback, SearchProgress
 
 __all__ = [
     "ABORT_CHECK_MASK",
@@ -114,6 +116,7 @@ def exhaustive_best_mask(
     prune: str = "none",
     check_abort: Callable[[], bool] | None = None,
     backend: str = "python",
+    progress: ProgressCallback | None = None,
 ) -> SearchOutcome:
     """Find the connected vertex set with the maximum accumulator statistic.
 
@@ -141,6 +144,12 @@ def exhaustive_best_mask(
     raises :class:`~repro.exceptions.SearchAbortedError`.  A callback that
     never fires provably cannot change the result — it is only ever
     *read*, never consulted for ordering or pruning decisions.
+
+    ``progress``, when given, receives :class:`~repro.telemetry.progress.
+    SearchProgress` snapshots at the same cadence as the abort poll (plus
+    one final snapshot when the call ends, even on abort/limit), carrying
+    per-call cumulative counters.  Like ``check_abort`` it is observe-only
+    and cannot change the result.
     """
     n = len(adjacency)
     if min_size < 1:
@@ -166,7 +175,7 @@ def exhaustive_best_mask(
             return kernel_best_mask(
                 adjacency, accumulator,
                 min_size=min_size, max_size=max_size, limit=limit,
-                prune=prune, check_abort=check_abort,
+                prune=prune, check_abort=check_abort, progress=progress,
             )
     size_cap = n if max_size is None else min(max_size, n)
     if check_abort is not None and check_abort():
@@ -175,12 +184,12 @@ def exhaustive_best_mask(
         return _search_bounded(
             adjacency, accumulator,
             min_size=min_size, size_cap=size_cap, limit=limit,
-            check_abort=check_abort,
+            check_abort=check_abort, progress=progress,
         )
     return _search_unbounded(
         adjacency, accumulator,
         min_size=min_size, size_cap=size_cap, limit=limit,
-        check_abort=check_abort,
+        check_abort=check_abort, progress=progress,
     )
 
 
@@ -192,6 +201,7 @@ def _search_unbounded(
     size_cap: int,
     limit: int | None,
     check_abort: Callable[[], bool] | None = None,
+    progress: ProgressCallback | None = None,
 ) -> SearchOutcome:
     """The plain exhaustive walk (``prune="none"``)."""
     n = len(adjacency)
@@ -202,18 +212,26 @@ def _search_unbounded(
     frontier_exhausted = 0
     evaluated = 0
     best_updates = 0
+    poll = check_abort is not None or progress is not None
+    started = time.perf_counter() if progress is not None else 0.0
+
+    def snapshot() -> SearchProgress:
+        return SearchProgress(
+            states_visited=explored,
+            best_chi_square=best_value if best_mask else None,
+            elapsed_seconds=time.perf_counter() - started,
+        )
 
     def consider(mask: int, size: int) -> None:
         nonlocal best_mask, best_value, explored, evaluated, best_updates
         explored += 1
         if limit is not None and explored > limit:
             raise EnumerationLimitError(limit)
-        if (
-            check_abort is not None
-            and not explored & ABORT_CHECK_MASK
-            and check_abort()
-        ):
-            raise SearchAbortedError()
+        if poll and not explored & ABORT_CHECK_MASK:
+            if check_abort is not None and check_abort():
+                raise SearchAbortedError()
+            if progress is not None:
+                progress(snapshot())
         if size >= min_size:
             evaluated += 1
             value = accumulator.chi_square()
@@ -272,6 +290,10 @@ def _search_unbounded(
                 stack.append((child_subset, size + 1, child_ext, fb))
             accumulator.pop(root)
     finally:
+        # Final snapshot fires even on abort/limit so consumers see the
+        # call's complete counters before the metrics flush below.
+        if progress is not None:
+            progress(snapshot())
         if _TELEMETRY.enabled:
             metrics = _TELEMETRY.metrics
             metrics.count(_metric.SEARCH_STATES_VISITED, explored)
@@ -316,6 +338,7 @@ def _search_bounded(
     size_cap: int,
     limit: int | None,
     check_abort: Callable[[], bool] | None = None,
+    progress: ProgressCallback | None = None,
 ) -> SearchOutcome:
     """Branch-and-bound walk (``prune="bounds"``).
 
@@ -342,6 +365,16 @@ def _search_bounded(
     best_updates = 0
     bound_cuts = 0
     bound_evaluations = 0
+    poll = check_abort is not None or progress is not None
+    started = time.perf_counter() if progress is not None else 0.0
+
+    def snapshot() -> SearchProgress:
+        return SearchProgress(
+            states_visited=explored,
+            bound_cuts=bound_cuts,
+            best_chi_square=best_value if best_mask else None,
+            elapsed_seconds=time.perf_counter() - started,
+        )
 
     # Best-first incumbent seeding: singles are evaluable results when
     # min_size <= 1, so their maximum is a sound pruning threshold from the
@@ -361,12 +394,11 @@ def _search_bounded(
         explored += 1
         if limit is not None and explored > limit:
             raise EnumerationLimitError(limit)
-        if (
-            check_abort is not None
-            and not explored & ABORT_CHECK_MASK
-            and check_abort()
-        ):
-            raise SearchAbortedError()
+        if poll and not explored & ABORT_CHECK_MASK:
+            if check_abort is not None and check_abort():
+                raise SearchAbortedError()
+            if progress is not None:
+                progress(snapshot())
         if size >= min_size:
             evaluated += 1
             value = accumulator.chi_square()
@@ -429,6 +461,10 @@ def _search_bounded(
                 stack.append((child_subset, size + 1, child_ext, fb))
             accumulator.pop(root)
     finally:
+        # Final snapshot fires even on abort/limit so consumers see the
+        # call's complete counters before the metrics flush below.
+        if progress is not None:
+            progress(snapshot())
         if _TELEMETRY.enabled:
             metrics = _TELEMETRY.metrics
             metrics.count(_metric.SEARCH_STATES_VISITED, explored)
@@ -464,12 +500,14 @@ def exhaustive_best_subset(
     prune: str = "none",
     check_abort: Callable[[], bool] | None = None,
     backend: str = "python",
+    progress: ProgressCallback | None = None,
 ) -> tuple[frozenset[Hashable], float, int]:
     """Convenience wrapper returning original vertex objects.
 
     Returns ``(vertex_set, chi_square, explored)``; the vertex set is empty
     when the graph has no vertices.  All keyword arguments — including
-    ``backend`` — are forwarded to :func:`exhaustive_best_mask`.
+    ``backend`` and ``progress`` — are forwarded to
+    :func:`exhaustive_best_mask`.
     """
     outcome = exhaustive_best_mask(
         bitset.adjacency,
@@ -480,6 +518,7 @@ def exhaustive_best_subset(
         prune=prune,
         check_abort=check_abort,
         backend=backend,
+        progress=progress,
     )
     return bitset.vertex_set(outcome.mask), outcome.chi_square, outcome.explored
 

@@ -22,16 +22,31 @@ Each worker process owns a private :class:`~repro.service.cache.
 SuperGraphCache`, and ships its hit/miss/eviction deltas back with every
 result; the manager folds them into the shared metrics registry so
 ``GET /metricsz`` aggregates over the whole pool.
+
+The pool is also the service's distributed-telemetry backbone.  Unless a
+request opts out (``"trace": false``), the worker runs each job under its
+own telemetry session with a ``service.job`` root span carrying the
+request's ``trace_id``; the finished session is captured with
+:func:`~repro.telemetry.context.capture_session` and ships back with the
+terminal message, where the manager persists it as a per-job JSONL trace
+artifact (``GET /jobs/<id>/trace``) and folds the worker's metrics into
+the parent registry — skipping ``service.cache.*``, whose delta path above
+is authoritative.  While the search runs, workers stream
+:class:`~repro.telemetry.progress.SearchProgress` heartbeats over the same
+results queue (``GET /jobs/<id>/progress``); every message doubles as a
+liveness heartbeat for the per-worker detail in ``GET /healthz``.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
 import queue
+import tempfile
 import threading
 import time
 import uuid
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any
 
 from repro.core.solver import mine
@@ -45,6 +60,15 @@ from repro.service.cache import SuperGraphCache
 from repro.service.protocol import build_instance, result_to_payload
 from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
+from repro.telemetry import telemetry_session
+from repro.telemetry.context import (
+    capture_session,
+    merge_payload_metrics,
+    new_trace_id,
+    payload_records,
+    write_job_trace,
+)
+from repro.telemetry.progress import SearchProgress
 
 __all__ = ["DEFAULT_QUEUE_SIZE", "Job", "JobManager"]
 
@@ -74,6 +98,10 @@ class Job:
     submitted_at: float = 0.0
     finished_at: float | None = None
     worker_pid: int | None = None
+    trace_id: str = ""
+    progress: dict[str, Any] | None = field(default=None, repr=False)
+    trace_records: list[dict[str, Any]] | None = field(default=None, repr=False)
+    trace_path: str | None = None
     _done: threading.Event = field(
         default_factory=threading.Event, repr=False, compare=False
     )
@@ -84,7 +112,12 @@ class Job:
 
     def to_payload(self) -> dict[str, Any]:
         """JSON-able public view of the job (what ``GET /jobs/<id>`` returns)."""
-        payload: dict[str, Any] = {"job_id": self.id, "status": self.status}
+        payload: dict[str, Any] = {
+            "job_id": self.id,
+            "status": self.status,
+            "trace_id": self.trace_id,
+            "trace_available": self.trace_records is not None,
+        }
         if self.deadline is not None:
             payload["deadline_seconds_left"] = max(
                 0.0, self.deadline - time.time()
@@ -95,11 +128,21 @@ class Job:
             payload["error"] = self.error
         return payload
 
+    def progress_payload(self) -> dict[str, Any]:
+        """What ``GET /jobs/<id>/progress`` returns for this job."""
+        return {
+            "job_id": self.id,
+            "status": self.status,
+            "trace_id": self.trace_id,
+            "progress": self.progress,
+        }
+
 
 def _execute_request(
     request: dict[str, Any],
     cache: SuperGraphCache | None,
     deadline: float | None,
+    progress: Any = None,
 ) -> dict[str, Any]:
     """Run one validated mining request; returns its result payload.
 
@@ -129,8 +172,37 @@ def _execute_request(
         backend=params["backend"],
         check_abort=check_abort,
         prefix_cache=cache,
+        progress=progress,
     )
     return result_to_payload(result)
+
+
+class _ProgressPublisher:
+    """Forwards a worker's progress snapshots onto the results queue.
+
+    The solver's internal aggregator already throttles to ~10 snapshots a
+    second, so every received snapshot is forwarded as one small message;
+    a full pipe never blocks a search (``put_nowait`` + drop on overflow —
+    progress is best-effort, results are not).
+    """
+
+    __slots__ = ("_results", "_job_id", "_pid")
+
+    def __init__(self, results: "mp.queues.Queue", job_id: str, pid: int) -> None:
+        self._results = results
+        self._job_id = job_id
+        self._pid = pid
+
+    def __call__(self, snapshot: SearchProgress) -> None:
+        try:
+            self._results.put_nowait({
+                "kind": "progress",
+                "job_id": self._job_id,
+                "pid": self._pid,
+                "body": snapshot.to_payload(),
+            })
+        except queue.Full:  # pragma: no cover - heartbeats are best-effort
+            pass
 
 
 def _worker_main(
@@ -144,6 +216,12 @@ def _worker_main(
     ``spawn`` start method can pickle it.  The private prefix cache lives
     for the worker's lifetime; its counter deltas ride back on every
     result message so the parent can aggregate pool-wide cache metrics.
+
+    Messages are dicts ``{"kind", "job_id", "pid", "body", ...}``; the
+    terminal kinds (``done``/``timeout``/``error``) additionally carry the
+    cache ``delta`` and, for traced jobs, the captured ``telemetry``
+    payload.  Queue FIFO ordering guarantees the terminal message arrives
+    after every progress heartbeat of its job.
     """
     cache = SuperGraphCache(max_entries=cache_size)
     pid = mp.current_process().pid
@@ -152,10 +230,31 @@ def _worker_main(
         item = tasks.get()
         if item is None:
             break
-        job_id, request, deadline = item
-        results.put(("started", job_id, pid, None, None))
+        job_id, request, deadline, trace_id = item
+        results.put({"kind": "started", "job_id": job_id, "pid": pid})
+        publisher = _ProgressPublisher(results, job_id, pid)
+        telemetry_payload = None
         try:
-            payload = _execute_request(request, cache, deadline)
+            if request.get("trace", True):
+                with telemetry_session() as (tracer, metrics):
+                    try:
+                        with tracer.span(
+                            "service.job",
+                            trace_id=trace_id, job_id=job_id, pid=pid,
+                        ):
+                            payload = _execute_request(
+                                request, cache, deadline, progress=publisher
+                            )
+                    finally:
+                        # Capture on every exit path: aborted/failed jobs
+                        # still ship their partial spans and metrics.
+                        telemetry_payload = capture_session(
+                            tracer, metrics, trace_id=trace_id
+                        )
+            else:
+                payload = _execute_request(
+                    request, cache, deadline, progress=publisher
+                )
             kind = "done"
             body: Any = payload
         except SearchAbortedError as exc:
@@ -170,7 +269,14 @@ def _worker_main(
             for key in ("hits", "misses", "evictions")
         }
         last = current
-        results.put((kind, job_id, pid, body, delta))
+        results.put({
+            "kind": kind,
+            "job_id": job_id,
+            "pid": pid,
+            "body": body,
+            "delta": delta,
+            "telemetry": telemetry_payload,
+        })
 
 
 class JobManager:
@@ -190,6 +296,7 @@ class JobManager:
         cache_size: int = 32,
         queue_size: int = DEFAULT_QUEUE_SIZE,
         default_deadline: float | None = None,
+        trace_dir: str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -198,6 +305,7 @@ class JobManager:
         self.default_deadline = default_deadline
         self._cache_size = cache_size
         self._queue_size = queue_size
+        self._trace_dir = None if trace_dir is None else Path(trace_dir)
         self._ctx = mp.get_context("spawn")
         self._tasks: mp.queues.Queue = self._ctx.Queue()
         self._results: mp.queues.Queue = self._ctx.Queue()
@@ -206,6 +314,7 @@ class JobManager:
         self._pending = 0  # queued + running, bounded by queue_size
         self._workers: list[mp.process.BaseProcess] = []
         self._running_on: dict[int, str] = {}  # pid -> job id
+        self._worker_info: dict[int, dict[str, Any]] = {}
         self._closed = False
         self.workers_respawned = 0
         self.cache_counters = {"hits": 0, "misses": 0, "evictions": 0}
@@ -224,7 +333,21 @@ class JobManager:
             daemon=True,
         )
         process.start()
+        self._worker_info[process.pid] = {
+            "spawned_at": time.time(),
+            "last_heartbeat": time.time(),
+        }
         return process
+
+    def trace_dir(self) -> Path:
+        """The directory job trace artifacts are written to (lazily created)."""
+        with self._lock:
+            if self._trace_dir is None:
+                self._trace_dir = Path(
+                    tempfile.mkdtemp(prefix="repro-job-traces-")
+                )
+            self._trace_dir.mkdir(parents=True, exist_ok=True)
+            return self._trace_dir
 
     def close(self, timeout: float = 5.0) -> None:
         """Stop the collector and terminate every worker."""
@@ -257,11 +380,15 @@ class JobManager:
         request: dict[str, Any],
         *,
         deadline_seconds: float | None = None,
+        trace_id: str | None = None,
     ) -> Job:
         """Enqueue a validated request; returns the job handle.
 
-        Raises :class:`~repro.exceptions.BackpressureError` when
-        ``queue_size`` jobs are already queued or running.
+        ``trace_id`` propagates the HTTP request's trace id into the
+        worker (one is generated when absent), so the job's span tree
+        roots under the id the client saw.  Raises
+        :class:`~repro.exceptions.BackpressureError` when ``queue_size``
+        jobs are already queued or running.
         """
         if deadline_seconds is None:
             deadline_seconds = self.default_deadline
@@ -272,6 +399,7 @@ class JobManager:
             request=request,
             deadline=deadline,
             submitted_at=now,
+            trace_id=trace_id or new_trace_id(),
         )
         with self._lock:
             if self._closed:
@@ -283,7 +411,7 @@ class JobManager:
                 )
             self._pending += 1
             self._jobs[job.id] = job
-        self._tasks.put((job.id, request, deadline))
+        self._tasks.put((job.id, request, deadline, job.trace_id))
         self._count(_metric.SERVICE_JOBS_SUBMITTED)
         return job
 
@@ -294,16 +422,34 @@ class JobManager:
 
     def stats(self) -> dict[str, Any]:
         """Pool statistics for ``GET /healthz`` / ``GET /metricsz``."""
+        now = time.time()
         with self._lock:
             by_status: dict[str, int] = {}
             for job in self._jobs.values():
                 by_status[job.status] = by_status.get(job.status, 0) + 1
+            worker_detail = []
+            for process in self._workers:
+                pid = process.pid
+                info = self._worker_info.get(pid, {})
+                job_id = self._running_on.get(pid)
+                heartbeat = info.get("last_heartbeat")
+                worker_detail.append({
+                    "pid": pid,
+                    "alive": process.is_alive(),
+                    "state": "busy" if job_id is not None else "idle",
+                    "job_id": job_id,
+                    "seconds_since_heartbeat": (
+                        None if heartbeat is None
+                        else round(max(0.0, now - heartbeat), 3)
+                    ),
+                })
             return {
                 "workers": len(self._workers),
                 "workers_alive": sum(
                     1 for p in self._workers if p.is_alive()
                 ),
                 "workers_respawned": self.workers_respawned,
+                "worker_detail": worker_detail,
                 "jobs_in_flight": self._pending,
                 "queue_size": self._queue_size,
                 "jobs_by_status": dict(sorted(by_status.items())),
@@ -312,23 +458,28 @@ class JobManager:
 
     # -- collector -----------------------------------------------------
     def _count(self, name: str, value: int = 1) -> None:
-        # MetricsRegistry is not thread-safe; the manager lock serialises
-        # every update from handler threads and the collector alike.
+        # MetricsRegistry is internally locked; no manager lock needed.
         if value and _TELEMETRY.enabled:
-            with self._lock:
-                _TELEMETRY.metrics.count(name, value)
+            _TELEMETRY.metrics.count(name, value)
+
+    def _heartbeat(self, pid: int) -> None:
+        # Caller holds the lock.
+        info = self._worker_info.get(pid)
+        if info is not None:
+            info["last_heartbeat"] = time.time()
 
     def _collect(self) -> None:
         while True:
             try:
-                kind, job_id, pid, body, delta = self._results.get(
-                    timeout=_POLL_SECONDS
-                )
+                message = self._results.get(timeout=_POLL_SECONDS)
             except queue.Empty:
                 if self._closed:
                     return
                 self._reap_dead_workers()
                 continue
+            kind = message["kind"]
+            job_id = message["job_id"]
+            pid = message["pid"]
             with self._lock:
                 job = self._jobs.get(job_id)
             if job is None:  # pragma: no cover - cancelled out of band
@@ -338,12 +489,49 @@ class JobManager:
                     job.status = "running"
                     job.worker_pid = pid
                     self._running_on[pid] = job_id
+                    self._heartbeat(pid)
                 continue
+            if kind == "progress":
+                with self._lock:
+                    if job.status == "running":
+                        job.progress = message["body"]
+                    self._heartbeat(pid)
+                self._count(_metric.SERVICE_PROGRESS_UPDATES)
+                continue
+            delta = message.get("delta")
             if delta:
                 self._fold_cache_delta(delta)
+            telemetry = message.get("telemetry")
+            if telemetry is not None:
+                self._absorb_telemetry(job, telemetry)
             with self._lock:
                 self._running_on.pop(pid, None)
-                self._finish(job, kind, body)
+                self._heartbeat(pid)
+                self._finish(job, kind, message["body"])
+
+    def _absorb_telemetry(self, job: Job, payload: dict[str, Any]) -> None:
+        """Persist a job's captured telemetry and fold it into the parent.
+
+        The trace artifact and in-memory records are built whether or not
+        telemetry is enabled in the *parent* process — the worker already
+        paid for them, and ``GET /jobs/<id>/trace`` should work either
+        way.  The registry merge is gated on the parent's telemetry state,
+        and skips ``service.cache.*`` (the delta-fold path above already
+        accounts for those).
+        """
+        try:
+            job.trace_records = payload_records(payload, job_id=job.id)
+            path = self.trace_dir() / f"{job.id}.jsonl"
+            job.trace_path = str(write_job_trace(path, payload, job_id=job.id))
+            self._count(_metric.SERVICE_TRACES_PERSISTED)
+        except ReproError:  # pragma: no cover - disk full etc.
+            job.trace_path = None
+        if _TELEMETRY.enabled:
+            merge_payload_metrics(_TELEMETRY.metrics, payload)
+            self._count(_metric.TELEMETRY_REGISTRY_MERGES)
+            self._count(
+                _metric.TELEMETRY_SPANS_MERGED, len(payload.get("spans", ()))
+            )
 
     def _finish(self, job: Job, kind: str, body: Any) -> None:
         # Caller holds the lock.
@@ -384,6 +572,7 @@ class JobManager:
                 return
             for process in dead:
                 self._workers.remove(process)
+                self._worker_info.pop(process.pid, None)
                 job_id = self._running_on.pop(process.pid, None)
                 if job_id is not None:
                     job = self._jobs.get(job_id)

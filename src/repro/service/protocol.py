@@ -15,14 +15,18 @@ parameters::
                  "polish": false, "prune": "none",
                  "backend": "python"},
       "async": false,
-      "deadline_seconds": null
+      "deadline_seconds": null,
+      "trace": true
     }
 
 ``graph.vertices`` lists extra isolated vertices (edges imply their
 endpoints); ``vertex_type`` selects how label keys and edge entries are
 coerced, matching the CLI's ``--vertex-type``.  ``params`` mirrors
 :func:`repro.core.solver.mine` keyword-for-keyword, so a service answer is
-byte-comparable with a direct library call.
+byte-comparable with a direct library call.  ``trace`` (default true)
+controls whether the worker runs the job under a telemetry session and
+ships spans/metrics back for ``GET /jobs/<id>/trace``; switch it off for
+latency-critical fire-and-forget jobs.
 
 :func:`validate_request` normalises and type-checks a decoded document
 (raising :class:`~repro.exceptions.RequestValidationError` with a
@@ -69,6 +73,7 @@ the CLI's ``repro mine`` defaults."""
 
 _TOP_LEVEL_KEYS = {
     "graph", "labels", "vertex_type", "params", "async", "deadline_seconds",
+    "trace",
 }
 _METHODS = ("supergraph", "naive")
 _EDGE_ORDERS = ("input", "shuffled", "by_chi_square")
@@ -178,6 +183,12 @@ def validate_request(doc: Any) -> dict[str, Any]:
         f"'async' must be a boolean, got {run_async!r}",
     )
 
+    trace = doc.get("trace", True)
+    _require(
+        isinstance(trace, bool),
+        f"'trace' must be a boolean, got {trace!r}",
+    )
+
     deadline = doc.get("deadline_seconds")
     if deadline is not None:
         _require(
@@ -194,6 +205,7 @@ def validate_request(doc: Any) -> dict[str, Any]:
         "params": params,
         "async": run_async,
         "deadline_seconds": deadline,
+        "trace": trace,
     }
 
 

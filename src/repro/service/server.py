@@ -2,10 +2,13 @@
 
 Endpoints::
 
-    POST /mine        run a mining request (async=true -> 202 + job id)
-    GET  /jobs/<id>   poll an async job
-    GET  /healthz     liveness + pool statistics
-    GET  /metricsz    snapshot of the service metrics registry
+    POST /mine                 run a mining request (async=true -> 202 + job id)
+    GET  /jobs/<id>            poll an async job
+    GET  /jobs/<id>/progress   live search progress of a running job
+    GET  /jobs/<id>/trace      the job's span/metric records (after finish)
+    GET  /healthz              liveness + pool statistics (per-worker detail)
+    GET  /metricsz             snapshot of the service metrics registry
+    GET  /metricsz?format=prometheus   same, as Prometheus text exposition
 
 The handler threads only parse/validate and enqueue — all mining happens in
 the :class:`~repro.service.jobs.JobManager` worker processes, so a slow
@@ -15,6 +18,13 @@ failure modes onto conventional codes: 400 invalid request, 404 unknown
 route/job, 413 oversized body, 503 queue backpressure, 504 deadline
 exceeded (with the structured timeout payload).
 
+Clients may supply their own ``X-Trace-Id`` request header (1-64 word
+characters/dashes); it is echoed back and, for ``POST /mine``, propagated
+into the worker process so the job's whole span tree roots under the id
+the client chose.  Every completed request is logged as one JSON line on
+the ``repro.service.access`` logger (silent unless a handler is attached;
+``repro serve --access-log`` attaches one).
+
 Construct one with :class:`MiningService` and run it with ``serve_forever``
 (or ``start()``/``shutdown()`` from tests); the CLI wraps this in
 ``repro serve``.
@@ -23,19 +33,30 @@ Construct one with :class:`MiningService` and run it with ``serve_forever``
 from __future__ import annotations
 
 import json
+import logging
+import re
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from secrets import token_hex
 from typing import Any
+from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import BackpressureError, RequestValidationError
 from repro.service.jobs import DEFAULT_QUEUE_SIZE, JobManager
 from repro.service.protocol import validate_request
 from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
+from repro.telemetry.context import new_trace_id
+from repro.telemetry.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 
 __all__ = ["DEFAULT_MAX_REQUEST_BYTES", "MiningService"]
+
+_access_log = logging.getLogger("repro.service.access")
+
+_TRACE_ID_RE = re.compile(r"^[\w-]{1,64}$")
 
 DEFAULT_MAX_REQUEST_BYTES = 8 * 1024 * 1024
 """Reject request bodies above 8 MiB — far beyond any reasonable instance,
@@ -59,58 +80,120 @@ class _Handler(BaseHTTPRequestHandler):
         """The owning service instance."""
         return self.server.service  # type: ignore[attr-defined]
 
+    def _request_trace_id(self) -> str:
+        """The client's ``X-Trace-Id`` when well-formed, else a fresh id."""
+        supplied = self.headers.get("X-Trace-Id", "")
+        if supplied and _TRACE_ID_RE.match(supplied):
+            return supplied
+        return new_trace_id()
+
     def _send_json(
         self, status: int, payload: dict[str, Any], trace_id: str
     ) -> None:
         payload.setdefault("trace_id", trace_id)
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json", trace_id)
+
+    def _send_body(
+        self, status: int, body: bytes, content_type: str, trace_id: str
+    ) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("X-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
 
-    def _observe(self, started: float) -> None:
+    def _observe(self, started: float, trace_id: str) -> None:
+        elapsed = time.monotonic() - started
         if _TELEMETRY.enabled:
-            with self.service.manager._lock:
-                _TELEMETRY.metrics.count(_metric.SERVICE_REQUESTS_TOTAL)
-                _TELEMETRY.metrics.observe(
-                    _metric.SERVICE_REQUEST_SECONDS, time.monotonic() - started
-                )
+            _TELEMETRY.metrics.count(_metric.SERVICE_REQUESTS_TOTAL)
+            _TELEMETRY.metrics.observe(_metric.SERVICE_REQUEST_SECONDS, elapsed)
+        if _access_log.isEnabledFor(logging.INFO):
+            _access_log.info(json.dumps({
+                "trace_id": trace_id,
+                "method": self.command,
+                "path": self.path,
+                "status": getattr(self, "_status", 0),
+                "duration_ms": round(elapsed * 1000.0, 3),
+            }, sort_keys=True))
 
     # -- routes --------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         """Route GET requests (jobs, healthz, metricsz)."""
         started = time.monotonic()
-        trace_id = token_hex(8)
+        trace_id = self._request_trace_id()
+        parts = urlsplit(self.path)
         try:
-            if self.path == "/healthz":
+            if parts.path == "/healthz":
                 stats = self.service.manager.stats()
                 status = 200 if stats["workers_alive"] > 0 else 503
                 self._send_json(
                     status, {"status": "ok" if status == 200 else "degraded",
                              "pool": stats}, trace_id,
                 )
-            elif self.path == "/metricsz":
-                self._send_json(
-                    200, {"metrics": self.service.metrics_snapshot()}, trace_id
-                )
-            elif self.path.startswith("/jobs/"):
-                job = self.service.manager.get(self.path[len("/jobs/"):])
-                if job is None:
-                    self._send_json(404, {"error": "unknown job id"}, trace_id)
+            elif parts.path == "/metricsz":
+                fmt = parse_qs(parts.query).get("format", ["json"])[0]
+                if fmt == "prometheus":
+                    self._send_body(
+                        200,
+                        self.service.prometheus_metrics().encode("utf-8"),
+                        PROMETHEUS_CONTENT_TYPE,
+                        trace_id,
+                    )
+                elif fmt == "json":
+                    self._send_json(
+                        200, {"metrics": self.service.metrics_snapshot()},
+                        trace_id,
+                    )
                 else:
-                    self._send_json(200, job.to_payload(), trace_id)
+                    self._send_json(
+                        400,
+                        {"error": "format must be 'json' or 'prometheus', "
+                                  f"got {fmt!r}"},
+                        trace_id,
+                    )
+            elif parts.path.startswith("/jobs/"):
+                self._get_job(parts.path[len("/jobs/"):], trace_id)
             else:
                 self._send_json(404, {"error": "unknown route"}, trace_id)
         finally:
-            self._observe(started)
+            self._observe(started, trace_id)
+
+    def _get_job(self, tail: str, trace_id: str) -> None:
+        """Dispatch ``/jobs/<id>``, ``/jobs/<id>/progress``, ``.../trace``."""
+        job_id, _, view = tail.partition("/")
+        job = self.service.manager.get(job_id)
+        if job is None or view not in ("", "progress", "trace"):
+            self._send_json(404, {"error": "unknown job id or view"}, trace_id)
+        elif view == "progress":
+            self._send_json(200, job.progress_payload(), trace_id)
+        elif view == "trace":
+            if job.trace_records is None:
+                self._send_json(
+                    404,
+                    {"error": "no trace is available for this job (it is "
+                              "still running, predates the trace store, or "
+                              "was submitted with trace=false)",
+                     "job_id": job.id, "status": job.status},
+                    trace_id,
+                )
+            else:
+                self._send_json(
+                    200,
+                    {"job_id": job.id, "status": job.status,
+                     "trace_path": job.trace_path,
+                     "records": job.trace_records},
+                    job.trace_id or trace_id,
+                )
+        else:
+            self._send_json(200, job.to_payload(), trace_id)
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         """Route POST requests (/mine)."""
         started = time.monotonic()
-        trace_id = token_hex(8)
+        trace_id = self._request_trace_id()
         try:
             if self.path != "/mine":
                 self._send_json(404, {"error": "unknown route"}, trace_id)
@@ -137,7 +220,9 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             try:
                 job = self.service.manager.submit(
-                    request, deadline_seconds=request["deadline_seconds"]
+                    request,
+                    deadline_seconds=request["deadline_seconds"],
+                    trace_id=trace_id,
                 )
             except BackpressureError as exc:
                 self._send_json(
@@ -160,7 +245,7 @@ class _Handler(BaseHTTPRequestHandler):
             else:
                 self._send_json(500, payload, trace_id)
         finally:
-            self._observe(started)
+            self._observe(started, trace_id)
 
 
 class MiningService:
@@ -188,12 +273,14 @@ class MiningService:
         queue_size: int = DEFAULT_QUEUE_SIZE,
         default_deadline: float | None = None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
+        trace_dir: str | None = None,
     ) -> None:
         self.manager = JobManager(
             workers=workers,
             cache_size=cache_size,
             queue_size=queue_size,
             default_deadline=default_deadline,
+            trace_dir=trace_dir,
         )
         self.max_request_bytes = max_request_bytes
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -224,9 +311,36 @@ class MiningService:
             "service.workers_alive": stats["workers_alive"],
         }
         if _TELEMETRY.enabled:
-            with self.manager._lock:
-                snapshot.update(_TELEMETRY.metrics.snapshot())
+            snapshot.update(_TELEMETRY.metrics.snapshot())
         return snapshot
+
+    def prometheus_metrics(self) -> str:
+        """``GET /metricsz?format=prometheus`` — the text exposition format.
+
+        Exports the full registry state (which, thanks to the collector's
+        cross-process merge, aggregates the workers' ``search.*`` and
+        ``solver.*`` metrics) plus the pool/cache statistics; pool-level
+        series win over registry entries of the same name so aggregated
+        values are never exported twice.
+        """
+        stats = self.manager.stats()
+        state = _TELEMETRY.metrics.to_state() if _TELEMETRY.enabled else None
+        return render_prometheus(
+            state,
+            counters={
+                _metric.SERVICE_CACHE_HITS: stats["cache"]["hits"],
+                _metric.SERVICE_CACHE_MISSES: stats["cache"]["misses"],
+                _metric.SERVICE_CACHE_EVICTIONS: stats["cache"]["evictions"],
+                _metric.SERVICE_WORKERS_RESPAWNED: stats["workers_respawned"],
+            },
+            gauges={
+                "service.jobs_in_flight": stats["jobs_in_flight"],
+                "service.workers_alive": stats["workers_alive"],
+            },
+            labeled={
+                "service.jobs": ("status", stats["jobs_by_status"]),
+            },
+        )
 
     def start(self) -> None:
         """Serve on a daemon thread (returns immediately)."""

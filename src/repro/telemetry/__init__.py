@@ -11,7 +11,16 @@ pieces the rest of the library instruments against:
     histograms keyed by the stable names in :mod:`repro.telemetry.names`.
 ``repro.telemetry.summarize``
     Per-stage breakdown tables from persisted traces (the ``repro trace
-    summarize`` subcommand).
+    summarize`` subcommand), merging multiple files without double-counting.
+``repro.telemetry.context``
+    Cross-process trace context: capture a worker session into a shippable
+    payload, merge it into a parent registry, persist per-job artifacts.
+``repro.telemetry.progress``
+    Live :class:`SearchProgress` heartbeats published by both search
+    backends at the ``check_abort`` cadence, aggregated per job.
+``repro.telemetry.exposition``
+    Prometheus text-format rendering of a metrics state
+    (``GET /metricsz?format=prometheus``).
 
 Telemetry is **off by default** and gated by the module-level
 :data:`TELEMETRY` singleton.  Instrumentation sites are written as::
@@ -31,8 +40,12 @@ work with :func:`telemetry_session`::
         result = mine(graph, labeling)
     tracer.write_jsonl("trace.jsonl", metrics=metrics)
 
-Not thread-safe by design: the pipeline is single-threaded, and keeping
-the gate lock-free is what makes the disabled path free.
+The tracer and the gate itself stay single-threaded by design — the
+pipeline they instrument is single-threaded, and keeping the gate
+lock-free is what makes the disabled path free.  The
+:class:`MetricsRegistry` *is* thread-safe (one internal lock), because the
+serving layer mutates it from HTTP handler threads and the job collector
+while ``GET /metricsz`` snapshots it concurrently.
 """
 
 from __future__ import annotations
@@ -40,6 +53,16 @@ from __future__ import annotations
 from contextlib import contextmanager
 from collections.abc import Iterator
 
+from repro.telemetry.context import (
+    capture_session,
+    merge_payload_metrics,
+    new_trace_id,
+    write_job_trace,
+)
+from repro.telemetry.exposition import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 from repro.telemetry.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -47,21 +70,40 @@ from repro.telemetry.metrics import (
     Histogram,
     MetricsRegistry,
 )
-from repro.telemetry.span import SCHEMA_VERSION, Span, Tracer, read_trace
+from repro.telemetry.progress import (
+    ProgressAggregator,
+    SearchProgress,
+)
+from repro.telemetry.span import (
+    SCHEMA_VERSION,
+    Span,
+    Tracer,
+    read_trace,
+    read_trace_records,
+)
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "PROMETHEUS_CONTENT_TYPE",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "ProgressAggregator",
     "SCHEMA_VERSION",
+    "SearchProgress",
     "Span",
     "TELEMETRY",
     "Telemetry",
     "Tracer",
+    "capture_session",
+    "merge_payload_metrics",
+    "new_trace_id",
     "read_trace",
+    "read_trace_records",
+    "render_prometheus",
     "telemetry_session",
+    "write_job_trace",
 ]
 
 

@@ -11,11 +11,27 @@ is O(#buckets) worst case, and percentile queries return the upper bound of
 the bucket containing the requested quantile — an approximation that is
 exact enough for "how skewed are per-search state counts" questions while
 keeping memory constant.
+
+The registry itself is **thread-safe**: every mutation and snapshot runs
+under one internal lock, because the serving layer updates it from HTTP
+handler threads and the job collector while ``GET /metricsz`` snapshots it
+concurrently.  The individual metric objects stay lock-free — callers that
+hold a metric directly own its synchronisation — and the disabled-telemetry
+hot path never reaches the registry at all, so the gate stays a bare
+attribute check.
+
+Registries also serialise losslessly: :meth:`MetricsRegistry.to_state`
+captures every counter value and full histogram bucket vector, and
+:meth:`MetricsRegistry.merge_state` folds such a state from another process
+into this registry (counters add, gauges last-write-wins, histograms merge
+bucket-wise) — the mechanism the mining service uses to aggregate worker
+telemetry into the parent process.
 """
 
 from __future__ import annotations
 
 import math
+import threading
 from typing import Any
 
 from repro.exceptions import TelemetryError
@@ -169,14 +185,38 @@ class Histogram:
         }
 
     def to_record(self) -> dict[str, Any]:
-        """The JSONL ``metric`` record: name plus the full summary."""
+        """The JSONL ``metric`` record: name, full summary, and raw buckets.
+
+        The ``buckets`` entry carries the per-bucket (non-cumulative)
+        counts as ``[upper_bound, count]`` pairs so that histograms from
+        several trace files can be merged *exactly* (quantiles are then
+        recomputed from the merged counts instead of being averaged).
+        Readers that predate the field ignore it.
+        """
         record: dict[str, Any] = {
             "type": "metric",
             "kind": "histogram",
             "name": self.name,
         }
         record.update(self.summary())
+        record["buckets"] = [
+            [bound, count] for bound, count in zip(self.buckets, self.counts)
+        ]
         return record
+
+    def merge(self, other: "Histogram") -> None:
+        """Fold another histogram with identical buckets into this one."""
+        if self.buckets != other.buckets:
+            raise TelemetryError(
+                f"histogram {self.name!r} cannot merge buckets "
+                f"{other.buckets} into {self.buckets}"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.count += other.count
+        self.total += other.total
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
 
 
 class MetricsRegistry:
@@ -185,14 +225,23 @@ class MetricsRegistry:
     A name belongs to exactly one metric kind for the registry's lifetime;
     re-registering it as a different kind raises :class:`TelemetryError`
     (silent kind drift would corrupt dashboards built on the namespace).
+
+    All public methods are thread-safe: a single internal lock serialises
+    registration, the convenience one-shots, state merges, and snapshots,
+    so a concurrent ``snapshot()`` can never observe a torn histogram
+    (bucket counts that do not sum to ``count``) or lose a counter
+    increment.  Metric objects handed out by :meth:`counter` /
+    :meth:`gauge` / :meth:`histogram` are *not* individually locked —
+    callers mutating them directly own that synchronisation.
     """
 
-    __slots__ = ("_metrics",)
+    __slots__ = ("_metrics", "_lock")
 
     def __init__(self) -> None:
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._lock = threading.Lock()
 
-    def _get_or_create(self, name: str, cls, *args):
+    def _get_or_create_locked(self, name: str, cls, *args):
         metric = self._metrics.get(name)
         if metric is None:
             metric = cls(name, *args)
@@ -203,6 +252,10 @@ class MetricsRegistry:
                 f"not a {cls.__name__}"
             )
         return metric
+
+    def _get_or_create(self, name: str, cls, *args):
+        with self._lock:
+            return self._get_or_create_locked(name, cls, *args)
 
     def counter(self, name: str) -> Counter:
         """The counter registered under ``name`` (created on first use)."""
@@ -218,41 +271,105 @@ class MetricsRegistry:
         """The histogram registered under ``name`` (created on first use)."""
         return self._get_or_create(name, Histogram, buckets)
 
-    # Convenience one-shots used by instrumentation sites.
+    # Convenience one-shots used by instrumentation sites.  These hold the
+    # lock across the read-modify-write so concurrent updates never lose
+    # increments and snapshots never observe partial histogram state.
     def count(self, name: str, amount: int = 1) -> None:
         """Increment the counter ``name`` by ``amount``."""
-        self.counter(name).add(amount)
+        with self._lock:
+            self._get_or_create_locked(name, Counter).add(amount)
 
     def set_gauge(self, name: str, value: float) -> None:
         """Set the gauge ``name`` to ``value``."""
-        self.gauge(name).set(value)
+        with self._lock:
+            self._get_or_create_locked(name, Gauge).set(value)
 
     def observe(self, name: str, value: float) -> None:
         """Record ``value`` into the histogram ``name``."""
-        self.histogram(name).observe(value)
+        with self._lock:
+            self._get_or_create_locked(name, Histogram, DEFAULT_BUCKETS).observe(
+                value
+            )
 
     def __len__(self) -> int:
-        return len(self._metrics)
+        with self._lock:
+            return len(self._metrics)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._metrics
+        with self._lock:
+            return name in self._metrics
 
     def names(self) -> list[str]:
         """All registered metric names, sorted."""
-        return sorted(self._metrics)
+        with self._lock:
+            return sorted(self._metrics)
 
     def snapshot(self) -> dict[str, Any]:
         """Plain-data view: counters/gauges map to values, histograms to summaries."""
-        out: dict[str, Any] = {}
-        for name, metric in sorted(self._metrics.items()):
-            if isinstance(metric, Histogram):
-                out[name] = metric.summary()
-            else:
-                out[name] = metric.value
-        return out
+        with self._lock:
+            out: dict[str, Any] = {}
+            for name, metric in sorted(self._metrics.items()):
+                if isinstance(metric, Histogram):
+                    out[name] = metric.summary()
+                else:
+                    out[name] = metric.value
+            return out
 
     def to_records(self) -> list[dict[str, Any]]:
         """JSONL records for every registered metric (sorted by name)."""
-        return [
-            self._metrics[name].to_record() for name in sorted(self._metrics)
-        ]
+        with self._lock:
+            return [
+                self._metrics[name].to_record() for name in sorted(self._metrics)
+            ]
+
+    # -- cross-process serialisation -----------------------------------
+    def to_state(self) -> dict[str, Any]:
+        """Lossless plain-data dump of the registry.
+
+        Unlike :meth:`snapshot` (which flattens histograms into quantile
+        summaries) the state keeps full bucket vectors, so a registry
+        rebuilt from it via :meth:`merge_state` is value-identical.  The
+        result is picklable and JSON-serialisable — it is what mining
+        workers ship back to the service parent with each job result.
+        """
+        with self._lock:
+            state: dict[str, Any] = {"counters": {}, "gauges": {}, "histograms": {}}
+            for name, metric in self._metrics.items():
+                if isinstance(metric, Counter):
+                    state["counters"][name] = metric.value
+                elif isinstance(metric, Gauge):
+                    state["gauges"][name] = metric.value
+                else:
+                    state["histograms"][name] = {
+                        "buckets": list(metric.buckets),
+                        "counts": list(metric.counts),
+                        "count": metric.count,
+                        "total": metric.total,
+                        "min": metric.minimum,
+                        "max": metric.maximum,
+                    }
+            return state
+
+    def merge_state(self, state: dict[str, Any]) -> None:
+        """Fold a :meth:`to_state` dump from another registry into this one.
+
+        Counters add, gauges take the incoming value, histograms merge
+        bucket-wise (requiring identical bucket bounds).  Kind collisions
+        with existing names raise :class:`TelemetryError`, exactly like
+        live registration would.
+        """
+        with self._lock:
+            for name, value in state.get("counters", {}).items():
+                self._get_or_create_locked(name, Counter).add(value)
+            for name, value in state.get("gauges", {}).items():
+                self._get_or_create_locked(name, Gauge).set(value)
+            for name, dump in state.get("histograms", {}).items():
+                incoming = Histogram(name, tuple(dump["buckets"]))
+                incoming.counts = list(dump["counts"])
+                incoming.count = dump["count"]
+                incoming.total = dump["total"]
+                incoming.minimum = dump["min"]
+                incoming.maximum = dump["max"]
+                self._get_or_create_locked(
+                    name, Histogram, incoming.buckets
+                ).merge(incoming)

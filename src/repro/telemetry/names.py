@@ -43,15 +43,19 @@ __all__ = [
     "SERVICE_JOBS_FAILED",
     "SERVICE_JOBS_SUBMITTED",
     "SERVICE_JOBS_TIMEOUT",
+    "SERVICE_PROGRESS_UPDATES",
     "SERVICE_QUEUE_REJECTIONS",
     "SERVICE_REQUESTS_TOTAL",
     "SERVICE_REQUEST_SECONDS",
+    "SERVICE_TRACES_PERSISTED",
     "SERVICE_WORKERS_RESPAWNED",
     "SOLVER_POLISH_IMPROVEMENTS",
     "SOLVER_POLISH_MOVES",
     "SOLVER_ROUNDS",
     "SUPERGRAPH_MERGES",
     "SUPERGRAPH_MERGE_ABSORBED_SIZE",
+    "TELEMETRY_REGISTRY_MERGES",
+    "TELEMETRY_SPANS_MERGED",
 ]
 
 # --- super-graph construction (Algorithms 1 and 2) --------------------
@@ -172,6 +176,15 @@ SERVICE_QUEUE_REJECTIONS = "service.queue_rejections"
 SERVICE_WORKERS_RESPAWNED = "service.workers_respawned"
 """Counter: dead worker processes detected and replaced."""
 
+SERVICE_PROGRESS_UPDATES = "service.progress_updates"
+"""Counter: live :class:`~repro.telemetry.progress.SearchProgress`
+heartbeats received from workers (what ``GET /jobs/<id>/progress``
+serves)."""
+
+SERVICE_TRACES_PERSISTED = "service.traces_persisted"
+"""Counter: per-job JSONL trace artifacts written by the job manager
+(retrievable via ``GET /jobs/<id>/trace``)."""
+
 # --- solver orchestration ---------------------------------------------
 SOLVER_ROUNDS = "solver.rounds"
 """Counter: TSSS iterative-deletion rounds executed."""
@@ -181,3 +194,12 @@ SOLVER_POLISH_MOVES = "solver.polish_moves"
 
 SOLVER_POLISH_IMPROVEMENTS = "solver.polish_improvements"
 """Counter: polish passes that strictly improved the statistic."""
+
+# --- telemetry self-accounting ----------------------------------------
+TELEMETRY_REGISTRY_MERGES = "telemetry.registry_merges"
+"""Counter: worker metric states folded into the parent registry (one
+per job that ran under a worker telemetry session)."""
+
+TELEMETRY_SPANS_MERGED = "telemetry.spans_merged"
+"""Counter: span records shipped back from workers and persisted into
+per-job trace artifacts."""

@@ -26,7 +26,13 @@ from typing import Any
 
 from repro.exceptions import TelemetryError
 
-__all__ = ["SCHEMA_VERSION", "Span", "Tracer", "read_trace"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "Span",
+    "Tracer",
+    "read_trace",
+    "read_trace_records",
+]
 
 SCHEMA_VERSION = 1
 """Trace-file schema version written into the ``meta`` record."""
@@ -202,6 +208,23 @@ def read_trace(path: str | Path) -> tuple[list[dict], list[dict]]:
     """
     spans: list[dict] = []
     metrics: list[dict] = []
+    for record in read_trace_records(path):
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(record)
+        elif kind == "metric":
+            metrics.append(record)
+    return spans, metrics
+
+
+def read_trace_records(path: str | Path) -> list[dict]:
+    """Every record of a JSONL trace, in file order, meta included.
+
+    The raw form :func:`read_trace` filters; consumers that need the meta
+    record (per-job artifacts carry ``trace_id``/``pid``/``job_id`` there)
+    read this instead.
+    """
+    records: list[dict] = []
     try:
         lines = list(_iter_lines(path))
     except OSError as exc:
@@ -213,12 +236,9 @@ def read_trace(path: str | Path) -> tuple[list[dict], list[dict]]:
             raise TelemetryError(
                 f"{path}:{lineno}: invalid JSON in trace file: {exc}"
             ) from None
-        kind = record.get("type")
-        if kind == "span":
-            spans.append(record)
-        elif kind == "metric":
-            metrics.append(record)
-    return spans, metrics
+        if isinstance(record, dict):
+            records.append(record)
+    return records
 
 
 def _iter_lines(path: str | Path) -> Iterator[str]:

@@ -1,24 +1,38 @@
-"""Render per-stage breakdowns from a persisted JSONL trace.
+"""Render per-stage breakdowns from persisted JSONL traces.
 
-Backs the ``repro trace summarize`` CLI subcommand: reads a trace written
-by :meth:`~repro.telemetry.span.Tracer.write_jsonl`, aggregates spans by
-name into a per-stage wall-time table, and lists every recorded metric.
-All aggregation here is over the *records* (plain dicts), so the
+Backs the ``repro trace summarize`` CLI subcommand: reads one or more
+traces written by :meth:`~repro.telemetry.span.Tracer.write_jsonl` or the
+service's per-job artifact writer (:func:`~repro.telemetry.context.
+write_job_trace`), aggregates spans by name into a per-stage wall-time
+table, rolls spans up by originating process, and merges every recorded
+metric.  All aggregation here is over the *records* (plain dicts), so the
 summarizer works on traces from other processes and older runs.
+
+Merging across files never double-counts: each file's records contribute
+exactly once, counters add, gauges keep the last file's value, and
+histograms whose records carry the raw ``buckets`` field (schema 1 with
+the per-bucket counts added by this repo) merge bucket-wise so the
+re-derived quantiles are exact.  Legacy histogram records without raw
+buckets fall back to an approximate merge (counts and sums add, min/max
+combine, quantiles take the per-file maximum — an upper bound).
 """
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
 from repro.exceptions import TelemetryError
-from repro.telemetry.span import read_trace
+from repro.telemetry.metrics import Histogram
+from repro.telemetry.span import read_trace_records
 
 __all__ = [
     "metric_rows",
     "stage_rows",
+    "process_rows",
     "summarize_trace",
+    "summarize_traces",
     "render_summary",
 ]
 
@@ -70,6 +84,33 @@ def stage_rows(span_records: list[dict]) -> tuple[list[str], list[list[Any]]]:
     return headers, rows
 
 
+def process_rows(span_records: list[dict]) -> tuple[list[str], list[list[Any]]]:
+    """Roll spans up by originating process into ``(headers, rows)``.
+
+    The process key is the span record's ``pid`` (stamped by the service's
+    cross-process capture); spans without one — single-process traces —
+    land under ``main``.  ``root_s`` sums only parentless spans, so it is
+    each process's end-to-end wall time without nested double-counting.
+    """
+    by_pid: dict[str, dict[str, float]] = {}
+    for record in span_records:
+        key = str(record.get("pid", "main"))
+        agg = by_pid.setdefault(key, {"spans": 0, "root": 0.0, "total": 0.0})
+        agg["spans"] += 1
+        wall = float(record.get("wall_s", 0.0))
+        agg["total"] += wall
+        if record.get("parent") is None:
+            agg["root"] += wall
+    headers = ["process", "spans", "root_s", "span_total_s"]
+    rows = [
+        [key, int(agg["spans"]), round(agg["root"], 6), round(agg["total"], 6)]
+        for key, agg in sorted(
+            by_pid.items(), key=lambda item: -item[1]["root"]
+        )
+    ]
+    return headers, rows
+
+
 def metric_rows(metric_records: list[dict]) -> tuple[list[str], list[list[Any]]]:
     """Flatten metric records into ``(headers, rows)``.
 
@@ -96,36 +137,161 @@ def metric_rows(metric_records: list[dict]) -> tuple[list[str], list[list[Any]]]
     return headers, rows
 
 
-def summarize_trace(path: str | Path) -> dict[str, Any]:
-    """Structured summary of a trace file (consumed by tests and the CLI)."""
-    span_records, metric_records = read_trace(path)
+def _rebuild_histogram(record: dict) -> Histogram | None:
+    """A live :class:`Histogram` from a record's raw buckets, if present."""
+    raw = record.get("buckets")
+    if not raw:
+        return None
+    bounds = tuple(float(bound) for bound, _ in raw)
+    histogram = Histogram(record.get("name", "?"), bounds)
+    if len(histogram.buckets) != len(raw):
+        return None  # bounds lacked the inf terminator the record implies
+    histogram.counts = [int(count) for _, count in raw]
+    histogram.count = int(record.get("count", sum(histogram.counts)))
+    histogram.total = float(record.get("sum", 0.0))
+    if histogram.count:
+        histogram.minimum = float(record.get("min", 0.0))
+        histogram.maximum = float(record.get("max", 0.0))
+    return histogram
+
+
+def _merge_metric_records(metric_records: list[dict]) -> list[dict]:
+    """Collapse same-named metric records from several files into one each."""
+    merged: dict[str, dict] = {}
+    exact: dict[str, Histogram] = {}
+    for record in metric_records:
+        name = record.get("name", "?")
+        kind = record.get("kind", "?")
+        previous = merged.get(name)
+        if previous is None:
+            merged[name] = dict(record)
+            if kind == "histogram":
+                histogram = _rebuild_histogram(record)
+                if histogram is not None:
+                    exact[name] = histogram
+            continue
+        if previous.get("kind") != kind:
+            raise TelemetryError(
+                f"metric {name!r} is a {previous.get('kind')} in one trace "
+                f"and a {kind} in another"
+            )
+        if kind == "counter":
+            previous["value"] = previous.get("value", 0) + record.get("value", 0)
+        elif kind == "gauge":
+            previous["value"] = record.get("value", previous.get("value", 0))
+        else:
+            histogram = exact.pop(name, None)
+            incoming = _rebuild_histogram(record)
+            if histogram is not None and incoming is not None:
+                histogram.merge(incoming)
+                replacement = histogram.to_record()
+                replacement["name"] = name
+                merged[name] = replacement
+                exact[name] = histogram
+            else:
+                # Approximate: additive fields add, extrema combine, and
+                # quantiles take the per-file maximum (an upper bound).
+                previous["count"] = previous.get("count", 0) + record.get(
+                    "count", 0
+                )
+                previous["sum"] = previous.get("sum", 0.0) + record.get(
+                    "sum", 0.0
+                )
+                previous["min"] = min(
+                    previous.get("min", 0.0), record.get("min", 0.0)
+                )
+                previous["max"] = max(
+                    previous.get("max", 0.0), record.get("max", 0.0)
+                )
+                previous["mean"] = (
+                    previous["sum"] / previous["count"] if previous["count"]
+                    else 0.0
+                )
+                for quantile in ("p50", "p90", "p99"):
+                    previous[quantile] = max(
+                        previous.get(quantile, 0.0), record.get(quantile, 0.0)
+                    )
+                previous.pop("buckets", None)
+    return [merged[name] for name in sorted(merged)]
+
+
+def summarize_traces(paths: Sequence[str | Path]) -> dict[str, Any]:
+    """Structured summary of one or more trace files, merged.
+
+    Spans from every file are pooled (each file counted exactly once) for
+    the per-stage and per-process tables; metric records are merged by
+    name as described in the module docstring.  Span records that lack a
+    ``pid`` inherit their file's meta-record pid, so artifacts written
+    before pid-stamping still attribute correctly.
+    """
+    if not paths:
+        raise TelemetryError("no trace files given")
+    span_records: list[dict] = []
+    metric_records: list[dict] = []
+    for path in paths:
+        file_pid: Any = None
+        for record in read_trace_records(path):
+            kind = record.get("type")
+            if kind == "meta":
+                file_pid = record.get("pid")
+            elif kind == "span":
+                if "pid" not in record and file_pid is not None:
+                    record = dict(record, pid=file_pid)
+                span_records.append(record)
+            elif kind == "metric":
+                metric_records.append(record)
+    merged_metrics = _merge_metric_records(metric_records)
     stage_headers, stages = stage_rows(span_records)
-    metric_headers, metrics = metric_rows(metric_records)
+    process_headers, processes = process_rows(span_records)
+    metric_headers, metrics = metric_rows(merged_metrics)
     return {
+        "num_files": len(paths),
         "num_spans": len(span_records),
-        "num_metrics": len(metric_records),
+        "num_metrics": len(merged_metrics),
         "stage_headers": stage_headers,
         "stages": stages,
+        "process_headers": process_headers,
+        "processes": processes,
         "metric_headers": metric_headers,
         "metrics": metrics,
     }
 
 
-def render_summary(path: str | Path) -> str:
-    """Human-readable per-stage + metrics summary of a trace file."""
+def summarize_trace(path: str | Path) -> dict[str, Any]:
+    """Structured summary of a single trace file (back-compat wrapper)."""
+    return summarize_traces([path])
+
+
+def render_summary(paths: str | Path | Sequence[str | Path]) -> str:
+    """Human-readable per-stage + per-process + metrics summary.
+
+    Accepts a single path or a sequence of paths; several files are merged
+    as one logical trace.  The per-process table appears only when more
+    than one process contributed spans.
+    """
     # Imported lazily: experiments.harness depends on telemetry, so a
     # module-level import here would risk an import cycle through the
     # experiments package.
     from repro.experiments.tables import format_table
 
-    summary = summarize_trace(path)
+    if isinstance(paths, (str, Path)):
+        paths = [paths]
+    summary = summarize_traces(paths)
     if summary["num_spans"] == 0 and summary["num_metrics"] == 0:
-        raise TelemetryError(f"{path} contains no span or metric records")
+        joined = ", ".join(str(p) for p in paths)
+        raise TelemetryError(f"{joined} contains no span or metric records")
     parts: list[str] = []
     if summary["stages"]:
+        title = f"Per-stage wall time ({summary['num_spans']} spans"
+        if summary["num_files"] > 1:
+            title += f", {summary['num_files']} files"
         parts.append(format_table(
-            summary["stage_headers"], summary["stages"],
-            title=f"Per-stage wall time ({summary['num_spans']} spans)",
+            summary["stage_headers"], summary["stages"], title=title + ")",
+        ))
+    if len(summary["processes"]) > 1:
+        parts.append(format_table(
+            summary["process_headers"], summary["processes"],
+            title=f"Per-process rollup ({len(summary['processes'])} processes)",
         ))
     if summary["metrics"]:
         parts.append(format_table(
