@@ -1,12 +1,19 @@
-"""Service cache benchmark: warm vs cold ``POST /mine`` latency.
+"""Service cache benchmark: cold vs memory-warm vs disk-warm ``POST /mine``.
 
 Repeated queries over the same graph (the service's intended workload —
 many search-parameter variations against one instance) should pay the
 construct + reduce cost once.  This benchmark stands up a real
-:class:`~repro.service.server.MiningService` over HTTP, posts a
-Figure-3-style Barabási-Albert instance until every warm request is a
-prefix-cache hit, and reports the cold/warm latency split next to the
-cache counters from ``GET /metricsz``.
+:class:`~repro.service.server.MiningService` over HTTP with a one-slot
+memory tier above a persistent disk tier, posts a Figure-3-style
+Barabási-Albert instance through each serving path, and reports the
+latency split next to the cache counters from ``GET /metricsz``:
+
+- ``cold``              — first request; full construct + reduce + search.
+- ``warm-memory``       — repeats served from the in-process LRU.
+- ``warm-disk``         — the memory slot is evicted first, so the prefix
+  is re-read from the on-disk artifact (unpickle + search).
+- ``respawn-warm-disk`` — a *brand-new* service process over the same
+  cache directory; its first request must already hit the disk tier.
 
 Carries the ``service`` marker like the rest of the process-spawning
 service tests.
@@ -16,6 +23,7 @@ from __future__ import annotations
 
 import json
 import math
+import tempfile
 import time
 import urllib.request
 
@@ -67,20 +75,53 @@ def post_mine(base: str, doc: dict) -> float:
     return time.perf_counter() - started
 
 
+def fetch_metrics(base: str) -> dict:
+    with urllib.request.urlopen(base + "/metricsz", timeout=30) as resp:
+        return json.loads(resp.read())["metrics"]
+
+
 def measure() -> list[list]:
     doc = fig3_style_request()
-    with MiningService(port=0, workers=1, cache_size=8) as service:
+    # Same instance, different n_theta: a distinct prefix key that evicts
+    # ``doc`` from the one-slot memory tier without touching its artifact.
+    evictor = dict(doc, params={"n_theta": 10})
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    with MiningService(
+        port=0, workers=1, cache_size=1, cache_dir=cache_dir
+    ) as service:
         host, port = service.address
         base = f"http://{host}:{port}"
         cold = post_mine(base, doc)
+        after_cold = fetch_metrics(base)
         warm = [post_mine(base, doc) for _ in range(WARM_REQUESTS)]
-        with urllib.request.urlopen(base + "/metricsz", timeout=30) as resp:
-            metrics = json.loads(resp.read())["metrics"]
+        after_warm = fetch_metrics(base)
+        post_mine(base, evictor)  # not measured: displaces the memory slot
+        warm_disk = post_mine(base, doc)
+        after_disk = fetch_metrics(base)
+    # A brand-new process tree over the same cache directory: the memory
+    # tier starts empty, so the first request can only be warm via disk.
+    with MiningService(
+        port=0, workers=1, cache_size=1, cache_dir=cache_dir
+    ) as respawned:
+        host, port = respawned.address
+        base = f"http://{host}:{port}"
+        respawn_disk = post_mine(base, doc)
+        after_respawn = fetch_metrics(base)
     warm_mean = sum(warm) / len(warm)
     return [
-        ["cold", 1, round(cold, 4), metrics["service.cache.misses"]],
-        ["warm", len(warm), round(warm_mean, 4), metrics["service.cache.hits"]],
-        ["speedup", "", round(cold / warm_mean, 2), ""],
+        ["cold", 1, round(cold, 4),
+         after_cold["service.cache.misses"],
+         after_cold["service.diskcache.hits"]],
+        ["warm-memory", len(warm), round(warm_mean, 4),
+         after_warm["service.cache.hits"],
+         after_warm["service.diskcache.hits"]],
+        ["warm-disk", 1, round(warm_disk, 4),
+         after_disk["service.cache.hits"],
+         after_disk["service.diskcache.hits"]],
+        ["respawn-warm-disk", 1, round(respawn_disk, 4),
+         after_respawn["service.cache.hits"],
+         after_respawn["service.diskcache.hits"]],
+        ["speedup (mem)", "", round(cold / warm_mean, 2), "", ""],
     ]
 
 
@@ -88,13 +129,19 @@ def test_service_cache_warm_vs_cold(benchmark, results_dir):
     rows = benchmark.pedantic(measure, rounds=1, iterations=1)
     emit(
         "service_cache_warm_vs_cold",
-        f"Service prefix cache: POST /mine latency, BA n={N} l={L}",
-        ["request", "count", "latency (s)", "cache counter"],
+        f"Service two-tier prefix cache: POST /mine latency, BA n={N} l={L}",
+        ["scenario", "count", "latency (s)", "memory hits", "disk hits"],
         rows,
     )
-    cold_row, warm_row, _ = rows
-    # One worker, identical requests: the first misses, the rest all hit.
+    cold_row, warm_row, disk_row, respawn_row, _ = rows
+    # One worker, identical requests: the first misses both tiers...
     assert cold_row[3] == 1
+    assert cold_row[4] == 0
+    # ...the repeats all hit the memory tier...
     assert warm_row[3] == WARM_REQUESTS
-    # The warm path skips construct + reduce; it must not be slower.
+    # ...the post-eviction repeat falls through to the disk tier...
+    assert disk_row[4] >= 1
+    # ...and a fresh process over the same directory starts disk-warm.
+    assert respawn_row[4] >= 1
+    # The memory-warm path skips construct + reduce; it must not be slower.
     assert warm_row[2] <= cold_row[2]

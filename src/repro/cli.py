@@ -256,15 +256,60 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.default_deadline,
         max_request_bytes=int(args.max_request_mb * 1024 * 1024),
         trace_dir=args.trace_dir,
+        cache_dir=args.cache_dir,
+        cache_bytes=args.cache_bytes,
     )
     host, port = service.address
+    tier = f", disk cache {args.cache_dir}" if args.cache_dir else ""
     print(f"repro service on http://{host}:{port} "
           f"({args.workers} workers, cache {args.cache_size}, "
-          f"queue {args.queue_size})")
+          f"queue {args.queue_size}{tier})")
     # A server-lifetime telemetry session so /metricsz reports request
     # counters/latencies alongside the pool statistics.
     with telemetry_session():
         service.serve_forever()
+    return 0
+
+
+def _cmd_graphs_put(args: argparse.Namespace) -> int:
+    import urllib.error
+    import urllib.request
+
+    vertex_type = _VERTEX_TYPES[args.vertex_type]
+    graph = _load_graph(args.graph, vertex_type)
+    labels_doc = json.loads(Path(args.labels).read_text())
+    edges = [[u, v] for u, v in graph.edges()]
+    covered = {endpoint for edge in edges for endpoint in edge}
+    isolated = sorted(v for v in graph.vertices() if v not in covered)
+    document = {
+        "graph": {"edges": edges, "vertices": isolated},
+        "labels": labels_doc,
+        "vertex_type": args.vertex_type,
+    }
+    url = f"{args.url.rstrip('/')}/graphs"
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(document).encode("utf-8"),
+        method="PUT",
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=args.timeout) as resp:
+            summary = json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        detail = exc.read().decode("utf-8", "replace")
+        print(f"error: service rejected the upload ({exc.code}): {detail}",
+              file=sys.stderr)
+        return 2
+    except urllib.error.URLError as exc:
+        print(f"error: cannot reach {url}: {exc.reason}", file=sys.stderr)
+        return 2
+    digest = summary["graph_digest"]
+    state = "registered" if summary.get("created") else "already registered"
+    print(f"{state}: {digest}")
+    print(f"  vertices {summary['vertices']}, edges {summary['edges']}, "
+          f"labels {summary['labels_type']}")
+    print(f"  mine with: {{\"graph_digest\": \"{digest}\", ...}}")
     return 0
 
 
@@ -509,11 +554,46 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: a fresh temporary directory)",
     )
     serve.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent cache directory: prefix artifacts survive worker "
+        "respawns, and replicas pointing at the same directory share them; "
+        "also holds the PUT /graphs registry (default: memory-only cache, "
+        "throwaway registry)",
+    )
+    serve.add_argument(
+        "--cache-bytes", type=int, default=None, metavar="BYTES",
+        help="byte budget for the on-disk prefix cache before LRU eviction "
+        "(default: 512 MiB; only meaningful with --cache-dir)",
+    )
+    serve.add_argument(
         "--access-log", action="store_true",
         help="log one JSON line per request (trace_id, method, path, "
         "status, duration) to stderr",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    graphs = sub.add_parser(
+        "graphs", help="manage registered instances on a running service"
+    )
+    graphs_sub = graphs.add_subparsers(dest="graphs_command", required=True)
+    graphs_put = graphs_sub.add_parser(
+        "put", help="upload a graph+labeling to PUT /graphs and print the "
+        "content digest for mine-by-digest requests"
+    )
+    graphs_put.add_argument("graph", help="edge list or JSON graph document")
+    graphs_put.add_argument("labels", help="JSON labeling document")
+    graphs_put.add_argument(
+        "--url", default="http://127.0.0.1:8765",
+        help="base URL of the running service",
+    )
+    graphs_put.add_argument(
+        "--vertex-type", choices=("int", "str"), default="int"
+    )
+    graphs_put.add_argument(
+        "--timeout", type=float, default=30.0, metavar="SECONDS",
+        help="HTTP timeout for the upload",
+    )
+    graphs_put.set_defaults(func=_cmd_graphs_put)
 
     trace = sub.add_parser(
         "trace", help="inspect JSONL telemetry traces written by mine --trace"

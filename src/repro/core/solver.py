@@ -245,6 +245,7 @@ def mine(
                         labeling,
                         report,
                         tracer,
+                        pristine=graph,
                         n_theta=n_theta,
                         method=method,
                         edge_order=edge_order,
@@ -295,6 +296,7 @@ def _mine_one(
     report: PipelineReport,
     tracer: Tracer,
     *,
+    pristine: Graph | None = None,
     n_theta: int,
     method: str,
     edge_order: EdgeOrder,
@@ -309,6 +311,12 @@ def _mine_one(
 ) -> SignificantSubgraph | None:
     """One MSCS round on the current working graph; None when nothing left."""
     first_round = report.rounds == 0
+    # In round 0 the working graph is an untouched copy of the caller's
+    # graph, so cache lookups may use the original object: identity-keyed
+    # optimisations in the cache (key memoisation primed from a registry's
+    # precomputed digests) then apply to the object the caller actually
+    # handed over, not to a copy they have never seen.
+    cache_graph = pristine if (first_round and pristine is not None) else working
     if method == "naive":
         with tracer.span("solver.construct", method="naive") as span:
             supergraph = _singleton_supergraph(working, labeling)
@@ -323,10 +331,13 @@ def _mine_one(
         if prefix_cache is not None:
             with tracer.span("solver.cache_lookup") as span:
                 cached = prefix_cache.fetch(
-                    working, labeling,
+                    cache_graph, labeling,
                     n_theta=n_theta, edge_order=edge_order, seed=seed,
                 )
                 span.set(hit=cached is not None)
+                tier = getattr(prefix_cache, "last_tier", None)
+                if tier is not None:
+                    span.set(tier=tier)
             # Digest + lookup time is prefix work the cache is amortising.
             report.construction_seconds += span.wall_seconds
         if cached is not None:
@@ -364,7 +375,7 @@ def _mine_one(
                 report.reduced_vertices = supergraph.num_super_vertices
             if prefix_cache is not None:
                 prefix_cache.store(
-                    working, labeling,
+                    cache_graph, labeling,
                     n_theta=n_theta, edge_order=edge_order, seed=seed,
                     supergraph=supergraph,
                     super_vertices_before=super_vertices_before,

@@ -39,11 +39,12 @@ class Graph:
     [0, 2]
     """
 
-    __slots__ = ("_adj", "_num_edges")
+    __slots__ = ("_adj", "_num_edges", "_version")
 
     def __init__(self, vertices: Iterable[Hashable] = ()) -> None:
         self._adj: dict[Hashable, set[Hashable]] = {}
         self._num_edges = 0
+        self._version = 0
         for v in vertices:
             self.add_vertex(v)
 
@@ -107,6 +108,7 @@ class Graph:
                 return
             raise DuplicateVertexError(v)
         self._adj[v] = set()
+        self._version += 1
 
     def add_edge(self, u: Hashable, v: Hashable, *, exist_ok: bool = False) -> None:
         """Add the undirected edge ``(u, v)``.
@@ -127,6 +129,7 @@ class Graph:
         self._adj[u].add(v)
         self._adj[v].add(u)
         self._num_edges += 1
+        self._version += 1
 
     def remove_edge(self, u: Hashable, v: Hashable) -> None:
         """Remove the edge ``(u, v)``; raise :class:`EdgeNotFoundError` if absent."""
@@ -135,6 +138,7 @@ class Graph:
         self._adj[u].discard(v)
         self._adj[v].discard(u)
         self._num_edges -= 1
+        self._version += 1
 
     def remove_vertex(self, v: Hashable) -> None:
         """Remove vertex ``v`` and all incident edges."""
@@ -144,6 +148,7 @@ class Graph:
             self._adj[w].discard(v)
         self._num_edges -= len(self._adj[v])
         del self._adj[v]
+        self._version += 1
 
     def remove_vertices(self, vertices: Iterable[Hashable]) -> None:
         """Remove several vertices (used by iterative top-t deletion)."""
@@ -157,6 +162,17 @@ class Graph:
     def num_vertices(self) -> int:
         """Number of vertices ``n``."""
         return len(self._adj)
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumped by every structural change).
+
+        Lets caches detect that a graph *object* they keyed work on has
+        since been mutated (e.g. the solver's iterative top-t deletion)
+        without re-hashing its content.  Copies start back at 0 — the
+        counter identifies states of one object, not content.
+        """
+        return self._version
 
     @property
     def num_edges(self) -> int:

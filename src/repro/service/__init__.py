@@ -12,6 +12,14 @@ serve many queries over the same graph:
 ``repro.service.cache``
     :class:`SuperGraphCache`, a bounded LRU of constructed/reduced
     super-graph stages keyed by those digests.
+``repro.service.diskcache``
+    :class:`DiskPrefixCache`, the persistent on-disk artifact store, and
+    :class:`TieredPrefixCache`, which stacks the in-memory LRU over it so
+    respawned workers and replicas sharing ``--cache-dir`` start warm.
+``repro.service.registry``
+    :class:`GraphRegistry`: content-addressed graph+labeling documents
+    behind ``PUT /graphs``, so ``POST /mine`` can reference an instance by
+    digest instead of re-uploading it.
 ``repro.service.protocol``
     The JSON request/response schema shared by the HTTP server, the worker
     pool, and the CLI.
@@ -34,28 +42,37 @@ from repro.service.digest import (
     graph_digest,
     labeling_digest,
     prefix_digest,
+    prefix_digest_from_parts,
 )
+from repro.service.diskcache import DiskPrefixCache, TieredPrefixCache
 from repro.service.jobs import Job, JobManager
 from repro.service.protocol import (
     build_instance,
     labeling_from_doc,
     result_to_payload,
+    validate_graph_document,
     validate_request,
 )
+from repro.service.registry import GraphRegistry
 from repro.service.server import MiningService
 
 __all__ = [
     "CachedPrefixEntry",
+    "DiskPrefixCache",
+    "GraphRegistry",
     "Job",
     "JobManager",
     "MiningService",
     "SuperGraphCache",
+    "TieredPrefixCache",
     "build_instance",
     "encode_vertex",
     "graph_digest",
     "labeling_digest",
     "labeling_from_doc",
     "prefix_digest",
+    "prefix_digest_from_parts",
     "result_to_payload",
+    "validate_graph_document",
     "validate_request",
 ]

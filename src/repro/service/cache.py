@@ -12,6 +12,14 @@ sizes the pipeline report needs.  Cached super-graphs are read-only by
 contract (the search suffix only reads them); the cache never copies, so a
 hit costs one digest plus an ``OrderedDict`` move.
 
+A miss costs exactly one digest too: the key computed by ``fetch`` is
+memoised against the identity (and mutation :attr:`~repro.graph.graph.
+Graph.version`) of its inputs, and the solver's follow-up ``store`` on the
+same inputs consumes the memo instead of re-hashing the whole instance.
+``prime`` seeds the same memo from an externally known key (the graph
+registry ships precomputed digests), so registry-resolved jobs skip
+instance hashing entirely.
+
 The cache is deliberately not thread-safe — in the service each worker
 *process* owns one instance (matching the telemetry design: single-threaded
 hot paths, no locks).  Hit/miss/eviction counts are exposed as plain
@@ -63,9 +71,15 @@ class SuperGraphCache:
     vertex types, a ``shuffled`` edge order without an int seed); ``store``
     silently skips the same uncacheable inputs, so the solver never has to
     distinguish the cases.
+
+    The digest-level ``get``/``put`` primitives are also public so tiered
+    compositions (:class:`repro.service.diskcache.TieredPrefixCache`) can
+    reuse this class as their memory tier without double-hashing.
     """
 
-    __slots__ = ("max_entries", "_entries", "hits", "misses", "evictions")
+    __slots__ = (
+        "max_entries", "_entries", "_key_memo", "hits", "misses", "evictions",
+    )
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if max_entries < 1:
@@ -74,6 +88,10 @@ class SuperGraphCache:
             )
         self.max_entries = max_entries
         self._entries: OrderedDict[str, CachedPrefixEntry] = OrderedDict()
+        # (id(graph), graph.version, id(labeling), n_theta, edge_order,
+        #  seed) -> key | None; a single slot — the solver's fetch/store
+        # pairs are strictly interleaved per round.
+        self._key_memo: tuple | None = None
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -102,7 +120,23 @@ class SuperGraphCache:
         except DigestError:
             return None
 
-    def fetch(
+    # -- key memoisation ------------------------------------------------
+    def _memo_signature(
+        self,
+        graph: Graph,
+        labeling: Labeling,
+        n_theta: int,
+        edge_order: str,
+        seed: int | random.Random | None,
+    ) -> tuple | None:
+        # A random.Random seed has no stable identity worth memoising.
+        if seed is not None and not isinstance(seed, int):
+            return None
+        return (
+            id(graph), graph.version, id(labeling), n_theta, edge_order, seed,
+        )
+
+    def resolve_key(
         self,
         graph: Graph,
         labeling: Labeling,
@@ -110,13 +144,59 @@ class SuperGraphCache:
         n_theta: int,
         edge_order: str = "input",
         seed: int | random.Random | None = None,
-    ) -> CachedPrefixEntry | None:
-        """Look up the cached prefix; None on miss or uncacheable inputs."""
+        consume: bool = False,
+    ) -> str | None:
+        """``key_of`` with a single-slot identity memo.
+
+        A ``fetch`` records the computed key; the ``store`` that follows
+        the same miss passes ``consume=True`` to reuse it (and clear the
+        slot), so one miss pays for exactly one content digest.  The memo
+        signature includes the graph's mutation :attr:`~repro.graph.graph.
+        Graph.version`, so the solver mutating its working graph between
+        top-t rounds can never resurrect a stale key.
+        """
+        signature = self._memo_signature(
+            graph, labeling, n_theta, edge_order, seed
+        )
+        memo = self._key_memo
+        if memo is not None and signature is not None and memo[0] == signature:
+            if consume:
+                self._key_memo = None
+            return memo[1]
         key = self.key_of(
             graph, labeling, n_theta=n_theta, edge_order=edge_order, seed=seed
         )
-        if key is None:
-            return None
+        if signature is not None:
+            self._key_memo = None if consume else (signature, key)
+        return key
+
+    def prime(
+        self,
+        graph: Graph,
+        labeling: Labeling,
+        *,
+        n_theta: int,
+        edge_order: str = "input",
+        seed: int | random.Random | None = None,
+        key: str | None,
+    ) -> None:
+        """Pre-seed the key memo with an externally computed key.
+
+        The graph registry stores component digests beside each graph, so
+        workers resolving a ``graph_digest`` request can derive the prefix
+        key from those strings and prime the cache — the following
+        ``fetch``/``store`` over the same objects then never hash the
+        instance at all.  ``key=None`` marks the inputs uncacheable.
+        """
+        signature = self._memo_signature(
+            graph, labeling, n_theta, edge_order, seed
+        )
+        if signature is not None:
+            self._key_memo = (signature, key)
+
+    # -- digest-level primitives ----------------------------------------
+    def get(self, key: str) -> CachedPrefixEntry | None:
+        """Entry under ``key`` (counted as a hit/miss, LRU-refreshed)."""
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
@@ -128,6 +208,38 @@ class SuperGraphCache:
         if _TELEMETRY.enabled:
             _TELEMETRY.metrics.count(_metric.SERVICE_CACHE_HITS)
         return entry
+
+    def put(self, key: str, entry: CachedPrefixEntry) -> None:
+        """Insert ``entry`` under ``key``, evicting the LRU tail if full."""
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            if _TELEMETRY.enabled:
+                _TELEMETRY.metrics.count(_metric.SERVICE_CACHE_EVICTIONS)
+
+    def peek(self, key: str) -> CachedPrefixEntry | None:
+        """Entry under ``key`` without counters or LRU effects."""
+        return self._entries.get(key)
+
+    # -- PrefixCache interface -------------------------------------------
+    def fetch(
+        self,
+        graph: Graph,
+        labeling: Labeling,
+        *,
+        n_theta: int,
+        edge_order: str = "input",
+        seed: int | random.Random | None = None,
+    ) -> CachedPrefixEntry | None:
+        """Look up the cached prefix; None on miss or uncacheable inputs."""
+        key = self.resolve_key(
+            graph, labeling, n_theta=n_theta, edge_order=edge_order, seed=seed
+        )
+        if key is None:
+            return None
+        return self.get(key)
 
     def store(
         self,
@@ -148,23 +260,18 @@ class SuperGraphCache:
         guarantees this (only the construct/reduce stages mutate, and they
         are exactly what the cache replaces).
         """
-        key = self.key_of(
-            graph, labeling, n_theta=n_theta, edge_order=edge_order, seed=seed
+        key = self.resolve_key(
+            graph, labeling,
+            n_theta=n_theta, edge_order=edge_order, seed=seed, consume=True,
         )
         if key is None:
             return
-        self._entries[key] = CachedPrefixEntry(
+        self.put(key, CachedPrefixEntry(
             supergraph=supergraph,
             super_vertices_before=super_vertices_before,
             super_edges_before=super_edges_before,
             contractions=contractions,
-        )
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-            if _TELEMETRY.enabled:
-                _TELEMETRY.metrics.count(_metric.SERVICE_CACHE_EVICTIONS)
+        ))
 
     def counters(self) -> dict[str, int]:
         """Plain-data snapshot of the hit/miss/eviction counters."""
@@ -178,3 +285,4 @@ class SuperGraphCache:
     def clear(self) -> None:
         """Drop every entry (counters are preserved)."""
         self._entries.clear()
+        self._key_memo = None

@@ -35,6 +35,7 @@ __all__ = [
     "graph_digest",
     "labeling_digest",
     "prefix_digest",
+    "prefix_digest_from_parts",
 ]
 
 
@@ -75,11 +76,22 @@ def encode_vertex(vertex: Hashable) -> str:
 
 
 def _hash_lines(kind: str, lines: list[str]) -> str:
+    """sha256 over ``kind`` plus a length-prefixed encoding of each line.
+
+    Every line contributes ``len(utf8(line)) ":" utf8(line)`` to the
+    stream, so line boundaries are unambiguous: a single line containing a
+    newline can never digest like two separate lines (the ``*/v1`` formats
+    joined lines with a bare ``\\n`` separator, which an adversarial
+    ``\\n``-bearing str vertex or label symbol could forge — the ``*/v2``
+    format tags mark the fixed scheme).
+    """
     digest = hashlib.sha256()
     digest.update(kind.encode("utf-8"))
     for line in lines:
+        encoded = line.encode("utf-8")
         digest.update(b"\n")
-        digest.update(line.encode("utf-8"))
+        digest.update(f"{len(encoded)}:".encode("ascii"))
+        digest.update(encoded)
     return digest.hexdigest()
 
 
@@ -96,7 +108,7 @@ def graph_digest(graph: Graph) -> str:
         cu, cv = encode_vertex(u), encode_vertex(v)
         edge_codes.append(f"{cu}--{cv}" if cu <= cv else f"{cv}--{cu}")
     edge_codes.sort()
-    return _hash_lines("graph/v1", vertex_codes + ["#edges#"] + edge_codes)
+    return _hash_lines("graph/v2", vertex_codes + ["#edges#"] + edge_codes)
 
 
 def labeling_digest(labeling: DiscreteLabeling | ContinuousLabeling) -> str:
@@ -114,7 +126,7 @@ def labeling_digest(labeling: DiscreteLabeling | ContinuousLabeling) -> str:
                 for v in labeling.vertices()
             )
         )
-        return _hash_lines("labeling/discrete/v1", lines)
+        return _hash_lines("labeling/discrete/v2", lines)
     if isinstance(labeling, ContinuousLabeling):
         lines = [f"dimensions:{labeling.dimensions}"]
         lines.extend(
@@ -124,7 +136,7 @@ def labeling_digest(labeling: DiscreteLabeling | ContinuousLabeling) -> str:
                 for v in labeling.vertices()
             )
         )
-        return _hash_lines("labeling/continuous/v1", lines)
+        return _hash_lines("labeling/continuous/v2", lines)
     raise DigestError(
         f"cannot digest labeling of type {type(labeling).__name__}"
     )
@@ -150,7 +162,36 @@ def prefix_digest(
     without a reproducible (int) seed — the prefix is then not a pure
     function of its inputs and must not be cached.
     """
-    if isinstance(labeling, DiscreteLabeling):
+    return prefix_digest_from_parts(
+        graph_digest(graph),
+        labeling_digest(labeling),
+        discrete=isinstance(labeling, DiscreteLabeling),
+        n_theta=n_theta,
+        edge_order=edge_order,
+        seed=seed,
+    )
+
+
+def prefix_digest_from_parts(
+    graph_key: str,
+    labeling_key: str,
+    *,
+    discrete: bool,
+    n_theta: int,
+    edge_order: str = "input",
+    seed: object = None,
+) -> str:
+    """:func:`prefix_digest` from already-computed graph/labeling digests.
+
+    The graph registry stores both component digests next to each graph
+    document, so a worker resolving a ``graph_digest`` request can derive
+    the prefix cache key from two 64-character strings instead of
+    re-hashing a megabyte instance.  Applies the same normalisation as
+    :func:`prefix_digest` (``edge_order``/``seed`` dropped for discrete
+    labelings) and raises the same :class:`~repro.exceptions.DigestError`
+    for a non-reproducible shuffled order.
+    """
+    if discrete:
         order_code = "-"
         seed_code = "-"
     else:
@@ -165,10 +206,10 @@ def prefix_digest(
         else:
             seed_code = "-"
     lines = [
-        f"graph:{graph_digest(graph)}",
-        f"labeling:{labeling_digest(labeling)}",
+        f"graph:{graph_key}",
+        f"labeling:{labeling_key}",
         f"n_theta:{n_theta}",
         f"edge_order:{order_code}",
         f"seed:{seed_code}",
     ]
-    return _hash_lines("prefix/v1", lines)
+    return _hash_lines("prefix/v2", lines)

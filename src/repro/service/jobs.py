@@ -5,23 +5,37 @@ Mining is CPU-bound, so the service runs jobs in worker *processes* (a
 under the threaded HTTP server and portable across platforms).  The
 manager side owns:
 
-* a **bounded task queue** — submissions beyond ``queue_size`` raise
-  :class:`~repro.exceptions.BackpressureError` immediately instead of
-  building an unbounded backlog (the server maps this to HTTP 503);
+* a **bounded backlog with digest-grouped dispatch** — submissions beyond
+  ``queue_size`` raise :class:`~repro.exceptions.BackpressureError`
+  immediately instead of building an unbounded queue (the server maps
+  this to HTTP 503).  Queued jobs that share a pipeline-prefix group key
+  (same graph/labeling content and prefix parameters) are dispatched to
+  the same worker back-to-back, so one construct + reduce warms the
+  prefix cache for every search suffix behind it (``service.batch.*``
+  metrics; the batch position is stamped onto each job's trace);
 * **per-job deadlines** — an absolute wall-clock instant stamped at
   submission (so time spent queued counts).  Workers poll it through the
   ``check_abort`` hook of :func:`repro.core.solver.mine`, turning an
   overrun into a structured ``timeout`` result while the worker survives
   to take the next job;
-* **crash detection and respawn** — workers announce which job they pick
-  up; a collector thread polls worker liveness, fails the jobs of dead
-  workers, and starts replacements (counted as
-  ``service.workers_respawned``).
+* **crash detection and respawn** — every job handed to a worker is
+  tracked from *dispatch*, not from the worker's ``started`` announcement:
+  if a worker dies mid-job the announced job fails with the dead pid, and
+  jobs that were dispatched but never announced are either requeued (first
+  death) or failed (repeated deaths) — a crash can never strand a job in
+  ``queued`` with its queue slot leaked.  Dead workers are replaced
+  (counted as ``service.workers_respawned``).
 
 Each worker process owns a private :class:`~repro.service.cache.
-SuperGraphCache`, and ships its hit/miss/eviction deltas back with every
-result; the manager folds them into the shared metrics registry so
-``GET /metricsz`` aggregates over the whole pool.
+SuperGraphCache`; with a shared ``--cache-dir`` it is composed over a
+:class:`~repro.service.diskcache.DiskPrefixCache` into a two-tier cache,
+so respawned workers and sibling replicas start warm.  Workers ship their
+cache-counter deltas back with every result; the manager folds them into
+the shared metrics registry so ``GET /metricsz`` aggregates over the whole
+pool.  Requests that reference a registered graph (``graph_digest``) are
+resolved against the shared :class:`~repro.service.registry.GraphRegistry`
+inside the worker, which primes the prefix cache with the registry's
+precomputed digests — a resolved job never re-hashes its instance.
 
 The pool is also the service's distributed-telemetry backbone.  Unless a
 request opts out (``"trace": false``), the worker runs each job under its
@@ -30,21 +44,25 @@ request's ``trace_id``; the finished session is captured with
 :func:`~repro.telemetry.context.capture_session` and ships back with the
 terminal message, where the manager persists it as a per-job JSONL trace
 artifact (``GET /jobs/<id>/trace``) and folds the worker's metrics into
-the parent registry — skipping ``service.cache.*``, whose delta path above
-is authoritative.  While the search runs, workers stream
-:class:`~repro.telemetry.progress.SearchProgress` heartbeats over the same
-results queue (``GET /jobs/<id>/progress``); every message doubles as a
-liveness heartbeat for the per-worker detail in ``GET /healthz``.
+the parent registry — skipping ``service.cache.*``/``service.diskcache.*``,
+whose delta path above is authoritative.  While the search runs, workers
+stream :class:`~repro.telemetry.progress.SearchProgress` heartbeats over
+the same results queue (``GET /jobs/<id>/progress``); every message
+doubles as a liveness heartbeat for the per-worker detail in
+``GET /healthz``.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import multiprocessing as mp
 import queue
 import tempfile
 import threading
 import time
 import uuid
+from collections import deque
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any
@@ -57,7 +75,10 @@ from repro.exceptions import (
     ServiceError,
 )
 from repro.service.cache import SuperGraphCache
+from repro.service.digest import prefix_digest_from_parts
+from repro.service.diskcache import DiskPrefixCache, TieredPrefixCache
 from repro.service.protocol import build_instance, result_to_payload
+from repro.service.registry import GraphRegistry
 from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
 from repro.telemetry import telemetry_session
@@ -78,6 +99,23 @@ rejected with backpressure."""
 
 _POLL_SECONDS = 0.2
 
+MAX_BATCH_SIZE = 8
+"""Cap on jobs dispatched to one worker per batch — enough to amortise a
+construct + reduce many times over, small enough that one hot prefix group
+cannot monopolise a worker while others idle."""
+
+_MAX_DISPATCH_ATTEMPTS = 2
+"""A job re-dispatched after this many worker deaths fails instead of
+being requeued again (it is probably what is killing the workers)."""
+
+# Cache-counter keys whose per-job deltas workers ship to the manager
+# (monotone counters only — gauges like "entries" do not difference).
+_DELTA_KEYS = (
+    "hits", "misses", "evictions",
+    "disk_hits", "disk_misses", "disk_evictions", "disk_writes",
+    "disk_corrupt",
+)
+
 
 @dataclass(slots=True)
 class Job:
@@ -86,7 +124,8 @@ class Job:
     ``status`` walks ``queued -> running -> done | timeout | error``; the
     terminal payload lands in ``result`` (for ``done``) or ``error`` (a
     message, for ``timeout``/``error``).  ``wait()`` blocks until the job
-    reaches a terminal status.
+    reaches a terminal status.  ``group`` is the prefix-digest scheduling
+    group (None when the job's prefix is uncacheable or irrelevant).
     """
 
     id: str
@@ -99,6 +138,8 @@ class Job:
     finished_at: float | None = None
     worker_pid: int | None = None
     trace_id: str = ""
+    group: str | None = field(default=None, repr=False)
+    dispatch_attempts: int = 0
     progress: dict[str, Any] | None = field(default=None, repr=False)
     trace_records: list[dict[str, Any]] | None = field(default=None, repr=False)
     trace_path: str | None = None
@@ -138,20 +179,98 @@ class Job:
         }
 
 
+def _group_key(request: dict[str, Any]) -> str | None:
+    """The prefix-digest scheduling group of a validated request.
+
+    Jobs with equal group keys provably share a prefix-cache key, so
+    dispatching them to one worker back-to-back turns all but the first
+    into warm-memory hits.  This is a cheap *grouping* key computed on the
+    manager's submission path, not the cache key itself: inline instances
+    hash their canonical JSON (no graph materialisation), registry
+    references reuse the upload digest.  Returns None when the prefix is
+    uncacheable (non-reproducible shuffle, naive method) — such jobs never
+    group.
+    """
+    params = request["params"]
+    if params["method"] != "supergraph":
+        return None
+    digest = request.get("graph_digest")
+    if digest is not None:
+        base = f"digest:{digest}"
+        # The labeling kind is not known without loading the registry
+        # document; keep edge_order/seed in the key (worst case discrete
+        # jobs split into per-order groups that still share cache entries).
+        discrete = False
+    else:
+        doc = json.dumps(
+            {
+                "graph": request["graph"],
+                "labels": request["labels"],
+                "vertex_type": request["vertex_type"],
+            },
+            sort_keys=True, separators=(",", ":"),
+        )
+        base = "inline:" + hashlib.sha256(doc.encode("utf-8")).hexdigest()
+        discrete = request["labels"].get("type") == "discrete"
+    if discrete:
+        order_code = seed_code = "-"
+    else:
+        order_code = params["edge_order"]
+        seed = params["seed"]
+        if order_code == "shuffled":
+            if not isinstance(seed, int) or isinstance(seed, bool):
+                return None
+            seed_code = str(seed)
+        else:
+            seed_code = "-"
+    return f"{base}|n{params['n_theta']}|{order_code}|{seed_code}"
+
+
 def _execute_request(
     request: dict[str, Any],
-    cache: SuperGraphCache | None,
+    cache: Any,
     deadline: float | None,
     progress: Any = None,
+    registry: GraphRegistry | None = None,
 ) -> dict[str, Any]:
     """Run one validated mining request; returns its result payload.
 
     Shared by the worker processes and the CLI's in-process fallback
     (``repro serve --workers 0`` is not offered, but tests exercise this
-    directly).  Raises :class:`SearchAbortedError` on deadline overrun.
+    directly).  Raises :class:`SearchAbortedError` on deadline overrun and
+    :class:`~repro.exceptions.ServiceError` for unresolvable
+    ``graph_digest`` references.
     """
-    graph, labeling = build_instance(request)
     params = request["params"]
+    if request.get("graph_digest"):
+        if registry is None:
+            raise ServiceError(
+                "this pool has no graph registry — submit the instance "
+                "inline instead of by graph_digest"
+            )
+        resolved = registry.resolve(request["graph_digest"])
+        graph, labeling = resolved.graph, resolved.labeling
+        if cache is not None and hasattr(cache, "prime"):
+            try:
+                key = prefix_digest_from_parts(
+                    resolved.graph_key,
+                    resolved.labeling_key,
+                    discrete=resolved.discrete,
+                    n_theta=params["n_theta"],
+                    edge_order=params["edge_order"],
+                    seed=params["seed"],
+                )
+            except ReproError:
+                key = None
+            cache.prime(
+                graph, labeling,
+                n_theta=params["n_theta"],
+                edge_order=params["edge_order"],
+                seed=params["seed"],
+                key=key,
+            )
+    else:
+        graph, labeling = build_instance(request)
     check_abort = None
     if deadline is not None:
         check_abort = lambda: time.time() >= deadline  # noqa: E731
@@ -209,13 +328,20 @@ def _worker_main(
     tasks: "mp.queues.Queue",
     results: "mp.queues.Queue",
     cache_size: int,
+    cache_dir: str | None = None,
+    cache_bytes: int | None = None,
+    registry_dir: str | None = None,
 ) -> None:
     """Worker process loop: announce, execute, report, repeat.
 
     Runs in the child process — keep it importable at module level so the
-    ``spawn`` start method can pickle it.  The private prefix cache lives
-    for the worker's lifetime; its counter deltas ride back on every
-    result message so the parent can aggregate pool-wide cache metrics.
+    ``spawn`` start method can pickle it.  ``tasks`` is this worker's
+    *private* queue: the manager decides placement (digest-grouped
+    batching), workers just drain in order.  The prefix cache lives for
+    the worker's lifetime — in-memory only by default, tiered over the
+    shared on-disk store when ``cache_dir`` is set — and its counter
+    deltas ride back on every result message so the parent can aggregate
+    pool-wide cache metrics.
 
     Messages are dicts ``{"kind", "job_id", "pid", "body", ...}``; the
     terminal kinds (``done``/``timeout``/``error``) additionally carry the
@@ -223,14 +349,25 @@ def _worker_main(
     payload.  Queue FIFO ordering guarantees the terminal message arrives
     after every progress heartbeat of its job.
     """
-    cache = SuperGraphCache(max_entries=cache_size)
+    memory = SuperGraphCache(max_entries=cache_size)
+    if cache_dir is not None:
+        cache: Any = TieredPrefixCache(
+            memory, DiskPrefixCache(cache_dir, max_bytes=cache_bytes)
+        )
+    else:
+        cache = memory
+    registry = None if registry_dir is None else GraphRegistry(registry_dir)
     pid = mp.current_process().pid
     last = cache.counters()
     while True:
         item = tasks.get()
         if item is None:
             break
-        job_id, request, deadline, trace_id = item
+        job_id = item["job_id"]
+        request = item["request"]
+        deadline = item["deadline"]
+        trace_id = item["trace_id"]
+        batch = item.get("batch")
         results.put({"kind": "started", "job_id": job_id, "pid": pid})
         publisher = _ProgressPublisher(results, job_id, pid)
         telemetry_payload = None
@@ -238,12 +375,19 @@ def _worker_main(
             if request.get("trace", True):
                 with telemetry_session() as (tracer, metrics):
                     try:
-                        with tracer.span(
-                            "service.job",
+                        span_attrs = dict(
                             trace_id=trace_id, job_id=job_id, pid=pid,
-                        ):
+                        )
+                        if batch is not None:
+                            span_attrs.update(
+                                batch_group=batch["group"],
+                                batch_index=batch["index"],
+                                batch_size=batch["size"],
+                            )
+                        with tracer.span("service.job", **span_attrs):
                             payload = _execute_request(
-                                request, cache, deadline, progress=publisher
+                                request, cache, deadline,
+                                progress=publisher, registry=registry,
                             )
                     finally:
                         # Capture on every exit path: aborted/failed jobs
@@ -253,7 +397,8 @@ def _worker_main(
                         )
             else:
                 payload = _execute_request(
-                    request, cache, deadline, progress=publisher
+                    request, cache, deadline,
+                    progress=publisher, registry=registry,
                 )
             kind = "done"
             body: Any = payload
@@ -266,7 +411,8 @@ def _worker_main(
         current = cache.counters()
         delta = {
             key: current[key] - last.get(key, 0)
-            for key in ("hits", "misses", "evictions")
+            for key in _DELTA_KEYS
+            if key in current
         }
         last = current
         results.put({
@@ -280,13 +426,16 @@ def _worker_main(
 
 
 class JobManager:
-    """Bounded job queue feeding a self-healing worker pool.
+    """Bounded job backlog feeding a self-healing worker pool.
 
     ``submit`` enqueues a validated request and returns a :class:`Job`
-    handle immediately; a background collector thread applies worker
-    results to the handles and respawns crashed workers.  ``close`` drains
-    the pool.  All public methods are thread-safe (the HTTP server calls
-    them from many handler threads).
+    handle immediately; the manager dispatches backlog jobs onto
+    per-worker queues (grouping same-prefix jobs onto one worker), a
+    background collector thread applies worker results to the handles and
+    respawns crashed workers.  ``close`` drains the pool and fails every
+    job that has not reached a terminal state — a waiter can never hang
+    across shutdown.  All public methods are thread-safe (the HTTP server
+    calls them from many handler threads).
     """
 
     def __init__(
@@ -297,6 +446,9 @@ class JobManager:
         queue_size: int = DEFAULT_QUEUE_SIZE,
         default_deadline: float | None = None,
         trace_dir: str | Path | None = None,
+        cache_dir: str | Path | None = None,
+        cache_bytes: int | None = None,
+        registry_dir: str | Path | None = None,
     ) -> None:
         if workers < 1:
             raise ServiceError(f"workers must be >= 1, got {workers}")
@@ -306,18 +458,28 @@ class JobManager:
         self._cache_size = cache_size
         self._queue_size = queue_size
         self._trace_dir = None if trace_dir is None else Path(trace_dir)
+        self._cache_dir = None if cache_dir is None else str(cache_dir)
+        self._cache_bytes = cache_bytes
+        self._registry_dir = None if registry_dir is None else str(registry_dir)
         self._ctx = mp.get_context("spawn")
-        self._tasks: mp.queues.Queue = self._ctx.Queue()
         self._results: mp.queues.Queue = self._ctx.Queue()
         self._lock = threading.RLock()
         self._jobs: dict[str, Job] = {}
         self._pending = 0  # queued + running, bounded by queue_size
+        self._backlog: deque[Job] = deque()
         self._workers: list[mp.process.BaseProcess] = []
-        self._running_on: dict[int, str] = {}  # pid -> job id
+        self._queues: dict[int, mp.queues.Queue] = {}  # pid -> task queue
+        self._dispatched: dict[int, deque[str]] = {}  # pid -> job ids, FIFO
+        self._last_group: dict[int, str | None] = {}
+        self._running_on: dict[int, str] = {}  # pid -> announced job id
         self._worker_info: dict[int, dict[str, Any]] = {}
         self._closed = False
         self.workers_respawned = 0
         self.cache_counters = {"hits": 0, "misses": 0, "evictions": 0}
+        self.diskcache_counters = {
+            "hits": 0, "misses": 0, "evictions": 0, "writes": 0, "corrupt": 0,
+        }
+        self.batch_counters = {"dispatches": 0, "grouped_jobs": 0}
         for _ in range(workers):
             self._workers.append(self._spawn_worker())
         self._collector = threading.Thread(
@@ -327,12 +489,19 @@ class JobManager:
 
     # -- lifecycle -----------------------------------------------------
     def _spawn_worker(self) -> mp.process.BaseProcess:
+        tasks: mp.queues.Queue = self._ctx.Queue()
         process = self._ctx.Process(
             target=_worker_main,
-            args=(self._tasks, self._results, self._cache_size),
+            args=(
+                tasks, self._results, self._cache_size,
+                self._cache_dir, self._cache_bytes, self._registry_dir,
+            ),
             daemon=True,
         )
         process.start()
+        self._queues[process.pid] = tasks
+        self._dispatched[process.pid] = deque()
+        self._last_group[process.pid] = None
         self._worker_info[process.pid] = {
             "spawned_at": time.time(),
             "last_heartbeat": time.time(),
@@ -350,14 +519,25 @@ class JobManager:
             return self._trace_dir
 
     def close(self, timeout: float = 5.0) -> None:
-        """Stop the collector and terminate every worker."""
+        """Stop the collector, terminate every worker, fail open jobs.
+
+        Every job that has not reached a terminal state — backlogged,
+        dispatched, or running — is failed with a "service shutting down"
+        error and its ``_done`` event set, so no ``Job.wait()`` caller can
+        block past shutdown.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._workers:
+            self._backlog.clear()
+            for job in self._jobs.values():
+                if job.status in ("queued", "running"):
+                    self._finish(job, "error", "service shutting down")
+            task_queues = list(self._queues.values())
+        for tasks in task_queues:
             try:
-                self._tasks.put_nowait(None)
+                tasks.put_nowait(None)
             except queue.Full:  # pragma: no cover - tiny sentinel race
                 pass
         deadline = time.time() + timeout
@@ -400,6 +580,7 @@ class JobManager:
             deadline=deadline,
             submitted_at=now,
             trace_id=trace_id or new_trace_id(),
+            group=_group_key(request),
         )
         with self._lock:
             if self._closed:
@@ -411,7 +592,8 @@ class JobManager:
                 )
             self._pending += 1
             self._jobs[job.id] = job
-        self._tasks.put((job.id, request, deadline, job.trace_id))
+            self._backlog.append(job)
+            self._dispatch_locked()
         self._count(_metric.SERVICE_JOBS_SUBMITTED)
         return job
 
@@ -433,10 +615,11 @@ class JobManager:
                 info = self._worker_info.get(pid, {})
                 job_id = self._running_on.get(pid)
                 heartbeat = info.get("last_heartbeat")
+                busy = job_id is not None or bool(self._dispatched.get(pid))
                 worker_detail.append({
                     "pid": pid,
                     "alive": process.is_alive(),
-                    "state": "busy" if job_id is not None else "idle",
+                    "state": "busy" if busy else "idle",
                     "job_id": job_id,
                     "seconds_since_heartbeat": (
                         None if heartbeat is None
@@ -451,10 +634,84 @@ class JobManager:
                 "workers_respawned": self.workers_respawned,
                 "worker_detail": worker_detail,
                 "jobs_in_flight": self._pending,
+                "backlog": len(self._backlog),
                 "queue_size": self._queue_size,
                 "jobs_by_status": dict(sorted(by_status.items())),
                 "cache": dict(self.cache_counters),
+                "diskcache": dict(self.diskcache_counters),
+                "batch": dict(self.batch_counters),
             }
+
+    # -- dispatch ------------------------------------------------------
+    def _take_batch_locked(self, preferred: str | None) -> list[Job]:
+        """Pull the next batch off the backlog (caller holds the lock).
+
+        Prefers jobs matching the worker's last-dispatched group (its
+        prefix cache is warm for them), else batches the head job with
+        every same-group job behind it.  Ungrouped jobs (``group=None``)
+        dispatch alone.  Bounded by :data:`MAX_BATCH_SIZE`.
+        """
+        if not self._backlog:
+            return []
+        group: str | None = None
+        if preferred is not None and any(
+            job.group == preferred for job in self._backlog
+        ):
+            group = preferred
+        else:
+            group = self._backlog[0].group
+            if group is None:
+                job = self._backlog.popleft()
+                return [job]
+        batch: list[Job] = []
+        kept: deque[Job] = deque()
+        while self._backlog:
+            job = self._backlog.popleft()
+            if job.group == group and len(batch) < MAX_BATCH_SIZE:
+                batch.append(job)
+            else:
+                kept.append(job)
+        self._backlog.extend(kept)
+        return batch
+
+    def _dispatch_locked(self) -> None:
+        """Hand backlog jobs to idle workers (caller holds the lock)."""
+        if self._closed:
+            return
+        for process in self._workers:
+            if not self._backlog:
+                return
+            pid = process.pid
+            if not process.is_alive():
+                continue
+            if self._dispatched.get(pid):
+                continue  # worker has unfinished dispatched work
+            batch = self._take_batch_locked(self._last_group.get(pid))
+            if not batch:
+                return
+            group = batch[0].group
+            self._last_group[pid] = group
+            size = len(batch)
+            owned = self._dispatched.setdefault(pid, deque())
+            for index, job in enumerate(batch):
+                job.dispatch_attempts += 1
+                owned.append(job.id)
+                task = {
+                    "job_id": job.id,
+                    "request": job.request,
+                    "deadline": job.deadline,
+                    "trace_id": job.trace_id,
+                    "batch": None if group is None else {
+                        "group": group, "index": index, "size": size,
+                    },
+                }
+                self._queues[pid].put(task)
+            self.batch_counters["dispatches"] += 1
+            self.batch_counters["grouped_jobs"] += max(0, size - 1)
+            self._count(_metric.SERVICE_BATCH_DISPATCHES)
+            self._count(_metric.SERVICE_BATCH_GROUPED_JOBS, size - 1)
+            if _TELEMETRY.enabled:
+                _TELEMETRY.metrics.observe(_metric.SERVICE_BATCH_SIZE, size)
 
     # -- collector -----------------------------------------------------
     def _count(self, name: str, value: int = 1) -> None:
@@ -486,7 +743,8 @@ class JobManager:
                 continue
             if kind == "started":
                 with self._lock:
-                    job.status = "running"
+                    if job.status == "queued":
+                        job.status = "running"
                     job.worker_pid = pid
                     self._running_on[pid] = job_id
                     self._heartbeat(pid)
@@ -506,8 +764,15 @@ class JobManager:
                 self._absorb_telemetry(job, telemetry)
             with self._lock:
                 self._running_on.pop(pid, None)
+                owned = self._dispatched.get(pid)
+                if owned is not None:
+                    try:
+                        owned.remove(job_id)
+                    except ValueError:  # pragma: no cover - requeued job
+                        pass
                 self._heartbeat(pid)
                 self._finish(job, kind, message["body"])
+                self._dispatch_locked()
 
     def _absorb_telemetry(self, job: Job, payload: dict[str, Any]) -> None:
         """Persist a job's captured telemetry and fold it into the parent.
@@ -516,8 +781,8 @@ class JobManager:
         telemetry is enabled in the *parent* process — the worker already
         paid for them, and ``GET /jobs/<id>/trace`` should work either
         way.  The registry merge is gated on the parent's telemetry state,
-        and skips ``service.cache.*`` (the delta-fold path above already
-        accounts for those).
+        and skips ``service.cache.*``/``service.diskcache.*`` (the
+        delta-fold path above already accounts for those).
         """
         try:
             job.trace_records = payload_records(payload, job_id=job.id)
@@ -557,11 +822,31 @@ class JobManager:
         with self._lock:
             for key in ("hits", "misses", "evictions"):
                 self.cache_counters[key] += delta.get(key, 0)
+            self.diskcache_counters["hits"] += delta.get("disk_hits", 0)
+            self.diskcache_counters["misses"] += delta.get("disk_misses", 0)
+            self.diskcache_counters["evictions"] += delta.get(
+                "disk_evictions", 0
+            )
+            self.diskcache_counters["writes"] += delta.get("disk_writes", 0)
+            self.diskcache_counters["corrupt"] += delta.get("disk_corrupt", 0)
         # The workers' process-local telemetry never reaches this process,
         # so mirror the deltas into the parent registry here.
         self._count(_metric.SERVICE_CACHE_HITS, delta.get("hits", 0))
         self._count(_metric.SERVICE_CACHE_MISSES, delta.get("misses", 0))
         self._count(_metric.SERVICE_CACHE_EVICTIONS, delta.get("evictions", 0))
+        self._count(_metric.SERVICE_DISKCACHE_HITS, delta.get("disk_hits", 0))
+        self._count(
+            _metric.SERVICE_DISKCACHE_MISSES, delta.get("disk_misses", 0)
+        )
+        self._count(
+            _metric.SERVICE_DISKCACHE_EVICTIONS, delta.get("disk_evictions", 0)
+        )
+        self._count(
+            _metric.SERVICE_DISKCACHE_WRITES, delta.get("disk_writes", 0)
+        )
+        self._count(
+            _metric.SERVICE_DISKCACHE_CORRUPT, delta.get("disk_corrupt", 0)
+        )
 
     def _reap_dead_workers(self) -> None:
         with self._lock:
@@ -571,20 +856,51 @@ class JobManager:
             if not dead:
                 return
             for process in dead:
+                pid = process.pid
                 self._workers.remove(process)
-                self._worker_info.pop(process.pid, None)
-                job_id = self._running_on.pop(process.pid, None)
-                if job_id is not None:
-                    job = self._jobs.get(job_id)
+                self._worker_info.pop(pid, None)
+                self._last_group.pop(pid, None)
+                tasks = self._queues.pop(pid, None)
+                if tasks is not None:
+                    # Drop the dead worker's private queue; its feeder
+                    # thread would otherwise linger.
+                    tasks.cancel_join_thread()
+                    tasks.close()
+                announced = self._running_on.pop(pid, None)
+                if announced is not None:
+                    job = self._jobs.get(announced)
                     if job is not None:
                         self._finish(
                             job,
                             "error",
-                            f"worker process {process.pid} died "
+                            f"worker process {pid} died "
                             f"(exit code {process.exitcode})",
                         )
+                # Jobs dispatched to the dead worker but never announced
+                # (sitting in its private queue, or dequeued in the
+                # crash window before "started") would otherwise leak in
+                # ``queued`` forever: requeue them once, fail repeat
+                # offenders.
+                requeue: list[Job] = []
+                for job_id in self._dispatched.pop(pid, ()):  # FIFO order
+                    job = self._jobs.get(job_id)
+                    if job is None or job.status != "queued":
+                        continue
+                    if job.dispatch_attempts >= _MAX_DISPATCH_ATTEMPTS:
+                        self._finish(
+                            job,
+                            "error",
+                            f"worker process {pid} died before the job "
+                            f"started ({job.dispatch_attempts} dispatch "
+                            "attempts)",
+                        )
+                    else:
+                        requeue.append(job)
+                for job in reversed(requeue):
+                    self._backlog.appendleft(job)
             respawned = len(dead)
             self.workers_respawned += respawned
             for _ in range(respawned):
                 self._workers.append(self._spawn_worker())
+            self._dispatch_locked()
         self._count(_metric.SERVICE_WORKERS_RESPAWNED, respawned)

@@ -38,6 +38,7 @@ labeling, and :func:`result_to_payload` renders a
 
 from __future__ import annotations
 
+import re
 from typing import Any
 
 from repro.core.result import MiningResult
@@ -51,10 +52,13 @@ __all__ = [
     "build_instance",
     "labeling_from_doc",
     "result_to_payload",
+    "validate_graph_document",
     "validate_request",
 ]
 
 _VERTEX_TYPES = {"int": int, "str": str}
+
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
 
 DEFAULT_PARAMS: dict[str, Any] = {
     "top_t": 1,
@@ -72,8 +76,8 @@ DEFAULT_PARAMS: dict[str, Any] = {
 the CLI's ``repro mine`` defaults."""
 
 _TOP_LEVEL_KEYS = {
-    "graph", "labels", "vertex_type", "params", "async", "deadline_seconds",
-    "trace",
+    "graph", "graph_digest", "labels", "vertex_type", "params", "async",
+    "deadline_seconds", "trace",
 }
 _METHODS = ("supergraph", "naive")
 _EDGE_ORDERS = ("input", "shuffled", "by_chi_square")
@@ -96,19 +100,14 @@ def _check_int(value: Any, field: str, *, minimum: int | None = None) -> int:
     return value
 
 
-def validate_request(doc: Any) -> dict[str, Any]:
-    """Normalise and type-check a decoded ``POST /mine`` document.
+def _validate_instance_fields(
+    doc: dict[str, Any],
+) -> tuple[dict[str, Any], dict[str, Any], str]:
+    """Validate the ``graph``/``labels``/``vertex_type`` trio of a document.
 
-    Returns a new dict with every defaulted field filled in:
-    ``{"graph": ..., "labels": ..., "vertex_type": str, "params": {...},
-    "async": bool, "deadline_seconds": float | None}``.  Raises
-    :class:`~repro.exceptions.RequestValidationError` naming the offending
-    field otherwise.  Graph/label *contents* are validated later by
-    :func:`build_instance` (they need the instance constructors).
+    Returns the normalised ``(graph_doc, labels_doc, vertex_type)``; shared
+    by inline ``POST /mine`` requests and ``PUT /graphs`` registry uploads.
     """
-    _require(isinstance(doc, dict), "request body must be a JSON object")
-    unknown = set(doc) - _TOP_LEVEL_KEYS
-    _require(not unknown, f"unknown request fields: {sorted(unknown)}")
     _require("graph" in doc, "request is missing the 'graph' field")
     _require("labels" in doc, "request is missing the 'labels' field")
 
@@ -140,6 +139,65 @@ def validate_request(doc: Any) -> dict[str, Any]:
         f"'vertex_type' must be one of {sorted(_VERTEX_TYPES)}, "
         f"got {vertex_type!r}",
     )
+    return {"edges": edges, "vertices": vertices}, labels_doc, vertex_type
+
+
+def validate_graph_document(doc: Any) -> dict[str, Any]:
+    """Normalise and type-check a ``PUT /graphs`` registry document.
+
+    The document carries exactly the instance trio of an inline mining
+    request — ``graph``, ``labels``, and optional ``vertex_type`` — with no
+    search parameters (those stay per-request).  Returns the normalised
+    ``{"graph": ..., "labels": ..., "vertex_type": ...}``.
+    """
+    _require(isinstance(doc, dict), "request body must be a JSON object")
+    unknown = set(doc) - {"graph", "labels", "vertex_type"}
+    _require(not unknown, f"unknown request fields: {sorted(unknown)}")
+    graph_doc, labels_doc, vertex_type = _validate_instance_fields(doc)
+    return {
+        "graph": graph_doc,
+        "labels": labels_doc,
+        "vertex_type": vertex_type,
+    }
+
+
+def validate_request(doc: Any) -> dict[str, Any]:
+    """Normalise and type-check a decoded ``POST /mine`` document.
+
+    Returns a new dict with every defaulted field filled in:
+    ``{"graph": ..., "labels": ..., "vertex_type": str,
+    "graph_digest": str | None, "params": {...}, "async": bool,
+    "deadline_seconds": float | None}``.  Raises
+    :class:`~repro.exceptions.RequestValidationError` naming the offending
+    field otherwise.  Graph/label *contents* are validated later by
+    :func:`build_instance` (they need the instance constructors).
+
+    A request names its instance either inline (``graph`` + ``labels``) or
+    by registry reference (``graph_digest``, the 64-hex digest returned by
+    ``PUT /graphs``) — never both.
+    """
+    _require(isinstance(doc, dict), "request body must be a JSON object")
+    unknown = set(doc) - _TOP_LEVEL_KEYS
+    _require(not unknown, f"unknown request fields: {sorted(unknown)}")
+
+    graph_digest = doc.get("graph_digest")
+    if graph_digest is not None:
+        _require(
+            isinstance(graph_digest, str) and _DIGEST_RE.match(graph_digest)
+            is not None,
+            "'graph_digest' must be a 64-character lowercase hex digest, "
+            f"got {graph_digest!r}",
+        )
+        conflicting = {"graph", "labels", "vertex_type"} & set(doc)
+        _require(
+            not conflicting,
+            "'graph_digest' selects a registered instance — it cannot be "
+            f"combined with inline fields {sorted(conflicting)}",
+        )
+        graph_doc = labels_doc = None
+        vertex_type = "int"
+    else:
+        graph_doc, labels_doc, vertex_type = _validate_instance_fields(doc)
 
     params_doc = doc.get("params", {})
     _require(isinstance(params_doc, dict), "'params' must be an object")
@@ -199,9 +257,10 @@ def validate_request(doc: Any) -> dict[str, Any]:
         deadline = float(deadline)
 
     return {
-        "graph": {"edges": edges, "vertices": vertices},
+        "graph": graph_doc,
         "labels": labels_doc,
         "vertex_type": vertex_type,
+        "graph_digest": graph_digest,
         "params": params,
         "async": run_async,
         "deadline_seconds": deadline,
@@ -244,7 +303,16 @@ def labeling_from_doc(
 def build_instance(
     request: dict[str, Any],
 ) -> tuple[Graph, DiscreteLabeling | ContinuousLabeling]:
-    """Materialise the (graph, labeling) pair of a validated request."""
+    """Materialise the (graph, labeling) pair of a validated request.
+
+    Only for inline requests — a ``graph_digest`` request is resolved
+    against the :class:`~repro.service.registry.GraphRegistry` instead.
+    """
+    if request.get("graph") is None:
+        raise RequestValidationError(
+            "request carries no inline instance (resolve its 'graph_digest' "
+            "against the graph registry instead)"
+        )
     vertex_type = _VERTEX_TYPES[request["vertex_type"]]
     try:
         edges = [

@@ -3,12 +3,19 @@
 Endpoints::
 
     POST /mine                 run a mining request (async=true -> 202 + job id)
+    PUT  /graphs               register a graph+labeling under its content digest
+    GET  /graphs/<digest>      metadata of a registered instance
     GET  /jobs/<id>            poll an async job
     GET  /jobs/<id>/progress   live search progress of a running job
     GET  /jobs/<id>/trace      the job's span/metric records (after finish)
     GET  /healthz              liveness + pool statistics (per-worker detail)
     GET  /metricsz             snapshot of the service metrics registry
     GET  /metricsz?format=prometheus   same, as Prometheus text exposition
+
+``POST /mine`` accepts ``{"graph_digest": ...}`` in place of the inline
+``graph``/``labels`` pair once the instance is registered — repeat clients
+send a 64-byte key instead of re-uploading megabyte bodies.  An unknown
+digest fails fast with 404 at submission (never inside a worker).
 
 The handler threads only parse/validate and enqueue — all mining happens in
 the :class:`~repro.service.jobs.JobManager` worker processes, so a slow
@@ -35,15 +42,18 @@ from __future__ import annotations
 import json
 import logging
 import re
+import tempfile
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
 from typing import Any
 from urllib.parse import parse_qs, urlsplit
 
 from repro.exceptions import BackpressureError, RequestValidationError
 from repro.service.jobs import DEFAULT_QUEUE_SIZE, JobManager
-from repro.service.protocol import validate_request
+from repro.service.protocol import validate_graph_document, validate_request
+from repro.service.registry import GraphRegistry
 from repro.telemetry import TELEMETRY as _TELEMETRY
 from repro.telemetry import names as _metric
 from repro.telemetry.context import new_trace_id
@@ -156,6 +166,16 @@ class _Handler(BaseHTTPRequestHandler):
                     )
             elif parts.path.startswith("/jobs/"):
                 self._get_job(parts.path[len("/jobs/"):], trace_id)
+            elif parts.path.startswith("/graphs/"):
+                digest = parts.path[len("/graphs/"):]
+                info = self.service.registry.info(digest)
+                if info is None:
+                    self._send_json(
+                        404, {"error": f"unknown graph digest {digest!r}"},
+                        trace_id,
+                    )
+                else:
+                    self._send_json(200, info, trace_id)
             else:
                 self._send_json(404, {"error": "unknown route"}, trace_id)
         finally:
@@ -190,6 +210,43 @@ class _Handler(BaseHTTPRequestHandler):
         else:
             self._send_json(200, job.to_payload(), trace_id)
 
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        """Route PUT requests (/graphs)."""
+        started = time.monotonic()
+        trace_id = self._request_trace_id()
+        try:
+            if self.path != "/graphs":
+                self._send_json(404, {"error": "unknown route"}, trace_id)
+                return
+            length = int(self.headers.get("Content-Length") or 0)
+            if length > self.service.max_request_bytes:
+                self._send_json(
+                    413,
+                    {"error": f"request body exceeds "
+                              f"{self.service.max_request_bytes} bytes"},
+                    trace_id,
+                )
+                return
+            raw = self.rfile.read(length)
+            try:
+                document = json.loads(raw or b"null")
+            except json.JSONDecodeError as exc:
+                self._send_json(
+                    400, {"error": f"request body is not JSON: {exc}"}, trace_id
+                )
+                return
+            try:
+                summary = self.service.registry.put_document(document)
+            except RequestValidationError as exc:
+                self._send_json(400, {"error": str(exc)}, trace_id)
+                return
+            if _TELEMETRY.enabled and summary["created"]:
+                _TELEMETRY.metrics.count(_metric.SERVICE_GRAPHS_REGISTERED)
+            self._send_json(200 if not summary["created"] else 201,
+                            summary, trace_id)
+        finally:
+            self._observe(started, trace_id)
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         """Route POST requests (/mine)."""
         started = time.monotonic()
@@ -217,6 +274,16 @@ class _Handler(BaseHTTPRequestHandler):
                 return
             except RequestValidationError as exc:
                 self._send_json(400, {"error": str(exc)}, trace_id)
+                return
+            digest = request.get("graph_digest")
+            if digest is not None and not self.service.registry.contains(digest):
+                # Fail at submission, not inside a worker minutes later.
+                self._send_json(
+                    404,
+                    {"error": f"unknown graph digest {digest!r} — upload "
+                              "the instance with PUT /graphs first"},
+                    trace_id,
+                )
                 return
             try:
                 job = self.service.manager.submit(
@@ -274,13 +341,26 @@ class MiningService:
         default_deadline: float | None = None,
         max_request_bytes: int = DEFAULT_MAX_REQUEST_BYTES,
         trace_dir: str | None = None,
+        cache_dir: str | None = None,
+        cache_bytes: int | None = None,
     ) -> None:
+        # The registry always exists (PUT /graphs works on every service);
+        # without --cache-dir it lives in a throwaway directory and the
+        # registrations simply do not survive the process.
+        if cache_dir is not None:
+            registry_dir = str(Path(cache_dir) / "graphs")
+        else:
+            registry_dir = tempfile.mkdtemp(prefix="repro-graph-registry-")
+        self.registry = GraphRegistry(registry_dir)
         self.manager = JobManager(
             workers=workers,
             cache_size=cache_size,
             queue_size=queue_size,
             default_deadline=default_deadline,
             trace_dir=trace_dir,
+            cache_dir=cache_dir,
+            cache_bytes=cache_bytes,
+            registry_dir=registry_dir,
         )
         self.max_request_bytes = max_request_bytes
         self._httpd = ThreadingHTTPServer((host, port), _Handler)
@@ -305,7 +385,15 @@ class MiningService:
             _metric.SERVICE_CACHE_HITS: stats["cache"]["hits"],
             _metric.SERVICE_CACHE_MISSES: stats["cache"]["misses"],
             _metric.SERVICE_CACHE_EVICTIONS: stats["cache"]["evictions"],
+            _metric.SERVICE_DISKCACHE_HITS: stats["diskcache"]["hits"],
+            _metric.SERVICE_DISKCACHE_MISSES: stats["diskcache"]["misses"],
+            _metric.SERVICE_DISKCACHE_EVICTIONS: stats["diskcache"]["evictions"],
+            _metric.SERVICE_DISKCACHE_WRITES: stats["diskcache"]["writes"],
+            _metric.SERVICE_DISKCACHE_CORRUPT: stats["diskcache"]["corrupt"],
+            _metric.SERVICE_BATCH_DISPATCHES: stats["batch"]["dispatches"],
+            _metric.SERVICE_BATCH_GROUPED_JOBS: stats["batch"]["grouped_jobs"],
             _metric.SERVICE_WORKERS_RESPAWNED: stats["workers_respawned"],
+            "service.graphs_registered_total": len(self.registry),
             "service.jobs_in_flight": stats["jobs_in_flight"],
             "service.jobs_by_status": stats["jobs_by_status"],
             "service.workers_alive": stats["workers_alive"],
@@ -331,11 +419,21 @@ class MiningService:
                 _metric.SERVICE_CACHE_HITS: stats["cache"]["hits"],
                 _metric.SERVICE_CACHE_MISSES: stats["cache"]["misses"],
                 _metric.SERVICE_CACHE_EVICTIONS: stats["cache"]["evictions"],
+                _metric.SERVICE_DISKCACHE_HITS: stats["diskcache"]["hits"],
+                _metric.SERVICE_DISKCACHE_MISSES: stats["diskcache"]["misses"],
+                _metric.SERVICE_DISKCACHE_EVICTIONS:
+                    stats["diskcache"]["evictions"],
+                _metric.SERVICE_DISKCACHE_WRITES: stats["diskcache"]["writes"],
+                _metric.SERVICE_DISKCACHE_CORRUPT: stats["diskcache"]["corrupt"],
+                _metric.SERVICE_BATCH_DISPATCHES: stats["batch"]["dispatches"],
+                _metric.SERVICE_BATCH_GROUPED_JOBS:
+                    stats["batch"]["grouped_jobs"],
                 _metric.SERVICE_WORKERS_RESPAWNED: stats["workers_respawned"],
             },
             gauges={
                 "service.jobs_in_flight": stats["jobs_in_flight"],
                 "service.workers_alive": stats["workers_alive"],
+                "service.graphs_registered_total": len(self.registry),
             },
             labeled={
                 "service.jobs": ("status", stats["jobs_by_status"]),

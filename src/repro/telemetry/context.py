@@ -46,14 +46,18 @@ __all__ = [
     "write_job_trace",
 ]
 
-DEFAULT_MERGE_EXCLUDES: tuple[str, ...] = ("service.cache.",)
+DEFAULT_MERGE_EXCLUDES: tuple[str, ...] = (
+    "service.cache.",
+    "service.diskcache.",
+)
 """Metric-name prefixes skipped by :func:`merge_payload_metrics`.
 
-The super-graph prefix cache instruments ``service.cache.*`` inside the
-worker's telemetry session and *also* reports per-job deltas that the job
-manager folds into the parent registry; the delta path is authoritative
-(it works even with telemetry disabled in the worker), so the session copy
-must not be merged a second time.
+The super-graph prefix cache instruments ``service.cache.*`` (and its
+on-disk tier ``service.diskcache.*``) inside the worker's telemetry
+session and *also* reports per-job deltas that the job manager folds into
+the parent registry; the delta path is authoritative (it works even with
+telemetry disabled in the worker), so the session copy must not be merged
+a second time.
 """
 
 

@@ -36,9 +36,18 @@ __all__ = [
     "SEARCH_STATES_PER_CALL",
     "SEARCH_STATES_PRUNED",
     "SEARCH_STATES_VISITED",
+    "SERVICE_BATCH_DISPATCHES",
+    "SERVICE_BATCH_GROUPED_JOBS",
+    "SERVICE_BATCH_SIZE",
     "SERVICE_CACHE_EVICTIONS",
     "SERVICE_CACHE_HITS",
     "SERVICE_CACHE_MISSES",
+    "SERVICE_DISKCACHE_CORRUPT",
+    "SERVICE_DISKCACHE_EVICTIONS",
+    "SERVICE_DISKCACHE_HITS",
+    "SERVICE_DISKCACHE_MISSES",
+    "SERVICE_DISKCACHE_WRITES",
+    "SERVICE_GRAPHS_REGISTERED",
     "SERVICE_JOBS_COMPLETED",
     "SERVICE_JOBS_FAILED",
     "SERVICE_JOBS_SUBMITTED",
@@ -151,6 +160,37 @@ SERVICE_CACHE_MISSES = "service.cache.misses"
 
 SERVICE_CACHE_EVICTIONS = "service.cache.evictions"
 """Counter: least-recently-used entries dropped by the bounded cache."""
+
+SERVICE_DISKCACHE_HITS = "service.diskcache.hits"
+"""Counter: prefix lookups answered from the shared on-disk tier (after a
+memory-tier miss; the entry is promoted back into memory)."""
+
+SERVICE_DISKCACHE_MISSES = "service.diskcache.misses"
+"""Counter: on-disk tier lookups that found no (readable) artifact."""
+
+SERVICE_DISKCACHE_EVICTIONS = "service.diskcache.evictions"
+"""Counter: artifacts deleted by the byte-budget LRU sweep."""
+
+SERVICE_DISKCACHE_WRITES = "service.diskcache.writes"
+"""Counter: prefix artifacts atomically persisted to the disk tier."""
+
+SERVICE_DISKCACHE_CORRUPT = "service.diskcache.corrupt_reads"
+"""Counter: truncated/garbled artifacts encountered (treated as misses
+and unlinked; a corrupt artifact is never an error)."""
+
+SERVICE_GRAPHS_REGISTERED = "service.graphs_registered"
+"""Counter: graph documents stored in the registry via ``PUT /graphs``."""
+
+SERVICE_BATCH_DISPATCHES = "service.batch.dispatches"
+"""Counter: batches handed to a worker by the digest-grouped scheduler
+(singleton dispatches included)."""
+
+SERVICE_BATCH_GROUPED_JOBS = "service.batch.grouped_jobs"
+"""Counter: jobs that rode a multi-job batch behind a same-prefix leader
+(i.e. jobs expected to hit the leader's freshly warmed prefix)."""
+
+SERVICE_BATCH_SIZE = "service.batch.size"
+"""Histogram: jobs per dispatched batch."""
 
 SERVICE_REQUESTS_TOTAL = "service.requests_total"
 """Counter: HTTP requests accepted by the mining service."""

@@ -66,3 +66,24 @@ def random_continuous_instance(seed: int, n: int = 12, p_edge: float = 0.4, k: i
     graph = gnp_random_graph(n, p_edge, seed=seed)
     labeling = ContinuousLabeling.random(graph, k, seed=seed + 1)
     return graph, labeling
+
+
+def service_cache_dir_from_env() -> str | None:
+    """Cache directory for the service fixtures, from ``REPRO_TEST_CACHE_DIR``.
+
+    Unset (the default) returns None — service fixtures run with the plain
+    in-memory prefix cache.  CI's disk-tier step sets the variable to rerun
+    the whole service suite over the persistent two-tier cache: ``1`` (or
+    ``true``/``yes``) means a fresh temporary directory, any other value is
+    used as the directory itself.
+    """
+    import os
+    import tempfile
+
+    value = os.environ.get("REPRO_TEST_CACHE_DIR")
+    if not value:
+        return None
+    if value.lower() in ("1", "true", "yes"):
+        return tempfile.mkdtemp(prefix="repro-service-cache-")
+    os.makedirs(value, exist_ok=True)
+    return value

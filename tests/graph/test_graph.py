@@ -142,6 +142,32 @@ class TestMutation:
         assert g.num_edges == 1
 
 
+class TestVersionCounter:
+    def test_every_structural_mutation_bumps_version(self):
+        g = Graph()
+        assert g.version == 0
+        g.add_vertex(0)
+        g.add_vertex(1)
+        after_vertices = g.version
+        assert after_vertices == 2
+        g.add_edge(0, 1)
+        assert g.version == after_vertices + 1
+        g.remove_edge(0, 1)
+        assert g.version == after_vertices + 2
+        g.remove_vertex(1)
+        assert g.version == after_vertices + 3
+
+    def test_exist_ok_noop_does_not_bump(self):
+        g = Graph([0])
+        before = g.version
+        g.add_vertex(0, exist_ok=True)
+        assert g.version == before
+
+    def test_copies_restart_at_zero(self):
+        g = Graph.from_edges([(0, 1)])
+        assert g.copy().version == 0
+
+
 class TestQueries:
     def test_neighbors_snapshot_is_immutable(self, triangle):
         nbrs = triangle.neighbors(0)

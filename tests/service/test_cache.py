@@ -64,6 +64,71 @@ class TestLRUBehaviour:
         assert len(cache) == 0
 
 
+class CountingCache(SuperGraphCache):
+    """SuperGraphCache that counts content-digest computations."""
+
+    digest_calls = 0  # class attr so __slots__ on the base stays valid
+
+    def key_of(self, graph, labeling, **kwargs):
+        type(self).digest_calls += 1
+        return super().key_of(graph, labeling, **kwargs)
+
+
+class TestKeyMemo:
+    def setup_method(self):
+        CountingCache.digest_calls = 0
+
+    def test_miss_digests_exactly_once(self, instance):
+        """Regression: fetch and the store after a miss used to hash the
+        whole instance twice; the memo threads the key through."""
+        graph, labeling = instance
+        cache = CountingCache()
+        mine(graph, labeling, prefix_cache=cache)
+        assert cache.misses == 1
+        assert CountingCache.digest_calls == 1
+
+    def test_hit_digests_exactly_once(self, instance):
+        graph, labeling = instance
+        cache = CountingCache()
+        mine(graph, labeling, prefix_cache=cache)
+        CountingCache.digest_calls = 0
+        mine(graph, labeling, prefix_cache=cache)
+        assert cache.hits >= 1
+        assert CountingCache.digest_calls == 1
+
+    def test_graph_mutation_invalidates_the_memo(self, instance):
+        graph, labeling = instance
+        cache = CountingCache()
+        key_before = cache.resolve_key(graph, labeling, n_theta=10)
+        assert cache.resolve_key(graph, labeling, n_theta=10) == key_before
+        assert CountingCache.digest_calls == 1  # second call was memoised
+        graph.add_edge(0, 4)
+        key_after = cache.resolve_key(graph, labeling, n_theta=10)
+        assert CountingCache.digest_calls == 2  # version bump forced a rehash
+        assert key_after != key_before
+
+    def test_prime_skips_instance_hashing(self, instance):
+        graph, labeling = instance
+        plain = SuperGraphCache()
+        key = plain.key_of(graph, labeling, n_theta=20)
+        mine(graph, labeling, prefix_cache=plain)
+        cache = CountingCache()
+        cache.put(key, plain.peek(key))
+        cache.prime(graph, labeling, n_theta=20, edge_order="input",
+                    seed=None, key=key)
+        assert cache.fetch(graph, labeling, n_theta=20) is not None
+        assert CountingCache.digest_calls == 0
+
+    def test_prime_with_none_marks_uncacheable(self, instance):
+        graph, labeling = instance
+        cache = CountingCache()
+        cache.prime(graph, labeling, n_theta=20, edge_order="input",
+                    seed=None, key=None)
+        assert cache.fetch(graph, labeling, n_theta=20) is None
+        assert CountingCache.digest_calls == 0
+        assert cache.misses == 0  # uncacheable, not a miss
+
+
 class TestSolverIntegration:
     @pytest.mark.parametrize("seed", range(4))
     def test_cached_results_identical_discrete(self, seed):

@@ -9,11 +9,34 @@ from repro.graph.graph import Graph
 from repro.labels.continuous import ContinuousLabeling
 from repro.labels.discrete import DiscreteLabeling
 from repro.service.digest import (
+    _hash_lines,
     encode_vertex,
     graph_digest,
     labeling_digest,
     prefix_digest,
+    prefix_digest_from_parts,
 )
+
+
+class TestHashLines:
+    def test_newline_boundary_shift_regression(self):
+        """One line containing a newline must not equal two separate lines.
+
+        The v1 encoding joined lines with a bare separator, so any newline
+        inside a line shifted the boundary and collided with a different
+        line list; v2 length-prefixes every line.
+        """
+        assert _hash_lines("k", ["a\nb"]) != _hash_lines("k", ["a", "b"])
+        assert _hash_lines("k", ["a\nb", "c"]) != _hash_lines("k", ["a", "b\nc"])
+
+    def test_tag_binds_the_digest(self):
+        assert _hash_lines("graph/v2", ["x"]) != _hash_lines("prefix/v2", ["x"])
+
+    def test_empty_trailing_line_matters(self):
+        assert _hash_lines("k", ["a"]) != _hash_lines("k", ["a", ""])
+
+    def test_tag_line_boundary_cannot_shift(self):
+        assert _hash_lines("k\na", ["b"]) != _hash_lines("k", ["a\nb"])
 
 
 class TestEncodeVertex:
@@ -60,6 +83,17 @@ class TestGraphDigest:
         g = Graph.from_edges([(("a", 1), ("b", 2)), (("b", 2), ("c", 3))])
         h = Graph.from_edges([(("b", 2), ("c", 3)), (("a", 1), ("b", 2))])
         assert graph_digest(g) == graph_digest(h)
+
+    def test_newline_bearing_vertices_cannot_collide(self):
+        # Adversarial inputs for the v1 newline-join weakness: vertex names
+        # containing the line separator must stay distinguishable from
+        # topologically different graphs whose serialisations align.
+        a = Graph.from_edges([("u\nv", "w")])
+        b = Graph.from_edges([("u", "v\nw")])
+        assert graph_digest(a) != graph_digest(b)
+        c = Graph.from_edges([("x", "y")], vertices=["u\nv"])
+        d = Graph.from_edges([("x", "y")], vertices=["u", "v"])
+        assert graph_digest(c) != graph_digest(d)
 
 
 class TestLabelingDigest:
@@ -120,6 +154,11 @@ class TestPrefixDigest:
             g, lab, n_theta=10, edge_order="input"
         ) != prefix_digest(g, lab, n_theta=10, edge_order="by_chi_square")
 
+    def test_newline_bearing_symbols_cannot_collide(self):
+        a = DiscreteLabeling((0.5, 0.5), {0: 0}, symbols=["s\nt", "u"])
+        b = DiscreteLabeling((0.5, 0.5), {0: 0}, symbols=["s", "t\nu"])
+        assert labeling_digest(a) != labeling_digest(b)
+
     def test_continuous_shuffled_requires_int_seed(self):
         g = Graph.from_edges([(0, 1)])
         lab = ContinuousLabeling({0: [1.0], 1: [2.0]})
@@ -130,3 +169,38 @@ class TestPrefixDigest:
         a = prefix_digest(g, lab, n_theta=10, edge_order="shuffled", seed=3)
         b = prefix_digest(g, lab, n_theta=10, edge_order="shuffled", seed=4)
         assert a != b
+
+
+class TestPrefixDigestFromParts:
+    """The parts-based derivation must agree with the instance-based one —
+    that equality is what lets registry-resolved jobs skip re-hashing."""
+
+    def test_discrete_matches_instance_hash(self):
+        g = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+        lab = DiscreteLabeling((0.8, 0.2), {0: 1, 1: 1, 2: 0})
+        derived = prefix_digest_from_parts(
+            graph_digest(g), labeling_digest(lab),
+            discrete=True, n_theta=10, edge_order="shuffled", seed=99,
+        )
+        assert derived == prefix_digest(
+            g, lab, n_theta=10, edge_order="shuffled", seed=99
+        )
+
+    def test_continuous_matches_instance_hash(self):
+        g = Graph.from_edges([(0, 1), (1, 2)])
+        lab = ContinuousLabeling({0: [1.0], 1: [2.0], 2: [0.5]})
+        for order in ("input", "by_chi_square"):
+            derived = prefix_digest_from_parts(
+                graph_digest(g), labeling_digest(lab),
+                discrete=False, n_theta=15, edge_order=order,
+            )
+            assert derived == prefix_digest(
+                g, lab, n_theta=15, edge_order=order
+            )
+
+    def test_continuous_shuffled_requires_int_seed(self):
+        with pytest.raises(DigestError):
+            prefix_digest_from_parts(
+                "a" * 64, "b" * 64,
+                discrete=False, n_theta=10, edge_order="shuffled",
+            )

@@ -1,0 +1,165 @@
+"""Unit tests for the on-disk prefix-cache tier and its tiered composition."""
+
+from __future__ import annotations
+
+import os
+import pickle
+
+import pytest
+
+from repro.core.solver import mine
+from repro.exceptions import ServiceError
+from repro.service.cache import SuperGraphCache
+from repro.service.diskcache import DiskPrefixCache, TieredPrefixCache
+from conftest import random_discrete_instance
+
+
+@pytest.fixture
+def instance():
+    return random_discrete_instance(0)
+
+
+def populated_disk(tmp_path, instance, n_theta=10):
+    """A disk tier holding one real artifact; returns (disk, key)."""
+    graph, labeling = instance
+    memory = SuperGraphCache()
+    disk = DiskPrefixCache(tmp_path)
+    mine(graph, labeling, n_theta=n_theta,
+         prefix_cache=TieredPrefixCache(memory, disk))
+    key = memory.key_of(graph, labeling, n_theta=n_theta)
+    assert key is not None
+    return disk, key
+
+
+class TestDiskPrefixCache:
+    def test_roundtrip_across_instances(self, tmp_path, instance):
+        disk, key = populated_disk(tmp_path, instance)
+        assert key in disk
+        assert disk.writes == 1
+        # A second instance over the same directory — the respawn scenario.
+        fresh = DiskPrefixCache(tmp_path)
+        entry = fresh.get(key)
+        assert entry is not None
+        assert fresh.hits == 1
+        assert entry.supergraph.num_super_vertices > 0
+
+    def test_unknown_key_is_a_miss(self, tmp_path):
+        disk = DiskPrefixCache(tmp_path)
+        assert disk.get("ab" * 32) is None
+        assert disk.misses == 1
+
+    def test_malformed_keys_never_touch_the_filesystem(self, tmp_path):
+        disk = DiskPrefixCache(tmp_path)
+        for key in ("../../etc/passwd", "UPPER" * 16, "short", ""):
+            assert disk.get(key) is None
+        assert len(disk) == 0
+
+    def test_corrupt_artifact_is_a_miss_and_removed(self, tmp_path, instance):
+        disk, key = populated_disk(tmp_path, instance)
+        (disk.root / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert disk.get(key) is None
+        assert disk.corrupt_reads == 1
+        assert key not in disk  # unlinked so nobody pays for it again
+
+    def test_truncated_artifact_is_a_miss(self, tmp_path, instance):
+        disk, key = populated_disk(tmp_path, instance)
+        path = disk.root / f"{key}.pkl"
+        path.write_bytes(path.read_bytes()[:-10])
+        assert disk.get(key) is None
+        assert disk.corrupt_reads == 1
+
+    def test_wrong_typed_pickle_is_a_miss(self, tmp_path, instance):
+        disk, key = populated_disk(tmp_path, instance)
+        (disk.root / f"{key}.pkl").write_bytes(
+            pickle.dumps({"not": "an entry"})
+        )
+        assert disk.get(key) is None
+        assert disk.corrupt_reads == 1
+
+    def test_eviction_is_oldest_mtime_first(self, tmp_path, instance):
+        graph, labeling = instance
+        memory = SuperGraphCache()
+        disk = DiskPrefixCache(tmp_path, max_bytes=None)
+        tiered = TieredPrefixCache(memory, disk)
+        keys = []
+        for n_theta in (5, 6, 7):
+            mine(graph, labeling, n_theta=n_theta, prefix_cache=tiered)
+            keys.append(memory.key_of(graph, labeling, n_theta=n_theta))
+        # Age the artifacts explicitly so the LRU order is deterministic.
+        for age, key in enumerate(keys):
+            os.utime(disk.root / f"{key}.pkl", (1000 + age, 1000 + age))
+        size = (disk.root / f"{keys[0]}.pkl").stat().st_size
+        disk.max_bytes = 2 * size + size // 2  # room for two artifacts
+        mine(graph, labeling, n_theta=8, prefix_cache=tiered)
+        assert keys[0] not in disk
+        assert keys[1] not in disk
+        assert disk.evictions == 2
+        # The freshly written artifact always survives the sweep.
+        assert memory.key_of(graph, labeling, n_theta=8) in disk
+
+    def test_single_oversized_artifact_is_kept(self, tmp_path, instance):
+        disk, key = populated_disk(tmp_path, instance)
+        disk.max_bytes = 1
+        disk._evict_to_budget(keep=f"{key}.pkl")
+        assert key in disk
+
+    def test_invalid_budget_rejected(self, tmp_path):
+        with pytest.raises(ServiceError):
+            DiskPrefixCache(tmp_path, max_bytes=0)
+
+
+class TestTieredPrefixCache:
+    def test_fetch_promotes_disk_hits_into_memory(self, tmp_path, instance):
+        graph, labeling = instance
+        disk, _ = populated_disk(tmp_path, instance)
+        tiered = TieredPrefixCache(SuperGraphCache(), DiskPrefixCache(tmp_path))
+        assert tiered.fetch(graph, labeling, n_theta=10) is not None
+        assert tiered.last_tier == "disk"
+        assert tiered.fetch(graph, labeling, n_theta=10) is not None
+        assert tiered.last_tier == "memory"
+
+    def test_full_miss_sets_no_tier(self, tmp_path, instance):
+        graph, labeling = instance
+        tiered = TieredPrefixCache(SuperGraphCache(), DiskPrefixCache(tmp_path))
+        assert tiered.fetch(graph, labeling, n_theta=10) is None
+        assert tiered.last_tier is None
+
+    def test_clear_drops_memory_but_not_disk(self, tmp_path, instance):
+        graph, labeling = instance
+        tiered = TieredPrefixCache(SuperGraphCache(), DiskPrefixCache(tmp_path))
+        mine(graph, labeling, n_theta=10, prefix_cache=tiered)
+        tiered.clear()
+        assert tiered.fetch(graph, labeling, n_theta=10) is not None
+        assert tiered.last_tier == "disk"
+
+    def test_counters_merge_both_tiers(self, tmp_path, instance):
+        graph, labeling = instance
+        tiered = TieredPrefixCache(SuperGraphCache(), DiskPrefixCache(tmp_path))
+        mine(graph, labeling, n_theta=10, prefix_cache=tiered)
+        counters = tiered.counters()
+        assert counters["misses"] == 1
+        assert counters["disk_misses"] == 1
+        assert counters["disk_writes"] == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_respawn_warm_results_identical(self, tmp_path, seed):
+        """A fresh process (new tiers, same dir) reuses the artifact."""
+        graph, labeling = random_discrete_instance(seed)
+        first = TieredPrefixCache(SuperGraphCache(), DiskPrefixCache(tmp_path))
+        cold = mine(graph, labeling, top_t=2, prefix_cache=first)
+        second = TieredPrefixCache(SuperGraphCache(), DiskPrefixCache(tmp_path))
+        warm = mine(graph, labeling, top_t=2, prefix_cache=second)
+        assert [s.vertices for s in warm.subgraphs] == [
+            s.vertices for s in cold.subgraphs
+        ]
+        assert second.disk.hits >= 1
+        assert second.memory.misses >= 1  # memory was cold; disk answered
+
+    def test_uncacheable_inputs_bypass_both_tiers(self, tmp_path):
+        from conftest import random_continuous_instance
+
+        graph, labeling = random_continuous_instance(1)
+        tiered = TieredPrefixCache(SuperGraphCache(), DiskPrefixCache(tmp_path))
+        mine(graph, labeling, edge_order="shuffled", prefix_cache=tiered)
+        assert len(tiered.memory) == 0
+        assert len(tiered.disk) == 0

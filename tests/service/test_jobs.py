@@ -13,8 +13,9 @@ import time
 import pytest
 
 from repro.exceptions import BackpressureError, ServiceError
-from repro.service.jobs import JobManager
+from repro.service.jobs import JobManager, _group_key
 from repro.service.protocol import validate_request
+from conftest import service_cache_dir_from_env
 
 pytestmark = pytest.mark.service
 
@@ -47,9 +48,32 @@ def wait_for(predicate, timeout=20.0, interval=0.05):
     pytest.fail("condition not reached within the timeout")
 
 
+def _slow_grouped_request():
+    """A cacheable request whose prefix construction takes ~1-2 seconds.
+
+    Unlike SLOW_REQUEST (naive method, group key None), this one groups:
+    the 5000-edge continuous instance keeps Algorithm 1/2 construction busy
+    long enough to SIGKILL the worker mid-job deterministically.
+    """
+    from repro.graph.generators import gnm_random_graph
+
+    graph = gnm_random_graph(500, 5000, seed=11)
+    return validate_request({
+        "graph": {"edges": [[u, v] for u, v in graph.edges()]},
+        "labels": {"type": "continuous",
+                   "scores": {str(v): [float(v % 7) - 3.0]
+                              for v in graph.vertices()}},
+    })
+
+
+SLOW_GROUPED_REQUEST = _slow_grouped_request()
+
+
 @pytest.fixture(scope="module")
 def manager():
-    with JobManager(workers=2, cache_size=8) as mgr:
+    with JobManager(
+        workers=2, cache_size=8, cache_dir=service_cache_dir_from_env()
+    ) as mgr:
         yield mgr
 
 
@@ -138,3 +162,90 @@ class TestCrashRecovery:
             job = mgr.submit(QUICK_REQUEST)
             assert job.wait(60)
             assert job.status == "done"
+
+    def test_dispatched_but_unstarted_job_survives_worker_death(self):
+        """Regression: a job sitting in a dead worker's private queue
+        (dispatched, never announced) used to leak in ``queued`` forever
+        with its queue slot held; it must be requeued and finish."""
+        with JobManager(workers=1, cache_size=8) as mgr:
+            warmup = mgr.submit(QUICK_REQUEST)
+            # Both slow jobs land in the backlog while the warmup runs,
+            # then dispatch to the single worker as one two-job batch.
+            first = mgr.submit(SLOW_GROUPED_REQUEST)
+            second = mgr.submit(SLOW_GROUPED_REQUEST, deadline_seconds=3.0)
+            assert first.group is not None
+            assert first.group == second.group
+            assert warmup.wait(60)
+            wait_for(lambda: first.status == "running")
+            # ``second`` is now dispatched (owned by the worker) but has
+            # never been announced.
+            os.kill(first.worker_pid, signal.SIGKILL)
+            assert first.wait(30)
+            assert first.status == "error"
+            assert "died" in first.error
+            # The leaked job is requeued onto the respawned worker and
+            # reaches a terminal state: done if the replacement finishes it
+            # inside the deadline, timeout otherwise — never a stuck
+            # ``queued`` and never an error from the dead worker.
+            assert second.wait(30)
+            assert second.status in ("done", "timeout")
+            assert mgr.stats()["workers_respawned"] >= 1
+            assert mgr.stats()["jobs_in_flight"] == 0
+
+
+class TestShutdown:
+    def test_close_fails_queued_and_running_jobs(self):
+        """Regression: ``close()`` used to leave backlogged jobs in
+        ``queued`` forever, hanging any ``Job.wait()`` caller."""
+        mgr = JobManager(workers=1, cache_size=8)
+        try:
+            running = mgr.submit(SLOW_REQUEST)
+            wait_for(lambda: running.status == "running")
+            queued = [mgr.submit(QUICK_REQUEST) for _ in range(3)]
+        finally:
+            mgr.close(timeout=1.0)
+        for job in (running, *queued):
+            assert job.wait(0.1)  # already terminal, never hangs
+            assert job.status == "error"
+            assert "shutting down" in job.error
+        with pytest.raises(ServiceError):
+            mgr.submit(QUICK_REQUEST)
+
+
+class TestBatching:
+    def test_group_keys(self):
+        assert _group_key(QUICK_REQUEST) is not None
+        assert _group_key(QUICK_REQUEST) == _group_key(dict(QUICK_REQUEST))
+        assert _group_key(SLOW_REQUEST) is None  # naive method never groups
+        shuffled = validate_request({
+            "graph": {"edges": [[0, 1]]},
+            "labels": {"type": "continuous",
+                       "scores": {"0": [1.0], "1": [2.0]}},
+            "params": {"edge_order": "shuffled"},
+        })
+        assert _group_key(shuffled) is None  # not reproducible, no seed
+        other_n = dict(QUICK_REQUEST,
+                       params=dict(QUICK_REQUEST["params"], n_theta=7))
+        assert _group_key(other_n) != _group_key(QUICK_REQUEST)
+
+    def test_grouped_jobs_batch_to_one_worker_with_identical_results(self):
+        with JobManager(workers=1, cache_size=8) as mgr:
+            jobs = [mgr.submit(QUICK_REQUEST) for _ in range(4)]
+            for job in jobs:
+                assert job.wait(60)
+                assert job.status == "done"
+            results = [job.result["subgraphs"] for job in jobs]
+            assert all(r == results[0] for r in results)
+            stats = mgr.stats()["batch"]
+            # Job 1 dispatched alone (empty pool), jobs 2-4 as one batch.
+            assert stats["grouped_jobs"] >= 2
+            assert stats["dispatches"] >= 2
+            # Batched jobs carry their position on the service.job span.
+            attrs = [
+                record.get("attrs", {})
+                for job in jobs if job.trace_records
+                for record in job.trace_records
+                if record.get("name") == "service.job"
+            ]
+            sizes = [a["batch_size"] for a in attrs if "batch_size" in a]
+            assert max(sizes) >= 2

@@ -12,6 +12,7 @@ from repro.service.protocol import (
     DEFAULT_PARAMS,
     build_instance,
     result_to_payload,
+    validate_graph_document,
     validate_request,
 )
 
@@ -62,6 +63,59 @@ class TestValidateRequest:
     def test_invalid_documents_raise(self, doc):
         with pytest.raises(RequestValidationError):
             validate_request(doc)
+
+
+class TestGraphDigestRequests:
+    DIGEST = "ab" * 32
+
+    def test_digest_request_normalises_without_inline_instance(self):
+        request = validate_request(
+            {"graph_digest": self.DIGEST, "params": {"top_t": 2}}
+        )
+        assert request["graph_digest"] == self.DIGEST
+        assert request["graph"] is None
+        assert request["labels"] is None
+        assert request["params"]["top_t"] == 2
+
+    def test_inline_request_has_no_digest(self):
+        assert validate_request(dict(MINIMAL))["graph_digest"] is None
+
+    @pytest.mark.parametrize("doc", [
+        {"graph_digest": "nope"},                       # not 64-hex
+        {"graph_digest": "AB" * 32},                    # uppercase
+        {"graph_digest": "ab" * 31},                    # too short
+        {"graph_digest": 12345},
+        dict(MINIMAL, graph_digest="ab" * 32),          # digest + inline
+        {"graph_digest": "ab" * 32, "labels": MINIMAL["labels"]},
+        {"graph_digest": "ab" * 32, "vertex_type": "str"},
+    ])
+    def test_invalid_digest_documents_raise(self, doc):
+        with pytest.raises(RequestValidationError):
+            validate_request(doc)
+
+    def test_build_instance_rejects_digest_requests(self):
+        request = validate_request({"graph_digest": self.DIGEST})
+        with pytest.raises(RequestValidationError):
+            build_instance(request)
+
+
+class TestValidateGraphDocument:
+    def test_normalises_the_instance_trio(self):
+        doc = validate_graph_document(dict(MINIMAL))
+        assert doc["vertex_type"] == "int"
+        assert doc["graph"]["edges"] == MINIMAL["graph"]["edges"]
+
+    @pytest.mark.parametrize("doc", [
+        None,
+        {},
+        {"graph": MINIMAL["graph"]},                    # labels missing
+        dict(MINIMAL, params={"top_t": 1}),             # mine-only key
+        dict(MINIMAL, **{"async": True}),
+        dict(MINIMAL, graph={"edges": [[0]]}),
+    ])
+    def test_invalid_documents_raise(self, doc):
+        with pytest.raises(RequestValidationError):
+            validate_graph_document(doc)
 
 
 class TestBuildInstance:

@@ -1,0 +1,99 @@
+"""Unit tests for the content-addressed graph registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import RequestValidationError, ServiceError
+from repro.service.digest import graph_digest, labeling_digest
+from repro.service.registry import GraphRegistry
+
+DOCUMENT = {
+    "graph": {"edges": [[0, 1], [1, 2], [0, 2], [2, 3]]},
+    "labels": {"type": "discrete", "probabilities": [0.8, 0.2],
+               "assignment": {"0": 1, "1": 1, "2": 1, "3": 0}},
+    "vertex_type": "int",
+}
+
+
+@pytest.fixture
+def registry(tmp_path):
+    return GraphRegistry(tmp_path)
+
+
+class TestPut:
+    def test_put_then_resolve_roundtrip(self, registry):
+        summary = registry.put_document(DOCUMENT)
+        assert summary["created"] is True
+        assert summary["vertices"] == 4
+        assert summary["edges"] == 4
+        assert summary["labels_type"] == "discrete"
+        resolved = registry.resolve(summary["graph_digest"])
+        assert resolved.graph.num_vertices == 4
+        assert resolved.labeling.label_of(0) == 1
+        # The stored component digests match a from-scratch hash.
+        assert resolved.graph_key == graph_digest(resolved.graph)
+        assert resolved.labeling_key == labeling_digest(resolved.labeling)
+
+    def test_duplicate_upload_is_idempotent(self, registry):
+        first = registry.put_document(DOCUMENT)
+        again = registry.put_document(json.loads(json.dumps(DOCUMENT)))
+        assert again["graph_digest"] == first["graph_digest"]
+        assert again["created"] is False
+        assert len(registry) == 1
+
+    def test_digest_ignores_edge_order(self, registry):
+        reordered = dict(DOCUMENT, graph={
+            "edges": [[2, 3], [0, 2], [2, 1], [1, 0]]
+        })
+        a = registry.put_document(DOCUMENT)["graph_digest"]
+        b = registry.put_document(reordered)["graph_digest"]
+        assert a == b
+
+    def test_invalid_documents_raise(self, registry):
+        for doc in (
+            None,
+            {},
+            {"graph": DOCUMENT["graph"]},                    # labels missing
+            dict(DOCUMENT, extra=1),                         # unknown key
+            dict(DOCUMENT, **{"async": True}),               # mine-only key
+            dict(DOCUMENT, labels={"type": "nope"}),
+        ):
+            with pytest.raises(RequestValidationError):
+                registry.put_document(doc)
+
+
+class TestResolve:
+    def test_unknown_digest_raises(self, registry):
+        with pytest.raises(ServiceError, match="unknown graph digest"):
+            registry.resolve("0" * 64)
+        assert registry.contains("0" * 64) is False
+        assert registry.info("0" * 64) is None
+
+    def test_resolutions_are_memoised_by_identity(self, registry):
+        digest = registry.put_document(DOCUMENT)["graph_digest"]
+        first = registry.resolve(digest)
+        second = registry.resolve(digest)
+        # Same object: back-to-back grouped jobs share one instance, which
+        # keeps the prefix cache's identity-keyed memo hot.
+        assert first is second
+
+    def test_info_reports_metadata(self, registry):
+        digest = registry.put_document(DOCUMENT)["graph_digest"]
+        info = registry.info(digest)
+        assert info == {
+            "graph_digest": digest,
+            "vertices": 4,
+            "edges": 4,
+            "labels_type": "discrete",
+            "vertex_type": "int",
+        }
+
+    def test_torn_document_reads_as_absent(self, registry, tmp_path):
+        digest = registry.put_document(DOCUMENT)["graph_digest"]
+        (tmp_path / f"{digest}.json").write_text("{ torn")
+        assert registry.info(digest) is None
+        with pytest.raises(ServiceError):
+            registry.resolve(digest)

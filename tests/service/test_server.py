@@ -18,6 +18,7 @@ from repro.graph.graph import Graph
 from repro.labels.discrete import DiscreteLabeling
 from repro.service.protocol import result_to_payload
 from repro.service.server import MiningService
+from conftest import service_cache_dir_from_env
 
 pytestmark = pytest.mark.service
 
@@ -47,7 +48,10 @@ def http(method, url, doc=None, timeout=60):
 
 @pytest.fixture(scope="module")
 def service():
-    with MiningService(port=0, workers=2, cache_size=8) as svc:
+    with MiningService(
+        port=0, workers=2, cache_size=8,
+        cache_dir=service_cache_dir_from_env(),
+    ) as svc:
         host, port = svc.address
         yield f"http://{host}:{port}"
         # context manager stops the server and reaps the workers
@@ -158,6 +162,62 @@ class TestAsyncJobs:
         assert body["result"]["subgraphs"]
 
 
+class TestGraphRegistryEndpoints:
+    DOCUMENT = {
+        "graph": {"edges": EDGES},
+        "labels": REQUEST["labels"],
+        "vertex_type": "int",
+    }
+
+    def test_put_then_mine_by_digest_matches_inline(self, service):
+        status, body = http("PUT", service + "/graphs", self.DOCUMENT)
+        assert status in (200, 201)
+        digest = body["graph_digest"]
+        assert len(digest) == 64
+        assert body["vertices"] == 6
+
+        status, info = http("GET", f"{service}/graphs/{digest}")
+        assert status == 200
+        assert info["edges"] == len(EDGES)
+
+        by_digest = {"graph_digest": digest, "params": REQUEST["params"]}
+        status, digest_body = http("POST", service + "/mine", by_digest)
+        assert status == 200
+        status, inline_body = http("POST", service + "/mine", REQUEST)
+        assert status == 200
+        assert (digest_body["result"]["subgraphs"]
+                == inline_body["result"]["subgraphs"])
+
+    def test_repeat_upload_is_idempotent(self, service):
+        status1, first = http("PUT", service + "/graphs", self.DOCUMENT)
+        status2, second = http("PUT", service + "/graphs", self.DOCUMENT)
+        assert status2 == 200
+        assert second["created"] is False
+        assert second["graph_digest"] == first["graph_digest"]
+
+    def test_unknown_digest_fails_fast_with_404(self, service):
+        status, body = http(
+            "POST", service + "/mine",
+            {"graph_digest": "0" * 64, "params": {"top_t": 1}},
+        )
+        assert status == 404
+        assert "PUT /graphs" in body["error"]
+        assert http("GET", service + "/graphs/" + "0" * 64)[0] == 404
+
+    def test_invalid_upload_is_400(self, service):
+        for doc in (
+            {},
+            {"graph": {"edges": EDGES}},                   # labels missing
+            dict(self.DOCUMENT, params={"top_t": 1}),      # mine-only key
+        ):
+            status, body = http("PUT", service + "/graphs", doc)
+            assert status == 400, doc
+            assert "error" in body
+
+    def test_unknown_put_route_is_404(self, service):
+        assert http("PUT", service + "/nope", {})[0] == 404
+
+
 class TestHealth:
     def test_healthz_reports_pool(self, service):
         status, body = http("GET", service + "/healthz")
@@ -170,5 +230,20 @@ class TestHealth:
         assert status == 200
         for key in ("service.cache.hits", "service.cache.misses",
                     "service.cache.evictions", "service.workers_respawned",
-                    "service.jobs_in_flight", "service.workers_alive"):
+                    "service.jobs_in_flight", "service.workers_alive",
+                    "service.diskcache.hits", "service.diskcache.misses",
+                    "service.diskcache.writes", "service.batch.dispatches",
+                    "service.batch.grouped_jobs"):
             assert key in body["metrics"], key
+
+    def test_disk_tier_counters_move_when_cache_dir_is_set(self, tmp_path):
+        with MiningService(
+            port=0, workers=1, cache_size=8, cache_dir=str(tmp_path)
+        ) as svc:
+            host, port = svc.address
+            base = f"http://{host}:{port}"
+            status, body = http("POST", base + "/mine", REQUEST)
+            assert status == 200
+            status, body = http("GET", base + "/metricsz")
+            assert body["metrics"]["service.diskcache.writes"] >= 1
+            assert body["metrics"]["service.diskcache.misses"] >= 1
