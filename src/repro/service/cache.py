@@ -13,9 +13,12 @@ contract (the search suffix only reads them); the cache never copies, so a
 hit costs one digest plus an ``OrderedDict`` move.
 
 A miss costs exactly one digest too: the key computed by ``fetch`` is
-memoised against the identity (and mutation :attr:`~repro.graph.graph.
-Graph.version`) of its inputs, and the solver's follow-up ``store`` on the
-same inputs consumes the memo instead of re-hashing the whole instance.
+memoised against its input objects (held by strong reference and matched
+by identity plus mutation :attr:`~repro.graph.graph.Graph.version`), and
+the solver's follow-up ``store`` on the same inputs consumes the memo
+instead of re-hashing the whole instance.  Holding real references — not
+bare ``id()`` integers — means a memo can never alias a *different*
+instance that happens to reuse a freed object's address.
 ``prime`` seeds the same memo from an externally known key (the graph
 registry ships precomputed digests), so registry-resolved jobs skip
 instance hashing entirely.
@@ -88,9 +91,12 @@ class SuperGraphCache:
             )
         self.max_entries = max_entries
         self._entries: OrderedDict[str, CachedPrefixEntry] = OrderedDict()
-        # (id(graph), graph.version, id(labeling), n_theta, edge_order,
-        #  seed) -> key | None; a single slot — the solver's fetch/store
-        # pairs are strictly interleaved per round.
+        # (graph, labeling, (version, n_theta, edge_order, seed), key) —
+        # a single slot; the solver's fetch/store pairs are strictly
+        # interleaved per round.  The memo holds strong references and
+        # matches by identity, so a dead object's reused address can never
+        # resurrect another instance's key (it pins at most one
+        # graph+labeling until the next resolve, prime, or clear).
         self._key_memo: tuple | None = None
         self.hits = 0
         self.misses = 0
@@ -132,9 +138,7 @@ class SuperGraphCache:
         # A random.Random seed has no stable identity worth memoising.
         if seed is not None and not isinstance(seed, int):
             return None
-        return (
-            id(graph), graph.version, id(labeling), n_theta, edge_order, seed,
-        )
+        return (graph.version, n_theta, edge_order, seed)
 
     def resolve_key(
         self,
@@ -151,23 +155,34 @@ class SuperGraphCache:
         A ``fetch`` records the computed key; the ``store`` that follows
         the same miss passes ``consume=True`` to reuse it (and clear the
         slot), so one miss pays for exactly one content digest.  The memo
+        matches its inputs by object identity *while holding strong
+        references to them* — a same-shaped but distinct instance (even one
+        allocated at a freed object's address) always re-digests — and the
         signature includes the graph's mutation :attr:`~repro.graph.graph.
         Graph.version`, so the solver mutating its working graph between
-        top-t rounds can never resurrect a stale key.
+        top-t rounds can never resurrect a stale key either.
         """
         signature = self._memo_signature(
             graph, labeling, n_theta, edge_order, seed
         )
         memo = self._key_memo
-        if memo is not None and signature is not None and memo[0] == signature:
+        if (
+            memo is not None
+            and signature is not None
+            and memo[0] is graph
+            and memo[1] is labeling
+            and memo[2] == signature
+        ):
             if consume:
                 self._key_memo = None
-            return memo[1]
+            return memo[3]
         key = self.key_of(
             graph, labeling, n_theta=n_theta, edge_order=edge_order, seed=seed
         )
         if signature is not None:
-            self._key_memo = None if consume else (signature, key)
+            self._key_memo = (
+                None if consume else (graph, labeling, signature, key)
+            )
         return key
 
     def prime(
@@ -192,7 +207,7 @@ class SuperGraphCache:
             graph, labeling, n_theta, edge_order, seed
         )
         if signature is not None:
-            self._key_memo = (signature, key)
+            self._key_memo = (graph, labeling, signature, key)
 
     # -- digest-level primitives ----------------------------------------
     def get(self, key: str) -> CachedPrefixEntry | None:

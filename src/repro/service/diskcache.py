@@ -22,6 +22,17 @@ Design contract:
   are deleted until the directory fits ``max_bytes``; read hits refresh
   the file's mtime so hot entries survive.
 
+.. warning:: **Trust boundary.**  Artifacts are Python pickles, and
+   ``pickle.loads`` executes arbitrary code during deserialization — the
+   ``isinstance`` checks above run only *after* that.  Any principal with
+   write access to ``--cache-dir`` therefore gains code execution in every
+   worker that reads from it.  The cache directory must be writable only
+   by the service's own (mutually trusting) workers and replicas; the tier
+   enforces ``0o700`` permissions on the directories it creates, and
+   operators pointing replicas at shared storage must preserve that
+   restriction.
+
+
 :class:`TieredPrefixCache` composes the per-process
 :class:`~repro.service.cache.SuperGraphCache` over a shared
 :class:`DiskPrefixCache` into one object satisfying the solver's
@@ -92,8 +103,17 @@ class DiskPrefixCache:
             raise ServiceError(
                 f"cache max_bytes must be >= 1 or None, got {max_bytes}"
             )
+        # Artifacts are pickles (code execution on load), so the tier must
+        # not be writable by untrusted principals: every directory this
+        # cache creates is restricted to the owning user.  A pre-existing
+        # cache_dir is left as the operator configured it.
         self.root = Path(cache_dir) / "prefix"
-        self.root.mkdir(parents=True, exist_ok=True)
+        created = [
+            p for p in (self.root, *self.root.parents) if not p.exists()
+        ]
+        self.root.mkdir(parents=True, exist_ok=True)  # racing sibling is ok
+        for path in created:
+            os.chmod(path, 0o700)
         self.max_bytes = max_bytes
         self.hits = 0
         self.misses = 0

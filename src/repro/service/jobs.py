@@ -104,6 +104,13 @@ MAX_BATCH_SIZE = 8
 construct + reduce many times over, small enough that one hot prefix group
 cannot monopolise a worker while others idle."""
 
+GROUP_AFFINITY_MAX_WAIT_SECONDS = 2.0
+"""Backlog-head age beyond which a worker's warm-group preference is
+ignored.  Without this bound, a continuously arriving hot prefix group
+plus a small pool (e.g. ``workers=1``) could starve older jobs of other
+groups indefinitely while their deadlines expire in the queue; with it,
+FIFO order reasserts itself as soon as the head job has waited this long."""
+
 _MAX_DISPATCH_ATTEMPTS = 2
 """A job re-dispatched after this many worker deaths fails instead of
 being requeued again (it is probably what is killing the workers)."""
@@ -648,18 +655,30 @@ class JobManager:
 
         Prefers jobs matching the worker's last-dispatched group (its
         prefix cache is warm for them), else batches the head job with
-        every same-group job behind it.  Ungrouped jobs (``group=None``)
-        dispatch alone.  Bounded by :data:`MAX_BATCH_SIZE`.
+        every same-group job behind it.  Affinity is bounded by an aging
+        rule: once the backlog head has waited longer than
+        :data:`GROUP_AFFINITY_MAX_WAIT_SECONDS`, the head's group is served
+        regardless of preference, so a continuously hot group can never
+        starve older jobs.  Ungrouped jobs (``group=None``) dispatch alone.
+        Bounded by :data:`MAX_BATCH_SIZE`.
         """
         if not self._backlog:
             return []
+        head = self._backlog[0]
+        head_is_stale = (
+            head.group != preferred
+            and time.time() - head.submitted_at
+            > GROUP_AFFINITY_MAX_WAIT_SECONDS
+        )
         group: str | None = None
-        if preferred is not None and any(
-            job.group == preferred for job in self._backlog
+        if (
+            preferred is not None
+            and not head_is_stale
+            and any(job.group == preferred for job in self._backlog)
         ):
             group = preferred
         else:
-            group = self._backlog[0].group
+            group = head.group
             if group is None:
                 job = self._backlog.popleft()
                 return [job]

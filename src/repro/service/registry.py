@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import re
 import tempfile
 import threading
 from collections import OrderedDict
@@ -48,6 +49,11 @@ __all__ = ["GraphRegistry", "ResolvedInstance"]
 
 _FORMAT = "repro-graph/v1"
 _RESOLVE_LRU = 8
+_DIGEST_RE = re.compile(r"^[0-9a-f]{64}$")
+_REQUIRED_KEYS = (
+    "graph", "labels", "vertex_type", "graph_key", "labeling_key",
+    "vertices", "edges", "labels_type",
+)
 
 
 class ResolvedInstance:
@@ -89,11 +95,24 @@ class GraphRegistry:
 
     def __init__(self, root: str | Path) -> None:
         self.root = Path(root)
+        # The registry shares --cache-dir with the pickle-artifact disk
+        # tier, so directories it creates get the same owner-only
+        # restriction (see the trust note in repro.service.diskcache).
+        created = [
+            p for p in (self.root, *self.root.parents) if not p.exists()
+        ]
         self.root.mkdir(parents=True, exist_ok=True)
+        for path in created:
+            os.chmod(path, 0o700)
         self._lock = threading.Lock()
         self._resolved: OrderedDict[str, ResolvedInstance] = OrderedDict()
 
-    def _path(self, digest: str) -> Path:
+    def _path(self, digest: str) -> Path | None:
+        # Digests are sha256 hexdigests; anything else — in particular a
+        # crafted '../..' suffix from GET /graphs/<digest> — never touches
+        # the filesystem (defence against path traversal / file probing).
+        if not isinstance(digest, str) or not _DIGEST_RE.match(digest):
+            return None
         return self.root / f"{digest}.json"
 
     # -- write side ------------------------------------------------------
@@ -135,6 +154,8 @@ class GraphRegistry:
             "labels_type": normalised["labels"]["type"],
         }
         path = self._path(digest)
+        if path is None:  # pragma: no cover - _hash_lines is always 64-hex
+            raise ServiceError(f"malformed registry digest {digest!r}")
         created = not path.exists()
         if created:
             payload = json.dumps(record, sort_keys=True).encode("utf-8")
@@ -162,7 +183,8 @@ class GraphRegistry:
     # -- read side -------------------------------------------------------
     def contains(self, digest: str) -> bool:
         """Whether a document is registered under ``digest``."""
-        return self._path(digest).exists()
+        path = self._path(digest)
+        return path is not None and path.exists()
 
     def info(self, digest: str) -> dict[str, Any] | None:
         """Document metadata without materialising the instance, or None."""
@@ -178,18 +200,25 @@ class GraphRegistry:
         }
 
     def _load(self, digest: str) -> dict[str, Any] | None:
+        path = self._path(digest)
+        if path is None:
+            return None
         try:
-            raw = self._path(digest).read_text(encoding="utf-8")
+            raw = path.read_text(encoding="utf-8")
         except OSError:
             return None
         try:
             record = json.loads(raw)
             if record.get("format") != _FORMAT:
                 raise ValueError(record.get("format"))
+            missing = [k for k in _REQUIRED_KEYS if k not in record]
+            if missing:
+                raise ValueError(f"missing keys: {missing}")
             return record
         except (ValueError, AttributeError):
-            # A torn or foreign file is indistinguishable from absence —
-            # the caller re-uploads, exactly as for an unknown digest.
+            # A torn, foreign, or incomplete file is indistinguishable from
+            # absence — the caller re-uploads, exactly as for an unknown
+            # digest.
             return None
 
     def resolve(self, digest: str) -> ResolvedInstance:

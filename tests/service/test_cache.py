@@ -119,6 +119,34 @@ class TestKeyMemo:
         assert cache.fetch(graph, labeling, n_theta=20) is not None
         assert CountingCache.digest_calls == 0
 
+    def test_memo_never_aliases_a_dead_objects_address(self):
+        """Regression: the memo used to key on bare ``id()`` integers
+        without holding the objects, so a same-shaped instance allocated
+        at a freed object's reused address (and with an equal mutation
+        version — true for any two identically built graphs) could inherit
+        the previous instance's key and mine against the wrong cached
+        super-graph."""
+        poisoned = "f" * 64
+        cache = SuperGraphCache()
+
+        def fresh_pair():
+            graph = Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+            labeling = DiscreteLabeling((0.5, 0.5), {0: 0, 1: 1, 2: 0})
+            return graph, labeling
+
+        for _ in range(64):
+            graph, labeling = fresh_pair()
+            cache.prime(graph, labeling, n_theta=10, edge_order="input",
+                        seed=None, key=poisoned)
+            # Free in reverse allocation order so CPython's free lists hand
+            # the next identically built pair the exact same addresses.
+            del labeling
+            del graph
+            graph, labeling = fresh_pair()
+            # A distinct instance must never see the primed key, however
+            # its address happens to coincide with the dead object's.
+            assert cache.resolve_key(graph, labeling, n_theta=10) != poisoned
+
     def test_prime_with_none_marks_uncacheable(self, instance):
         graph, labeling = instance
         cache = CountingCache()

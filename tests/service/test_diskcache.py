@@ -103,6 +103,14 @@ class TestDiskPrefixCache:
         disk._evict_to_budget(keep=f"{key}.pkl")
         assert key in disk
 
+    def test_created_directories_are_private(self, tmp_path):
+        """Artifacts are pickles (code execution on load): directories the
+        tier creates must be writable only by the owning user."""
+        base = tmp_path / "fresh" / "cache"
+        cache = DiskPrefixCache(base)
+        assert base.stat().st_mode & 0o777 == 0o700
+        assert cache.root.stat().st_mode & 0o777 == 0o700
+
     def test_invalid_budget_rejected(self, tmp_path):
         with pytest.raises(ServiceError):
             DiskPrefixCache(tmp_path, max_bytes=0)

@@ -228,6 +228,38 @@ class TestBatching:
                        params=dict(QUICK_REQUEST["params"], n_theta=7))
         assert _group_key(other_n) != _group_key(QUICK_REQUEST)
 
+    def test_group_affinity_ages_out_for_a_starving_head(self):
+        """Regression: a worker's warm-group preference used to pull its
+        last-dispatched group from anywhere in the backlog with no bound,
+        so with ``workers=1`` a continuously arriving hot group starved
+        older jobs of other groups until their deadlines expired.  Once
+        the backlog head has waited past the aging bound, its group wins."""
+        from collections import deque
+
+        from repro.service.jobs import GROUP_AFFINITY_MAX_WAIT_SECONDS, Job
+
+        manager = JobManager.__new__(JobManager)  # no pool: pure queue test
+        now = time.time()
+
+        def load_backlog(head_age):
+            cold = Job(id="cold", request={}, submitted_at=now - head_age,
+                       group="cold")
+            hot = [
+                Job(id=f"hot{i}", request={}, submitted_at=now, group="hot")
+                for i in range(3)
+            ]
+            manager._backlog = deque([cold, *hot])
+
+        # Fresh head: affinity holds and the worker's hot group batches.
+        load_backlog(head_age=0.0)
+        batch = manager._take_batch_locked("hot")
+        assert [job.group for job in batch] == ["hot"] * 3
+        # Starving head: affinity is ignored and the head dispatches.
+        load_backlog(head_age=GROUP_AFFINITY_MAX_WAIT_SECONDS + 1.0)
+        batch = manager._take_batch_locked("hot")
+        assert [job.id for job in batch] == ["cold"]
+        assert [job.group for job in manager._backlog] == ["hot"] * 3
+
     def test_grouped_jobs_batch_to_one_worker_with_identical_results(self):
         with JobManager(workers=1, cache_size=8) as mgr:
             jobs = [mgr.submit(QUICK_REQUEST) for _ in range(4)]

@@ -97,3 +97,39 @@ class TestResolve:
         assert registry.info(digest) is None
         with pytest.raises(ServiceError):
             registry.resolve(digest)
+
+
+class TestDigestValidation:
+    def test_traversal_digest_cannot_escape_the_root(self, tmp_path):
+        """Regression: ``GET /graphs/<digest>`` fed the raw URL suffix to
+        the registry, which joined it into a filesystem path unchecked —
+        a digest like '../foreign' could probe for (and read) JSON files
+        outside the registry root."""
+        registry = GraphRegistry(tmp_path / "reg")
+        digest = registry.put_document(DOCUMENT)["graph_digest"]
+        record = (tmp_path / "reg" / f"{digest}.json").read_text()
+        (tmp_path / "foreign.json").write_text(record)
+        for evil in (
+            "../foreign", "../../foreign", digest.upper(),
+            digest[:-1], digest + "0", "", None,
+        ):
+            assert registry.contains(evil) is False
+            assert registry.info(evil) is None
+            with pytest.raises(ServiceError, match="unknown graph digest"):
+                registry.resolve(evil)
+        # The genuine digest keeps working.
+        assert registry.contains(digest) is True
+        assert registry.info(digest) is not None
+
+    def test_record_missing_fields_reads_as_absent(self, registry, tmp_path):
+        """Regression: a matching-format record missing 'vertices' raised
+        an uncaught KeyError out of info(); incomplete records now read as
+        absent, like torn ones."""
+        digest = registry.put_document(DOCUMENT)["graph_digest"]
+        path = tmp_path / f"{digest}.json"
+        record = json.loads(path.read_text())
+        del record["vertices"]
+        path.write_text(json.dumps(record))
+        assert registry.info(digest) is None
+        with pytest.raises(ServiceError, match="unknown graph digest"):
+            registry.resolve(digest)
