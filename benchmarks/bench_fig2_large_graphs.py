@@ -15,15 +15,21 @@ shrinks, the crossover the paper highlights.
 
 from __future__ import annotations
 
+import os
+import time
+
 import pytest
 
 from repro.datasets.snaplike import SNAP_SPECS, degree_zscore_labeling, snap_like_graph
 from repro.core.solver import mine
+from repro.telemetry import names as metric
+from repro.telemetry import telemetry_session
 
-from conftest import emit
+from conftest import emit, emit_bench_json
 
 SCALE = 200
 N_THETA = 20
+PARALLEL_SHARDS = 8
 
 _rows: list[list] = []
 
@@ -82,3 +88,49 @@ def test_fig2_report(benchmark):
     # The dense Orkut-like graph produces a relatively far smaller
     # super-graph than the sparse DBLP-like graph.
     assert orkut[3] / orkut[1] < 0.25 * (dblp[3] / dblp[1])
+
+
+def test_fig2_parallel_shards(benchmark):
+    """Sharded search on the heaviest Figure 2 regime (com-Orkut-like).
+
+    Always asserts the sharded pipeline mines the identical region; the
+    >=3x wall-clock bar only applies where 8 shards have 8 cores to run
+    on (a single-core CI host still proves correctness, just not speed).
+    """
+    graph = snap_like_graph("com-Orkut", scale=SCALE, seed=42)
+    labeling = degree_zscore_labeling(graph)
+
+    def timed(parallel):
+        with telemetry_session() as (_, metrics):
+            start = time.perf_counter()
+            result = mine(
+                graph, labeling, top_t=1, n_theta=N_THETA, parallel=parallel
+            )
+            wall = time.perf_counter() - start
+        snapshot = metrics.snapshot()
+        return result, wall, snapshot.get(metric.SEARCH_SHARDS, 0)
+
+    sequential, sequential_s, _ = benchmark.pedantic(
+        timed, args=(1,), rounds=1, iterations=1
+    )
+    sharded, sharded_s, shards = timed(PARALLEL_SHARDS)
+    assert sharded.best.vertices == sequential.best.vertices
+    assert sharded.best.chi_square == pytest.approx(
+        sequential.best.chi_square, rel=1e-9
+    )
+    assert shards >= PARALLEL_SHARDS
+    emit_bench_json("fig2_parallel_shards", [{
+        "regime": f"com-Orkut scale=1/{SCALE}",
+        "prune": "none",
+        "wall_seconds": {
+            "sequential": sequential_s,
+            f"parallel_{PARALLEL_SHARDS}": sharded_s,
+        },
+        "states": {"sequential": sequential.report.explored_subgraphs,
+                   "sharded": sharded.report.explored_subgraphs},
+        "shards": shards,
+        "speedup": sequential_s / sharded_s,
+        "cpu_count": os.cpu_count(),
+    }])
+    if (os.cpu_count() or 1) >= PARALLEL_SHARDS:
+        assert sequential_s / sharded_s >= 3.0

@@ -29,7 +29,7 @@ from repro.labels.discrete import DiscreteLabeling
 from repro.telemetry import telemetry_session
 from repro.telemetry import names as metric
 
-from conftest import emit
+from conftest import emit, emit_bench_json
 
 DYADIC_PROBS = (0.5, 0.25, 0.25)
 # Raw-search regimes: the bench_ablation_bounds naive shape plus two
@@ -67,6 +67,7 @@ def _timed_search(adjacency, acc, *, prune, backend):
 
 def test_raw_search_backends():
     rows = []
+    records = []
     for n, m in RAW_REGIMES:
         adjacency, acc = _raw_instance(n, m)
         for prune in ("none", "bounds"):
@@ -76,8 +77,13 @@ def test_raw_search_backends():
             numpy_, numpy_s = _timed_search(
                 adjacency, acc, prune=prune, backend="numpy"
             )
+            auto, auto_s = _timed_search(
+                adjacency, acc, prune=prune, backend="auto"
+            )
             assert numpy_.mask == python.mask
             assert numpy_.chi_square == python.chi_square  # dyadic probs
+            assert auto.mask == python.mask
+            assert auto.chi_square == python.chi_square
             if prune == "none":
                 assert numpy_ == python  # full outcome, counters included
             rows.append(
@@ -86,11 +92,21 @@ def test_raw_search_backends():
                     prune,
                     round(python_s * 1000, 2),
                     round(numpy_s * 1000, 2),
+                    round(auto_s * 1000, 2),
                     python.explored,
                     numpy_.explored,
                     round(python_s / numpy_s, 1),
                 ]
             )
+            records.append({
+                "regime": f"gnm({n},{m})",
+                "prune": prune,
+                "wall_seconds": {
+                    "python": python_s, "numpy": numpy_s, "auto": auto_s,
+                },
+                "states": {"python": python.explored, "numpy": numpy_.explored},
+                "shards": 0,
+            })
     emit(
         "kernel_backends_raw",
         f"Search backends on raw graphs (max_size={RAW_MAX_SIZE}, "
@@ -100,12 +116,14 @@ def test_raw_search_backends():
             "prune",
             "python ms",
             "numpy ms",
+            "auto ms",
             "python states",
             "numpy states",
             "speedup",
         ],
         rows,
     )
+    emit_bench_json("raw_search_backends", records)
     # Acceptance bar: an order-of-magnitude wall-time drop on at least
     # the largest regime under prune="none" (identical state family).
     largest_none = [r for r in rows if r[0] == "gnm(36,54)" and r[1] == "none"]
@@ -116,11 +134,12 @@ def test_pipeline_backends():
     g = gnm_random_graph(SUPER_N, SUPER_M, seed=11)
     lab = DiscreteLabeling.random(g, DYADIC_PROBS, seed=12)
     rows = []
+    records = []
     for prune in ("none", "bounds"):
         timings = {}
         states = {}
         best = {}
-        for backend in ("python", "numpy"):
+        for backend in ("python", "numpy", "auto"):
             wall = float("inf")
             for _ in range(REPEATS):
                 with telemetry_session() as (_, metrics):
@@ -135,21 +154,38 @@ def test_pipeline_backends():
             timings[backend] = wall
             best[backend] = result.best
         assert best["numpy"].vertices == best["python"].vertices
+        assert best["auto"].vertices == best["python"].vertices
+        if prune == "bounds":
+            # The regression backend="auto" exists to kill: on the small
+            # bounds-pruned reduced super-graph the kernel's batch setup
+            # used to cost ~0.6x of python's total; auto must pick the
+            # python walk there and stay within timing noise of it.
+            assert timings["auto"] <= timings["python"] * 1.5
         rows.append(
             [
                 prune,
                 round(timings["python"] * 1000, 2),
                 round(timings["numpy"] * 1000, 2),
+                round(timings["auto"] * 1000, 2),
                 states["python"],
                 states["numpy"],
                 round(timings["python"] / timings["numpy"], 1),
             ]
         )
+        records.append({
+            "regime": f"pipeline gnm({SUPER_N},{SUPER_M}) n_theta={N_THETA}",
+            "prune": prune,
+            "wall_seconds": dict(timings),
+            "states": dict(states),
+            "shards": 0,
+        })
     emit(
         "kernel_backends_pipeline",
         f"mine() backends on the reduced super-graph "
         f"(n={SUPER_N}, m={SUPER_M}, N_theta={N_THETA}, "
         f"min of {REPEATS} runs)",
-        ["prune", "python ms", "numpy ms", "python states", "numpy states", "speedup"],
+        ["prune", "python ms", "numpy ms", "auto ms",
+         "python states", "numpy states", "speedup"],
         rows,
     )
+    emit_bench_json("pipeline_backends", records)

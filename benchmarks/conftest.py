@@ -14,6 +14,7 @@ plus pipeline metrics) next to the CSV results as
 
 from __future__ import annotations
 
+import json
 import os
 import re
 from pathlib import Path
@@ -25,12 +26,34 @@ from repro.telemetry import telemetry_session
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
+BENCH_SEARCH_JSON = RESULTS_DIR / "BENCH_search.json"
+
 
 def emit(name: str, title: str, headers, rows) -> None:
     """Print a paper-table-analogue and persist it as CSV."""
     table = format_table(headers, rows, title=title)
     print("\n" + table + "\n")
     write_csv(RESULTS_DIR / f"{name}.csv", headers, rows)
+
+
+def emit_bench_json(section: str, payload) -> None:
+    """Merge one benchmark's machine-readable results into BENCH_search.json.
+
+    Each benchmark module owns a named section (wall times, state counts,
+    shard counts per regime) so partial runs update only their own slice;
+    the file accumulates across modules instead of being clobbered.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    try:
+        doc = json.loads(BENCH_SEARCH_JSON.read_text())
+        if not isinstance(doc, dict):
+            doc = {}
+    except (OSError, ValueError):
+        doc = {}
+    doc[section] = payload
+    BENCH_SEARCH_JSON.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    )
 
 
 @pytest.fixture(scope="session")

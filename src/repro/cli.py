@@ -147,6 +147,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 polish=args.polish,
                 prune=args.prune,
                 backend=args.backend,
+                parallel=args.jobs,
                 progress=progress,
             )
         finally:
@@ -181,6 +182,7 @@ def _cmd_mine(args: argparse.Namespace) -> int:
             "report": {
                 "prune": args.prune,
                 "backend": args.backend,
+                "jobs": args.jobs,
                 "num_vertices": report.num_vertices,
                 "num_edges": report.num_edges,
                 "supergraph_vertices": report.supergraph_vertices,
@@ -258,6 +260,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         trace_dir=args.trace_dir,
         cache_dir=args.cache_dir,
         cache_bytes=args.cache_bytes,
+        core_budget=args.core_budget,
     )
     host, port = service.address
     tier = f", disk cache {args.cache_dir}" if args.cache_dir else ""
@@ -468,10 +471,17 @@ def build_parser() -> argparse.ArgumentParser:
         "(admissible bounds; identical optima, fewer states)",
     )
     mine_cmd.add_argument(
-        "--backend", choices=("python", "numpy"), default="python",
-        help="search backend: the reference python DFS or the vectorized "
-        "numpy batch kernel (identical results, much faster; falls back "
-        "to python above 64 vertices)",
+        "--backend", choices=("python", "numpy", "auto"), default="auto",
+        help="search backend: the reference python DFS, the vectorized "
+        "numpy batch kernel (identical results, much faster), or "
+        "per-instance auto-selection (default: the kernel except on "
+        "small bounds-pruned instances where batching overhead wins; "
+        "always falls back to python above 64 vertices)",
+    )
+    mine_cmd.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="shard each exhaustive search across N worker processes "
+        "with a shared incumbent bound (identical results; 1 = in-process)",
     )
     mine_cmd.add_argument("--json", action="store_true", help="JSON output")
     mine_cmd.add_argument(
@@ -564,6 +574,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-bytes", type=int, default=None, metavar="BYTES",
         help="byte budget for the on-disk prefix cache before LRU eviction "
         "(default: 512 MiB; only meaningful with --cache-dir)",
+    )
+    serve.add_argument(
+        "--core-budget", type=int, default=None, metavar="CORES",
+        help="total cores the pool may schedule across search shards: "
+        "each job's params.parallel is clamped to core-budget // workers "
+        "(default: the machine's core count)",
     )
     serve.add_argument(
         "--access-log", action="store_true",

@@ -126,6 +126,7 @@ def mine(
     polish: bool = False,
     prune: str = "none",
     backend: str = "python",
+    parallel: int = 1,
     check_abort: Callable[[], bool] | None = None,
     prefix_cache: PrefixCache | None = None,
     progress: ProgressCallback | None = None,
@@ -170,8 +171,19 @@ def mine(
         Search backend: ``"python"`` — the reference DFS; ``"numpy"`` —
         the vectorized batch kernel with block-cut decomposition
         (:mod:`repro.enumerate.kernel`), identical results, much faster
-        on reduced super-graphs.  Graphs above the kernel's 64-vertex
-        limit fall back to the python walk automatically.
+        on reduced super-graphs; ``"auto"`` — pick per search instance
+        (the python walk for small bounds-pruned instances where kernel
+        batching overhead dominates, the kernel otherwise).  Graphs
+        above the kernel's 64-vertex limit fall back to the python walk
+        automatically.
+    parallel:
+        Number of search shards per exhaustive search call.  ``1`` (the
+        default) keeps every search in-process; ``N > 1`` shards each
+        search across a pool of worker processes with a shared incumbent
+        bound (:mod:`repro.enumerate.parallel`), returning bit-identical
+        ``SearchOutcome`` results.  Searches that cannot be sharded
+        (``search_limit`` budgets, tiny graphs) silently run
+        sequentially.
     check_abort:
         Cooperative-cancellation callback, polled between TSSS rounds and
         every few hundred states inside the exhaustive search; when it
@@ -202,8 +214,10 @@ def mine(
         raise GraphError(f"min_size must be >= 1, got {min_size}")
     if prune not in ("none", "bounds"):
         raise GraphError(f"unknown prune mode {prune!r}")
-    if backend not in ("python", "numpy"):
+    if backend not in ("python", "numpy", "auto"):
         raise GraphError(f"unknown search backend {backend!r}")
+    if parallel < 1:
+        raise GraphError(f"parallel must be >= 1, got {parallel}")
     labeling.validate_covers(graph)
 
     report = PipelineReport(
@@ -254,6 +268,7 @@ def mine(
                         min_size=min_size,
                         prune=prune,
                         backend=backend,
+                        parallel=parallel,
                         check_abort=check_abort,
                         prefix_cache=prefix_cache,
                         progress=aggregator,
@@ -305,6 +320,7 @@ def _mine_one(
     min_size: int,
     prune: str,
     backend: str = "python",
+    parallel: int = 1,
     check_abort: Callable[[], bool] | None = None,
     prefix_cache: PrefixCache | None = None,
     progress: ProgressAggregator | None = None,
@@ -384,10 +400,12 @@ def _mine_one(
                 )
 
     explored_before = report.explored_subgraphs
-    with tracer.span("solver.search", prune=prune, backend=backend) as span:
+    with tracer.span(
+        "solver.search", prune=prune, backend=backend, parallel=parallel
+    ) as span:
         region = _search_supergraph(
             supergraph, labeling, search_limit=search_limit, min_size=min_size,
-            report=report, prune=prune, backend=backend,
+            report=report, prune=prune, backend=backend, parallel=parallel,
             check_abort=check_abort, progress=progress,
         )
         # Per-round delta, not the running total, so top-t traces show what
@@ -422,6 +440,7 @@ def _search_supergraph(
     report: PipelineReport,
     prune: str = "none",
     backend: str = "python",
+    parallel: int = 1,
     check_abort: Callable[[], bool] | None = None,
     progress: ProgressAggregator | None = None,
 ) -> SignificantSubgraph | None:
@@ -442,7 +461,8 @@ def _search_supergraph(
 
     outcome = exhaustive_best_mask(
         bitset.adjacency, accumulator, limit=search_limit, prune=prune,
-        backend=backend, check_abort=check_abort, progress=progress,
+        backend=backend, parallel=parallel, check_abort=check_abort,
+        progress=progress,
     )
     # Each search call emits per-call cumulative snapshots; banking the
     # finished call keeps the aggregator's totals monotone across calls.
@@ -469,7 +489,8 @@ def _search_supergraph(
             outcome = exhaustive_best_mask(
                 bitset.adjacency, accumulator, min_size=floor,
                 limit=search_limit, prune=prune, backend=backend,
-                check_abort=check_abort, progress=progress,
+                parallel=parallel, check_abort=check_abort,
+                progress=progress,
             )
             if progress is not None:
                 progress.finish_call()

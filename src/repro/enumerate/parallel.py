@@ -1,0 +1,777 @@
+"""Intra-call parallel branch-and-bound: sharded search, shared incumbent.
+
+One ``exhaustive_best_mask`` call saturates one core; this module shards
+the walk across a spawn-context process pool so a single heavy search
+saturates the machine.  The sharding unit is a *task frame* — an
+unconsidered state ``(subset, size, ext, fb)`` exactly as the sequential
+walk would create it:
+
+1. **Block-cut plan.**  The same plan the numpy kernel uses
+   (:func:`repro.enumerate.kernel._build_plan`, Lemma 2's biconnectivity
+   argument) yields rooted/unrooted region entries that partition the
+   connected subsets of the graph.  Each entry expands into the walk's
+   min-root seed frames, with the region restriction folded into ``fb``
+   so shards run on the full adjacency.
+2. **Sibling-chain splits.**  A dominating frame is split along its
+   sibling chain: one child task per extension candidate plus a residual
+   frame carrying the parent's own state.  That is an exact partition of
+   the frame's subtree, so splitting only rebalances — the union of task
+   families stays the sequential state family.  Tasks are split until
+   there are ~4 per pool slot (heaviest first, subtree-size weights),
+   then enqueued heaviest-first on one shared queue — a fast slot simply
+   keeps pulling, which *is* the work stealing (a steal = a task executed
+   by a slot other than its balanced-assignment owner).
+3. **Shared incumbent.**  Under ``prune="bounds"`` the pool shares an
+   atomic best-score cell: shards publish every local improvement and
+   re-read it at their existing abort-poll sites (per 256 states in the
+   python walk, per chunk in the kernel), so one shard's solution
+   tightens the admissible cuts everywhere.  Thresholds only ever carry
+   statistics of real solutions and pruning stays strict, so global
+   optima — exact ties included — survive in their home shard, and the
+   canonical smallest-mask tie-break makes the merged optimum equal to
+   the sequential one.
+
+Under ``prune="none"`` every counter of :class:`~repro.enumerate.search.
+SearchOutcome` is a function of the visited set family, so per-shard
+counters *sum* exactly to the sequential counters — full-outcome
+equality, property-tested across both backends.  Under bounds, cut
+accounting depends on incumbent timing (schedule-dependent), but the
+optimum is identical.
+
+Pools persist per shard-count for the process lifetime (spawn costs
+dwarf small searches); calls are serialized per pool and guarded by an
+epoch so stale tasks/results/publishes from an aborted call can never
+leak into the next.  A shard death (crash, SIGKILL) aborts the call with
+:class:`~repro.exceptions.ParallelExecutionError` and rebuilds the pool
+from scratch — no partial state ever reaches a ``SearchOutcome``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import heapq
+import multiprocessing as _mp
+import queue as _queue
+import threading
+import time
+from collections.abc import Callable, Sequence
+
+from repro.exceptions import ParallelExecutionError, SearchAbortedError
+from repro.enumerate.accumulators import (
+    ChiSquareAccumulator,
+    ContinuousAccumulator,
+    DiscreteAccumulator,
+)
+from repro.enumerate.bitset import iter_bits
+from repro.telemetry import TELEMETRY as _TELEMETRY
+from repro.telemetry import names as _metric
+from repro.telemetry.progress import ProgressCallback, SearchProgress
+
+__all__ = [
+    "MAX_PARALLEL_JOBS",
+    "SHARD_TASK_FACTOR",
+    "parallel_best_mask",
+    "shutdown_pools",
+]
+
+MAX_PARALLEL_JOBS = 16
+"""Upper bound on pool slots per call; larger ``parallel`` values clamp."""
+
+SHARD_TASK_FACTOR = 4
+"""Target tasks per pool slot: enough backlog that a fast slot keeps
+stealing from a slow one's share, few enough that per-task IPC noise
+stays negligible."""
+
+MAX_SHARD_TASKS = 256
+"""Hard cap on tasks per call regardless of pool width."""
+
+_RESULT_POLL_SECONDS = 0.05
+"""Parent-side result poll: bounds caller ``check_abort`` latency and
+dead-shard detection latency while the shards grind."""
+
+_SPLIT_WEIGHT_CAP = 512
+"""Exponent clamp for subtree-size weights (2**k); keeps floats finite."""
+
+
+# ----------------------------------------------------------------------
+# Task frames: seeding, splitting, balancing
+# ----------------------------------------------------------------------
+def _initial_frames(
+    adjacency: Sequence[int], n: int
+) -> list[tuple[int, int, int, int]]:
+    """The sequential walk's seed frames, one per plan-entry root.
+
+    Region restrictions are encoded entirely in ``fb`` (every non-region
+    vertex is forbidden), so the frames run against the full adjacency —
+    which is what lets one shard process execute frames from different
+    plan regions with one adjacency copy.
+    """
+    from repro.enumerate.kernel import _build_plan
+
+    full = (1 << n) - 1
+    frames: list[tuple[int, int, int, int]] = []
+    for region, root in _build_plan(adjacency, n, True):
+        blocked = ~region & full
+        if root is None:
+            for v in iter_bits(region):
+                frames.append((
+                    1 << v,
+                    1,
+                    adjacency[v] & region & ~((1 << (v + 1)) - 1),
+                    ((1 << v) - 1) | blocked,
+                ))
+        else:
+            frames.append((
+                1 << root,
+                1,
+                adjacency[root] & region & ~(1 << root),
+                blocked,
+            ))
+    return frames
+
+
+def _frame_weight(
+    adjacency: Sequence[int], frame: tuple[int, int, int, int], size_cap: int
+) -> float:
+    """Upper-bound estimate of a frame's subtree size (for balancing).
+
+    ``2 ** min(|closure|, depth budget)`` — the number of subsets of the
+    reachable extension closure, capped by the remaining size budget.
+    Only relative order matters, so the crude bound is fine.
+    """
+    from repro.enumerate.search import _reachable_closure
+
+    subset, size, ext, fb = frame
+    if not ext or size >= size_cap:
+        return 1.0
+    closure = _reachable_closure(adjacency, ext, subset | fb)
+    exponent = min(closure.bit_count(), size_cap - size, _SPLIT_WEIGHT_CAP)
+    return 2.0 ** exponent
+
+
+def _split_frame(
+    adjacency: Sequence[int], frame: tuple[int, int, int, int]
+) -> list[tuple[int, int, int, int]]:
+    """Partition a frame's subtree into child tasks plus a residual.
+
+    Walks the sibling chain the sequential DFS would unroll: each
+    extension candidate ``u`` becomes the unconsidered child state the
+    walk creates for it, and the residual ``(subset, size, 0, fb')``
+    carries the parent state's own consider + exhausted-frontier frame.
+    The union of the returned frames' families is exactly the input
+    frame's family (each state lands in exactly one piece).
+    """
+    subset, size, ext, fb = frame
+    pieces: list[tuple[int, int, int, int]] = []
+    cur_ext = ext
+    cur_fb = fb
+    while cur_ext:
+        u_bit = cur_ext & -cur_ext
+        u = u_bit.bit_length() - 1
+        rest = cur_ext ^ u_bit
+        child_subset = subset | u_bit
+        child_ext = rest | (adjacency[u] & ~(child_subset | cur_fb | rest))
+        pieces.append((child_subset, size + 1, child_ext, cur_fb))
+        cur_ext = rest
+        cur_fb |= u_bit
+    pieces.append((subset, size, 0, cur_fb))
+    return pieces
+
+
+def _build_tasks(
+    adjacency: Sequence[int],
+    frames: list[tuple[int, int, int, int]],
+    size_cap: int,
+    jobs: int,
+) -> list[tuple[float, tuple[int, int, int, int]]]:
+    """Split the heaviest frames until there is enough backlog to balance.
+
+    Returns ``(weight, frame)`` pairs sorted heaviest-first (the shared
+    queue order).  Splitting stops at the task target, at the hard cap,
+    or when the heaviest remaining frame is a leaf (splitting lighter
+    frames cannot improve balance once the heaviest dominates).
+    """
+    target = min(MAX_SHARD_TASKS, max(jobs * SHARD_TASK_FACTOR, jobs))
+    heap: list[tuple[float, int, tuple[int, int, int, int]]] = []
+    counter = 0
+    for frame in frames:
+        heap.append((-_frame_weight(adjacency, frame, size_cap), counter, frame))
+        counter += 1
+    heapq.heapify(heap)
+    while len(heap) < target:
+        neg_weight, _, frame = heapq.heappop(heap)
+        subset, size, ext, fb = frame
+        if not ext or size >= size_cap:
+            # The heaviest task is unsplittable; push it back and stop.
+            heapq.heappush(heap, (neg_weight, counter, frame))
+            counter += 1
+            break
+        for piece in _split_frame(adjacency, frame):
+            heapq.heappush(
+                heap,
+                (-_frame_weight(adjacency, piece, size_cap), counter, piece),
+            )
+            counter += 1
+    tasks = [(-neg_weight, frame) for neg_weight, _, frame in heap]
+    tasks.sort(key=lambda item: -item[0])
+    return tasks
+
+
+def _assign_owners(weights: Sequence[float], jobs: int) -> list[int]:
+    """Balanced (LPT) owner slot per task, heaviest-first greedy."""
+    loads = [(0.0, slot) for slot in range(jobs)]
+    heapq.heapify(loads)
+    owners: list[int] = []
+    for weight in weights:
+        load, slot = heapq.heappop(loads)
+        owners.append(slot)
+        heapq.heappush(loads, (load + weight, slot))
+    return owners
+
+
+# ----------------------------------------------------------------------
+# Accumulator wire format
+# ----------------------------------------------------------------------
+def _accumulator_spec(accumulator: ChiSquareAccumulator):
+    """Reduce a bundled accumulator to a picklable ``(kind, args)`` spec."""
+    if isinstance(accumulator, DiscreteAccumulator):
+        return ("discrete", (accumulator.probabilities, accumulator.payloads))
+    if isinstance(accumulator, ContinuousAccumulator):
+        return ("continuous", (accumulator.payloads,))
+    raise TypeError(
+        f"cannot shard {type(accumulator).__name__} payloads across "
+        "processes; only the bundled accumulator types are parallelizable"
+    )
+
+
+def _build_accumulator(spec) -> ChiSquareAccumulator:
+    """Reconstruct a fresh (empty) accumulator from its wire spec."""
+    kind, args = spec
+    if kind == "discrete":
+        return DiscreteAccumulator(*args)
+    return ContinuousAccumulator(*args)
+
+
+# ----------------------------------------------------------------------
+# Shard-side execution
+# ----------------------------------------------------------------------
+class _SharedIncumbent:
+    """Shard-side view of the cross-shard best-score cell.
+
+    ``refresh`` returns the global incumbent value; ``publish`` folds a
+    local improvement in (max semantics under the cell lock) and reports
+    whether it moved the cell.  Publishes are epoch-guarded so a shard
+    finishing a stale task cannot pollute the next call's bound.
+    """
+
+    __slots__ = ("_best", "_epoch_cell", "_epoch", "_broadcasts")
+
+    def __init__(self, best, epoch_cell, epoch: int, broadcasts) -> None:
+        self._best = best
+        self._epoch_cell = epoch_cell
+        self._epoch = epoch
+        self._broadcasts = broadcasts
+
+    def refresh(self) -> float:
+        with self._best.get_lock():
+            return self._best.value
+
+    def publish(self, value: float) -> bool:
+        with self._best.get_lock():
+            if self._epoch_cell.value != self._epoch:
+                return False
+            if value > self._best.value:
+                self._best.value = value
+                with self._broadcasts.get_lock():
+                    self._broadcasts.value += 1
+                return True
+        return False
+
+
+def _run_task(message, best, abort, epoch_cell, broadcasts):
+    """Execute one task frame inside a shard process."""
+    spec = message["spec"]
+    epoch = message["epoch"]
+    adjacency = spec["adjacency"]
+    accumulator = _build_accumulator(spec["accumulator"])
+
+    def check_abort() -> bool:
+        return abort.value != 0 or epoch_cell.value != epoch
+
+    incumbent = None
+    if spec["prune"] == "bounds":
+        incumbent = _SharedIncumbent(best, epoch_cell, epoch, broadcasts)
+    kwargs = dict(
+        min_size=spec["min_size"],
+        size_cap=spec["size_cap"],
+        prune=spec["prune"],
+        seed_value=spec["seed_value"],
+        check_abort=check_abort,
+        incumbent=incumbent,
+    )
+    if spec["backend"] == "numpy":
+        from repro.enumerate.kernel import kernel_run_frames
+
+        result = kernel_run_frames(
+            adjacency, accumulator, [message["frame"]], **kwargs
+        )
+    else:
+        from repro.enumerate.search import run_frames
+
+        result = run_frames(
+            adjacency, accumulator, [message["frame"]], **kwargs
+        )
+    return {
+        "kind": "done",
+        "epoch": epoch,
+        "task_id": message["task_id"],
+        "owner": message["owner"],
+        "best_mask": result.best_mask,
+        "best_value": result.best_value,
+        "explored": result.explored,
+        "pruned_size_cap": result.pruned_size_cap,
+        "frontier_exhausted": result.frontier_exhausted,
+        "evaluated": result.evaluated,
+        "bound_cuts": result.bound_cuts,
+        "bound_evaluations": result.bound_evaluations,
+        "best_updates": result.best_updates,
+        "kernel_batches": result.kernel_batches,
+        "incumbent_broadcasts": result.incumbent_broadcasts,
+    }
+
+
+def _shard_main(slot, tasks, results, best, abort, epoch_cell, broadcasts):
+    """Shard process main loop: pull tasks, run, report.
+
+    Tasks from a superseded epoch are skipped silently (their call
+    already ended); ``None`` is the shutdown sentinel.  The idle loop
+    also watches the parent process: if it was killed without running
+    its cleanup (SIGTERM'd service worker), the shard exits instead of
+    blocking on the orphaned queue forever.  Telemetry stays disabled in
+    shard processes — the parent flushes merged counters, so nothing
+    double-counts.
+    """
+    parent = _mp.parent_process()
+    while True:
+        try:
+            message = tasks.get(timeout=1.0)
+        except _queue.Empty:
+            if parent is not None and not parent.is_alive():
+                return
+            continue
+        if message is None:
+            return
+        if message["epoch"] != epoch_cell.value:
+            continue
+        try:
+            result = _run_task(message, best, abort, epoch_cell, broadcasts)
+            result["slot"] = slot
+        except SearchAbortedError:
+            result = {
+                "kind": "aborted",
+                "epoch": message["epoch"],
+                "task_id": message["task_id"],
+                "slot": slot,
+            }
+        except Exception as exc:  # pragma: no cover - defensive
+            result = {
+                "kind": "error",
+                "epoch": message["epoch"],
+                "task_id": message["task_id"],
+                "slot": slot,
+                "message": f"{type(exc).__name__}: {exc}",
+            }
+        results.put(result)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class ShardPool:
+    """A persistent spawn-context pool of shard processes.
+
+    Shared cells (incumbent, abort flag, epoch, broadcast counter) are
+    created once and inherited at spawn — :class:`multiprocessing.Value`
+    objects cannot travel through queues, which is why the pool persists
+    instead of being rebuilt per call.  Calls are serialized by a lock;
+    the epoch cell invalidates anything left over from a previous call.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        self.jobs = jobs
+        self._ctx = _mp.get_context("spawn")
+        self._lock = threading.Lock()
+        self._epoch = 0
+        self._processes: list = []
+        self._make_plumbing()
+
+    def _make_plumbing(self) -> None:
+        ctx = self._ctx
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._best = ctx.Value("d", float("-inf"))
+        self._abort = ctx.Value("b", 0)
+        self._epoch_cell = ctx.Value("q", self._epoch)
+        self._broadcasts = ctx.Value("q", 0)
+
+    def _spawn_all(self) -> None:
+        self._processes = []
+        for slot in range(self.jobs):
+            process = self._ctx.Process(
+                target=_shard_main,
+                args=(
+                    slot, self._tasks, self._results, self._best,
+                    self._abort, self._epoch_cell, self._broadcasts,
+                ),
+                # Daemonic: shard processes never spawn children, and the
+                # interpreter must not block on them at exit.
+                daemon=True,
+                name=f"repro-shard-{self.jobs}x{slot}",
+            )
+            process.start()
+            self._processes.append(process)
+
+    def _ensure_workers(self) -> None:
+        if not self._processes:
+            self._spawn_all()
+        elif any(not p.is_alive() for p in self._processes):
+            self._rebuild()
+
+    def _rebuild(self) -> None:
+        """Tear everything down and restart from fresh queues and cells.
+
+        A dead shard may have died holding a queue lock, so surviving
+        processes and both queues are condemned together — mixing old
+        processes with new plumbing is never attempted.
+        """
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=5.0)
+        for q in (self._tasks, self._results):
+            q.cancel_join_thread()
+            q.close()
+        self._make_plumbing()
+        self._spawn_all()
+
+    def _drain_results(self) -> None:
+        while True:
+            try:
+                self._results.get_nowait()
+            except _queue.Empty:
+                return
+
+    def _signal_abort(self) -> None:
+        with self._abort.get_lock():
+            self._abort.value = 1
+
+    def close(self) -> None:
+        """Terminate the shard processes (used at interpreter exit)."""
+        with self._lock:
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+            for process in self._processes:
+                process.join(timeout=2.0)
+            self._processes = []
+
+    @property
+    def processes(self) -> list:
+        """Live shard process handles (the SIGKILL tests reach in here)."""
+        return list(self._processes)
+
+    def run(
+        self,
+        *,
+        spec: dict,
+        tasks: list[tuple[float, tuple[int, int, int, int]]],
+        owners: list[int],
+        check_abort: Callable[[], bool] | None,
+        progress: ProgressCallback | None,
+    ) -> dict:
+        """Execute one sharded call; returns the merged fold dict."""
+        with self._lock:
+            self._epoch += 1
+            epoch = self._epoch
+            bounded = spec["prune"] == "bounds"
+            self._ensure_workers()
+            with self._best.get_lock():
+                # Epoch first (under the same lock publishes take), so a
+                # stale shard can never publish into the new call.
+                self._epoch_cell.value = epoch
+                self._best.value = (
+                    spec["seed_value"] if bounded else float("-inf")
+                )
+            with self._abort.get_lock():
+                self._abort.value = 0
+            with self._broadcasts.get_lock():
+                self._broadcasts.value = 0
+            self._drain_results()
+            for task_id, (_, frame) in enumerate(tasks):
+                self._tasks.put({
+                    "epoch": epoch,
+                    "task_id": task_id,
+                    "owner": owners[task_id],
+                    "frame": frame,
+                    "spec": spec,
+                })
+            try:
+                return self._collect(
+                    epoch, len(tasks), check_abort=check_abort,
+                    progress=progress,
+                )
+            except BaseException:
+                self._signal_abort()
+                raise
+
+    def _collect(
+        self,
+        epoch: int,
+        total_tasks: int,
+        *,
+        check_abort: Callable[[], bool] | None,
+        progress: ProgressCallback | None,
+    ) -> dict:
+        started = time.perf_counter()
+        fold = {
+            "best_mask": 0,
+            "best_value": float("-inf"),
+            "explored": 0,
+            "pruned_size_cap": 0,
+            "frontier_exhausted": 0,
+            "evaluated": 0,
+            "bound_cuts": 0,
+            "bound_evaluations": 0,
+            "best_updates": 0,
+            "kernel_batches": 0,
+            "shards": total_tasks,
+            "steals": 0,
+            "states_per_slot": [0] * self.jobs,
+        }
+        pending = total_tasks
+        while pending:
+            try:
+                message = self._results.get(timeout=_RESULT_POLL_SECONDS)
+            except _queue.Empty:
+                if check_abort is not None and check_abort():
+                    raise SearchAbortedError()
+                if any(not p.is_alive() for p in self._processes):
+                    self._signal_abort()
+                    self._rebuild()
+                    raise ParallelExecutionError(
+                        "a search shard process died before finishing its "
+                        "tasks; the shard pool was rebuilt"
+                    )
+                continue
+            if message.get("epoch") != epoch:
+                continue
+            kind = message["kind"]
+            if kind == "aborted":
+                # A shard observed the abort flag the parent set (or a
+                # deadline raced the fold); surface the same abort.
+                raise SearchAbortedError()
+            if kind == "error":
+                raise ParallelExecutionError(
+                    f"search shard failed: {message['message']}"
+                )
+            pending -= 1
+            value = message["best_value"]
+            mask = message["best_mask"]
+            if mask and (
+                value > fold["best_value"]
+                or (value == fold["best_value"] and mask < fold["best_mask"])
+            ):
+                fold["best_value"] = value
+                fold["best_mask"] = mask
+            for key in (
+                "explored", "pruned_size_cap", "frontier_exhausted",
+                "evaluated", "bound_cuts", "bound_evaluations",
+                "best_updates", "kernel_batches",
+            ):
+                fold[key] += message[key]
+            slot = message["slot"]
+            fold["states_per_slot"][slot] += message["explored"]
+            if slot != message["owner"]:
+                fold["steals"] += 1
+            if progress is not None:
+                progress(SearchProgress(
+                    states_visited=fold["explored"],
+                    bound_cuts=fold["bound_cuts"],
+                    best_chi_square=(
+                        fold["best_value"] if fold["best_mask"] else None
+                    ),
+                    blocks_completed=total_tasks - pending,
+                    kernel_batches=fold["kernel_batches"],
+                    elapsed_seconds=time.perf_counter() - started,
+                ))
+        with self._broadcasts.get_lock():
+            fold["incumbent_broadcasts"] = int(self._broadcasts.value)
+        return fold
+
+
+_POOLS: dict[int, ShardPool] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _get_pool(jobs: int) -> ShardPool:
+    with _POOLS_LOCK:
+        pool = _POOLS.get(jobs)
+        if pool is None:
+            pool = ShardPool(jobs)
+            _POOLS[jobs] = pool
+        return pool
+
+
+def shutdown_pools() -> None:
+    """Terminate every persistent shard pool (atexit and test hygiene)."""
+    with _POOLS_LOCK:
+        pools = list(_POOLS.values())
+        _POOLS.clear()
+    for pool in pools:
+        pool.close()
+
+
+atexit.register(shutdown_pools)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def parallel_best_mask(
+    adjacency: Sequence[int],
+    accumulator: ChiSquareAccumulator,
+    *,
+    jobs: int,
+    min_size: int,
+    size_cap: int,
+    prune: str = "none",
+    backend: str = "python",
+    check_abort: Callable[[], bool] | None = None,
+    progress: ProgressCallback | None = None,
+):
+    """Sharded equivalent of the sequential ``exhaustive_best_mask`` core.
+
+    Callers come through :func:`repro.enumerate.search.exhaustive_best_mask`
+    with ``parallel=N`` (which owns validation, backend resolution, and
+    the sequential fallbacks); this function seeds the bounds incumbent,
+    builds and balances the task frames, runs them on the persistent
+    pool, and merges shard results into a
+    :class:`~repro.enumerate.search.SearchOutcome` — flushing the same
+    telemetry counters the sequential walks flush, plus
+    ``search.shards``/``search.shard_steals``/
+    ``search.incumbent_broadcasts`` and a ``search.parallel`` span.
+    """
+    from repro.enumerate.search import SearchOutcome
+
+    n = len(adjacency)
+    jobs = max(2, min(int(jobs), MAX_PARALLEL_JOBS))
+    if check_abort is not None and check_abort():
+        raise SearchAbortedError()
+    bounded = prune == "bounds"
+    seed_value = float("-inf")
+    if bounded and min_size <= 1:
+        # Same incumbent seeding as the sequential walks: singles are
+        # valid solutions, so their max is a sound threshold everywhere.
+        for v in range(n):
+            accumulator.push(v)
+            value = accumulator.chi_square()
+            accumulator.pop(v)
+            if value > seed_value:
+                seed_value = value
+    frames = _initial_frames(adjacency, n)
+    tasks = _build_tasks(adjacency, frames, size_cap, jobs)
+    owners = _assign_owners([weight for weight, _ in tasks], jobs)
+    spec = {
+        "adjacency": tuple(adjacency),
+        "accumulator": _accumulator_spec(accumulator),
+        "min_size": min_size,
+        "size_cap": size_cap,
+        "prune": prune,
+        "backend": backend,
+        "seed_value": seed_value,
+    }
+    pool = _get_pool(jobs)
+
+    span = None
+    if _TELEMETRY.enabled:
+        span = _TELEMETRY.tracer.span(
+            "search.parallel", jobs=jobs, backend=backend, prune=prune,
+            shards=len(tasks),
+        )
+        span.__enter__()
+    fold = None
+    try:
+        fold = pool.run(
+            spec=spec, tasks=tasks, owners=owners,
+            check_abort=check_abort, progress=progress,
+        )
+    finally:
+        if span is not None:
+            if fold is not None:
+                span.set(
+                    steals=fold["steals"],
+                    incumbent_broadcasts=fold.get("incumbent_broadcasts", 0),
+                    states_per_slot=",".join(
+                        str(count) for count in fold["states_per_slot"]
+                    ),
+                )
+            span.__exit__(None, None, None)
+        if fold is not None and _TELEMETRY.enabled:
+            metrics = _TELEMETRY.metrics
+            metrics.count(_metric.SEARCH_STATES_VISITED, fold["explored"])
+            metrics.count(
+                _metric.SEARCH_STATES_PRUNED,
+                fold["pruned_size_cap"] + fold["frontier_exhausted"],
+            )
+            metrics.count(
+                _metric.SEARCH_PRUNED_SIZE_CAP, fold["pruned_size_cap"]
+            )
+            metrics.count(
+                _metric.SEARCH_FRONTIER_EXHAUSTED, fold["frontier_exhausted"]
+            )
+            metrics.count(
+                _metric.SEARCH_CHI_SQUARE_EVALUATIONS, fold["evaluated"]
+            )
+            metrics.count(_metric.SEARCH_BEST_UPDATES, fold["best_updates"])
+            if bounded:
+                metrics.count(_metric.SEARCH_BOUND_CUTS, fold["bound_cuts"])
+                metrics.count(
+                    _metric.SEARCH_BOUND_EVALUATIONS,
+                    fold["bound_evaluations"],
+                )
+            if backend == "numpy":
+                metrics.count(
+                    _metric.SEARCH_KERNEL_BATCHES, fold["kernel_batches"]
+                )
+            metrics.count(_metric.SEARCH_SHARDS, fold["shards"])
+            metrics.count(_metric.SEARCH_SHARD_STEALS, fold["steals"])
+            metrics.count(
+                _metric.SEARCH_INCUMBENT_BROADCASTS,
+                fold.get("incumbent_broadcasts", 0),
+            )
+            metrics.observe(_metric.SEARCH_STATES_PER_CALL, fold["explored"])
+
+    best_mask = fold["best_mask"]
+    best_value = fold["best_value"] if best_mask else 0.0
+    if progress is not None:
+        progress(SearchProgress(
+            states_visited=fold["explored"],
+            bound_cuts=fold["bound_cuts"],
+            best_chi_square=best_value if best_mask else None,
+            blocks_completed=fold["shards"],
+            kernel_batches=fold["kernel_batches"],
+        ))
+    return SearchOutcome(
+        mask=best_mask,
+        chi_square=best_value,
+        explored=fold["explored"],
+        pruned_size_cap=fold["pruned_size_cap"],
+        frontier_exhausted=fold["frontier_exhausted"],
+        evaluated=fold["evaluated"],
+        bound_cuts=fold["bound_cuts"],
+        bound_evaluations=fold["bound_evaluations"],
+    )

@@ -24,12 +24,17 @@ and decompose the walk while returning bit-identical results.
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from collections.abc import Callable, Hashable, Sequence
 
 from repro.exceptions import EnumerationLimitError, SearchAbortedError
-from repro.enumerate.accumulators import ChiSquareAccumulator
+from repro.enumerate.accumulators import (
+    ChiSquareAccumulator,
+    ContinuousAccumulator,
+    DiscreteAccumulator,
+)
 from repro.enumerate.bitset import BitsetGraph, iter_bits
 from repro.enumerate.bounds import supports_bounds
 from repro.telemetry import TELEMETRY as _TELEMETRY
@@ -38,24 +43,48 @@ from repro.telemetry.progress import ProgressCallback, SearchProgress
 
 __all__ = [
     "ABORT_CHECK_MASK",
+    "AUTO_BOUNDS_PYTHON_MAX_VERTICES",
     "PRUNE_MODES",
     "SEARCH_BACKENDS",
+    "FrameRunResult",
     "SearchOutcome",
     "exhaustive_best_mask",
     "exhaustive_best_subset",
+    "resolve_backend",
+    "run_frames",
 ]
 
 PRUNE_MODES = ("none", "bounds")
 """Valid values of the ``prune`` search argument."""
 
-SEARCH_BACKENDS = ("python", "numpy")
+SEARCH_BACKENDS = ("python", "numpy", "auto")
 """Valid values of the ``backend`` search argument.
 
 ``"python"`` is the reference DFS in this module; ``"numpy"`` is the
 vectorized batch kernel in :mod:`repro.enumerate.kernel`, which returns
 provably identical results (see the differential property suite) and
 falls back to the python walk for graphs above the kernel's 64-vertex
-machine-word limit."""
+machine-word limit.  ``"auto"`` picks per call via
+:func:`resolve_backend`: the kernel wherever it is eligible, except on
+small bounds-pruned instances where batch setup costs more than the
+handful of surviving states (the scalar walk wins there)."""
+
+AUTO_BOUNDS_PYTHON_MAX_VERTICES = 24
+"""``backend="auto"`` crossover: under ``prune="bounds"`` instances with
+at most this many vertices run the python walk.
+
+Admissible bounds typically cut >99% of states on reduced super-graphs
+(n around ``n_theta`` ~ 20), leaving so few survivors that the kernel's
+per-level batch setup dominates — measured at 0.6x the scalar walk on
+the pipeline regimes of ``bench_kernel_backends.py``.  Above this size
+the state counts grow enough for batching to win even under bounds."""
+
+PARALLEL_ENV_VAR = "REPRO_TEST_PARALLEL"
+"""Environment override forcing a shard width on ``parallel=1`` calls.
+
+CI sets this to re-run the property and service suites through the
+parallel path without touching every call site.  Explicit ``parallel``
+arguments above 1 always win over the environment."""
 
 ABORT_CHECK_MASK = 0xFF
 """``check_abort`` polling cadence: every ``ABORT_CHECK_MASK + 1`` states.
@@ -63,6 +92,41 @@ ABORT_CHECK_MASK = 0xFF
 Polling a Python callable per state would roughly double the cost of the
 inner loop; every 256 states the abort latency stays far below any
 realistic serving deadline while the overhead disappears into noise."""
+
+
+def resolve_backend(
+    backend: str,
+    *,
+    n: int,
+    accumulator: ChiSquareAccumulator,
+    prune: str = "none",
+) -> str:
+    """Resolve ``"auto"`` to a concrete backend for one search instance.
+
+    Explicit ``"python"``/``"numpy"`` pass through untouched (the numpy
+    path keeps its own transparent >64-vertex fallback).  ``"auto"``
+    picks ``"numpy"`` whenever the kernel can run the instance — numpy
+    importable, ``n`` within the machine-word limit, a bundled
+    accumulator type — except under ``prune="bounds"`` on instances of
+    at most :data:`AUTO_BOUNDS_PYTHON_MAX_VERTICES` vertices, where the
+    bounds cut the state count so far down that the scalar walk is
+    faster than batch setup.
+    """
+    if backend != "auto":
+        return backend
+    from repro.enumerate.kernel import MAX_KERNEL_VERTICES, kernel_available
+
+    if (
+        not kernel_available()
+        or n > MAX_KERNEL_VERTICES
+        or not isinstance(
+            accumulator, (DiscreteAccumulator, ContinuousAccumulator)
+        )
+    ):
+        return "python"
+    if prune == "bounds" and n <= AUTO_BOUNDS_PYTHON_MAX_VERTICES:
+        return "python"
+    return "numpy"
 
 
 @dataclass(frozen=True, slots=True)
@@ -116,6 +180,7 @@ def exhaustive_best_mask(
     prune: str = "none",
     check_abort: Callable[[], bool] | None = None,
     backend: str = "python",
+    parallel: int = 1,
     progress: ProgressCallback | None = None,
 ) -> SearchOutcome:
     """Find the connected vertex set with the maximum accumulator statistic.
@@ -136,7 +201,23 @@ def exhaustive_best_mask(
     ``prune="bounds"`` (cut accounting is enumeration-order dependent
     there).  Graphs above the kernel's 64-vertex machine-word limit fall
     back to the python walk transparently, so callers can request
-    ``"numpy"`` unconditionally.
+    ``"numpy"`` unconditionally.  ``backend="auto"`` picks per instance
+    via :func:`resolve_backend`.
+
+    ``parallel=N`` (N > 1) shards the walk across a spawn-context
+    process pool (:mod:`repro.enumerate.parallel`): block-cut plan
+    entries and root-level frontier subtrees become disjoint, exhaustive
+    shard tasks, and under ``prune="bounds"`` the shards share an
+    incumbent bound through shared memory so a good solution found in
+    one shard cuts states in every other.  Under ``prune="none"`` the
+    merged :class:`SearchOutcome` equals the sequential one exactly
+    (counters are functions of the visited set family); under bounds the
+    optimum is identical while cut accounting is schedule-dependent.
+    Calls with a ``limit``, a custom accumulator type, or fewer than two
+    vertices fall back to the sequential walk (limit semantics are
+    enumeration-order dependent; custom accumulators cannot cross a
+    process boundary).  The :data:`PARALLEL_ENV_VAR` environment
+    variable rewrites ``parallel=1`` calls to its value for CI sweeps.
 
     ``check_abort`` is polled every ``ABORT_CHECK_MASK + 1`` visited states
     (python walk) or between state batches (numpy kernel) — cooperative
@@ -168,6 +249,29 @@ def exhaustive_best_mask(
             "prune='bounds' needs a bound-capable accumulator "
             "(see repro.enumerate.bounds)"
         )
+    if parallel < 1:
+        raise ValueError(f"parallel must be >= 1, got {parallel}")
+    backend = resolve_backend(backend, n=n, accumulator=accumulator, prune=prune)
+    size_cap = n if max_size is None else min(max_size, n)
+    effective_parallel = parallel
+    if parallel == 1:
+        override = os.environ.get(PARALLEL_ENV_VAR, "").strip()
+        if override.isdigit():
+            effective_parallel = max(1, int(override))
+    if (
+        effective_parallel > 1
+        and limit is None
+        and n >= 2
+        and isinstance(accumulator, (DiscreteAccumulator, ContinuousAccumulator))
+    ):
+        from repro.enumerate.parallel import parallel_best_mask
+
+        return parallel_best_mask(
+            adjacency, accumulator,
+            jobs=effective_parallel, min_size=min_size, size_cap=size_cap,
+            prune=prune, backend=backend, check_abort=check_abort,
+            progress=progress,
+        )
     if backend == "numpy":
         from repro.enumerate.kernel import MAX_KERNEL_VERTICES, kernel_best_mask
 
@@ -177,7 +281,6 @@ def exhaustive_best_mask(
                 min_size=min_size, max_size=max_size, limit=limit,
                 prune=prune, check_abort=check_abort, progress=progress,
             )
-    size_cap = n if max_size is None else min(max_size, n)
     if check_abort is not None and check_abort():
         raise SearchAbortedError()
     if prune == "bounds":
@@ -487,6 +590,183 @@ def _search_bounded(
         pruned_size_cap=pruned_size_cap, frontier_exhausted=frontier_exhausted,
         evaluated=evaluated,
         bound_cuts=bound_cuts, bound_evaluations=bound_evaluations,
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class FrameRunResult:
+    """Counters and local optimum from one :func:`run_frames` call.
+
+    Shard processes return these to the parallel merge
+    (:mod:`repro.enumerate.parallel`); the fields mirror
+    :class:`SearchOutcome` plus the shard-local extras the merge needs
+    (``best_updates`` for telemetry, ``kernel_batches`` for the numpy
+    runner, ``incumbent_broadcasts`` for the shared-bound accounting).
+    ``best_value`` is ``-inf`` when the frame family contained no
+    evaluable state (``best_mask == 0``).
+    """
+
+    best_mask: int
+    best_value: float
+    explored: int
+    pruned_size_cap: int = 0
+    frontier_exhausted: int = 0
+    evaluated: int = 0
+    bound_cuts: int = 0
+    bound_evaluations: int = 0
+    best_updates: int = 0
+    kernel_batches: int = 0
+    incumbent_broadcasts: int = 0
+
+
+def run_frames(
+    adjacency: Sequence[int],
+    accumulator: ChiSquareAccumulator,
+    frames: Sequence[tuple[int, int, int, int]],
+    *,
+    min_size: int,
+    size_cap: int,
+    prune: str = "none",
+    seed_value: float = float("-inf"),
+    check_abort: Callable[[], bool] | None = None,
+    incumbent=None,
+) -> FrameRunResult:
+    """Run the python walk over explicit task frames (the shard runner).
+
+    Each frame is an *unconsidered state* ``(subset, size, ext, fb)``:
+    ``subset`` is a connected vertex set not yet pushed into the
+    accumulator, ``ext`` its extension frontier, and ``fb`` its forbidden
+    set (which encodes any region restriction, so ``adjacency`` is always
+    the full graph).  The runner considers the state itself, then walks
+    its subtree exactly like :func:`exhaustive_best_mask` would — so a
+    family of frames that partitions the sequential walk's state space
+    yields counters that *sum* to the sequential counters and a local
+    optimum that merges to the sequential optimum under the canonical
+    smallest-mask tie-break.
+
+    ``seed_value`` is the bounds-mode incumbent threshold (the parent's
+    best single-vertex statistic); ``incumbent``, when given, is a
+    shared-memory bound exposing ``refresh() -> float`` and
+    ``publish(value) -> bool`` — refreshed at the ``ABORT_CHECK_MASK``
+    polling cadence and published on every local best improvement, so
+    one shard's solution tightens every other shard's cuts.  Both are
+    admissible: thresholds only ever carry statistics of real solutions
+    and pruning stays strict, so optima (ties included) survive in their
+    home shard.
+
+    No telemetry is flushed here and ``limit`` is unsupported — the
+    parallel merge owns both.
+    """
+    if prune not in PRUNE_MODES:
+        raise ValueError(f"prune must be one of {PRUNE_MODES}, got {prune!r}")
+    bounded = prune == "bounds"
+    best_mask = 0
+    best_value = float("-inf")
+    explored = 0
+    pruned_size_cap = 0
+    frontier_exhausted = 0
+    evaluated = 0
+    best_updates = 0
+    bound_cuts = 0
+    bound_evaluations = 0
+    broadcasts = 0
+    poll = check_abort is not None or incumbent is not None
+    if check_abort is not None and check_abort():
+        raise SearchAbortedError()
+
+    def consider(mask: int, size: int) -> None:
+        nonlocal best_mask, best_value, explored, evaluated
+        nonlocal best_updates, broadcasts, seed_value
+        explored += 1
+        if poll and not explored & ABORT_CHECK_MASK:
+            if check_abort is not None and check_abort():
+                raise SearchAbortedError()
+            if incumbent is not None:
+                refreshed = incumbent.refresh()
+                if refreshed > seed_value:
+                    seed_value = refreshed
+        if size >= min_size:
+            evaluated += 1
+            value = accumulator.chi_square()
+            # Canonical tie-break: on equal statistic the numerically
+            # smallest mask wins, so the merged optimum is independent
+            # of the shard schedule.
+            if value > best_value or (value == best_value and mask < best_mask):
+                best_value = value
+                best_mask = mask
+                best_updates += 1
+                if incumbent is not None and incumbent.publish(value):
+                    broadcasts += 1
+
+    POP = -1
+    for seed_subset, seed_size, seed_ext, seed_fb in frames:
+        pushed = list(iter_bits(seed_subset))
+        for v in pushed:
+            accumulator.push(v)
+        try:
+            consider(seed_subset, seed_size)
+            stack: list[tuple[int, ...]] = [
+                (seed_subset, seed_size, seed_ext, seed_fb)
+            ]
+            while stack:
+                frame = stack.pop()
+                if frame[0] == POP:
+                    accumulator.pop(frame[1])
+                    continue
+                subset, size, ext, fb = frame
+                if size >= size_cap:
+                    pruned_size_cap += 1
+                    continue
+                if not ext:
+                    frontier_exhausted += 1
+                    continue
+                if bounded:
+                    candidates = _reachable_closure(adjacency, ext, subset | fb)
+                    if size + candidates.bit_count() < min_size:
+                        bound_cuts += 1
+                        continue
+                    threshold = (
+                        best_value if best_value > seed_value else seed_value
+                    )
+                    if threshold > float("-inf"):
+                        bound_evaluations += 1
+                        bound = accumulator.upper_bound(
+                            candidates, size_cap - size
+                        )
+                        # Strict: an exactly-tying subtree must survive so
+                        # the merged tie-break matches the sequential walk.
+                        if bound < threshold:
+                            bound_cuts += 1
+                            continue
+                u_bit = ext & -ext
+                u = u_bit.bit_length() - 1
+                rest = ext ^ u_bit
+                stack.append((subset, size, rest, fb | u_bit))
+                child_subset = subset | u_bit
+                child_ext = rest | (adjacency[u] & ~(child_subset | fb | rest))
+                accumulator.push(u)
+                consider(child_subset, size + 1)
+                stack.append((POP, u))
+                stack.append((child_subset, size + 1, child_ext, fb))
+        finally:
+            # The stack's POP sentinels unwind the walk's own pushes; the
+            # seed members are popped here.  On abort mid-walk the
+            # accumulator is left dirty (partial path still pushed) — an
+            # aborted shard discards both, nothing leaks into an outcome.
+            for v in reversed(pushed):
+                accumulator.pop(v)
+
+    return FrameRunResult(
+        best_mask=best_mask,
+        best_value=best_value,
+        explored=explored,
+        pruned_size_cap=pruned_size_cap,
+        frontier_exhausted=frontier_exhausted,
+        evaluated=evaluated,
+        bound_cuts=bound_cuts,
+        bound_evaluations=bound_evaluations,
+        best_updates=best_updates,
+        incumbent_broadcasts=broadcasts,
     )
 
 

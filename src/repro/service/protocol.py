@@ -13,7 +13,7 @@ parameters::
                  "edge_order": "input", "seed": null,
                  "search_limit": null, "min_size": 1,
                  "polish": false, "prune": "none",
-                 "backend": "python"},
+                 "backend": "auto", "parallel": 1},
       "async": false,
       "deadline_seconds": null,
       "trace": true
@@ -70,7 +70,8 @@ DEFAULT_PARAMS: dict[str, Any] = {
     "min_size": 1,
     "polish": False,
     "prune": "none",
-    "backend": "python",
+    "backend": "auto",
+    "parallel": 1,
 }
 """Defaults applied to ``params`` fields a request leaves out; they match
 the CLI's ``repro mine`` defaults."""
@@ -82,7 +83,7 @@ _TOP_LEVEL_KEYS = {
 _METHODS = ("supergraph", "naive")
 _EDGE_ORDERS = ("input", "shuffled", "by_chi_square")
 _PRUNES = ("none", "bounds")
-_BACKENDS = ("python", "numpy")
+_BACKENDS = ("python", "numpy", "auto")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -208,6 +209,7 @@ def validate_request(doc: Any) -> dict[str, Any]:
     _check_int(params["top_t"], "params.top_t", minimum=1)
     _check_int(params["n_theta"], "params.n_theta", minimum=1)
     _check_int(params["min_size"], "params.min_size", minimum=1)
+    _check_int(params["parallel"], "params.parallel", minimum=1)
     if params["search_limit"] is not None:
         _check_int(params["search_limit"], "params.search_limit", minimum=1)
     if params["seed"] is not None:

@@ -10,6 +10,18 @@ from repro.graph.graph import Graph
 from repro.labels.continuous import ContinuousLabeling
 from repro.labels.discrete import DiscreteLabeling, uniform_probabilities
 
+try:
+    from hypothesis import settings as _hyp_settings
+
+    # Wall-clock deadlines measure the CI host, not the code under test:
+    # a 0.03ms property flakes at 200ms whenever a neighboring suite
+    # (worker pools, shard processes) saturates the box.  Most property
+    # tests already opt out per-test; make it the suite-wide default.
+    _hyp_settings.register_profile("repro", deadline=None)
+    _hyp_settings.load_profile("repro")
+except ImportError:  # hypothesis is a test extra; tier-1 runs without it
+    pass
+
 
 @pytest.fixture
 def triangle() -> Graph:

@@ -1,0 +1,236 @@
+"""Abort and crash behavior of the sharded search under serving pressure.
+
+Three failure regimes of ``parallel=N`` search calls:
+
+* a **deadline expiring mid-shard** (the caller's ``check_abort`` fires
+  while shard processes grind) must raise ``SearchAbortedError`` — at the
+  library layer and as a structured ``timeout`` through the service;
+* a **shard process dying** (SIGKILL) must fail the call promptly with
+  :class:`~repro.exceptions.ParallelExecutionError` and rebuild the pool,
+  never hang;
+* neither failure may leak partial state: the next call on the same pool
+  must return the exact sequential :class:`SearchOutcome`.
+
+These spawn real shard/worker processes, so they carry the ``service``
+and ``parallel`` markers.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.enumerate.accumulators import DiscreteAccumulator
+from repro.enumerate.search import exhaustive_best_mask
+from repro.enumerate import parallel as parallel_mod
+from repro.exceptions import ParallelExecutionError, SearchAbortedError
+from repro.service.jobs import JobManager
+from repro.service.protocol import validate_request
+
+pytestmark = [pytest.mark.service, pytest.mark.parallel]
+
+
+def _instance(n, density_mod=7):
+    """A near-complete n-vertex instance; exhaustive search is effectively
+    unbounded for n ~ 26 but cooperatively cancellable at every poll site."""
+    adjacency = [0] * n
+    for u in range(n):
+        for v in range(u + 1, n):
+            if (u + v) % density_mod != 0:
+                adjacency[u] |= 1 << v
+                adjacency[v] |= 1 << u
+    payloads = []
+    for v in range(n):
+        counts = [0, 0]
+        counts[v % 2] = 1
+        payloads.append(tuple(counts))
+    return tuple(adjacency), DiscreteAccumulator((0.5, 0.5), payloads)
+
+
+def _small_instance(seed=3):
+    from repro.graph.generators import gnp_random_graph
+    from repro.enumerate.bitset import BitsetGraph
+
+    g = gnp_random_graph(10, 0.35, seed=seed)
+    bitset = BitsetGraph(g)
+    payloads = []
+    for v in bitset.vertices:
+        counts = [0, 0, 0]
+        counts[v % 3] = 1
+        payloads.append(tuple(counts))
+    return bitset.adjacency, DiscreteAccumulator((0.5, 0.25, 0.25), payloads)
+
+
+@pytest.fixture(autouse=True, scope="module")
+def _fresh_pools():
+    """Kill-tests poison pools; keep their lifecycle inside this module."""
+    yield
+    parallel_mod.shutdown_pools()
+
+
+class TestDeadlineMidShard:
+    def test_abort_raises_while_shards_grind(self):
+        adjacency, acc = _instance(26)
+        fire_at = time.monotonic() + 0.4
+        with pytest.raises(SearchAbortedError):
+            exhaustive_best_mask(
+                adjacency, acc, parallel=2,
+                check_abort=lambda: time.monotonic() >= fire_at,
+            )
+
+    def test_abort_before_dispatch_is_immediate(self):
+        adjacency, acc = _instance(26)
+        started = time.monotonic()
+        with pytest.raises(SearchAbortedError):
+            exhaustive_best_mask(
+                adjacency, acc, parallel=2, check_abort=lambda: True
+            )
+        assert time.monotonic() - started < 5.0
+
+    def test_no_partial_state_leaks_into_the_next_call(self):
+        # Abort a heavy sharded search, then run a small one on the same
+        # pool: the outcome must be bit-identical to sequential — no
+        # counter, mask, or stale-task contribution from the aborted call.
+        adjacency, acc = _instance(26)
+        fire_at = time.monotonic() + 0.3
+        with pytest.raises(SearchAbortedError):
+            exhaustive_best_mask(
+                adjacency, acc, parallel=2,
+                check_abort=lambda: time.monotonic() >= fire_at,
+            )
+        small_adj, small_acc = _small_instance()
+        sequential = exhaustive_best_mask(small_adj, small_acc)
+        sharded = exhaustive_best_mask(small_adj, small_acc, parallel=2)
+        assert sharded == sequential
+
+
+class TestShardDeath:
+    def _run_in_thread(self, adjacency, acc):
+        outcome: dict = {}
+
+        def target():
+            try:
+                exhaustive_best_mask(adjacency, acc, parallel=2)
+                outcome["error"] = None
+            except BaseException as exc:  # noqa: BLE001 - captured for assert
+                outcome["error"] = exc
+
+        thread = threading.Thread(target=target, daemon=True)
+        thread.start()
+        return thread, outcome
+
+    def test_sigkilled_shard_fails_the_call_and_heals_the_pool(self):
+        adjacency, acc = _instance(26)
+        # Prime the pool so its processes exist before the heavy call.
+        small_adj, small_acc = _small_instance()
+        exhaustive_best_mask(small_adj, small_acc, parallel=2)
+        pool = parallel_mod._POOLS[2]
+        victims = pool.processes
+        assert len(victims) == 2 and all(p.is_alive() for p in victims)
+
+        thread, outcome = self._run_in_thread(adjacency, acc)
+        time.sleep(0.5)  # let the shards pick their tasks up
+        os.kill(victims[0].pid, signal.SIGKILL)
+        thread.join(timeout=30.0)
+        assert not thread.is_alive(), "the sharded call hung after SIGKILL"
+        assert isinstance(outcome["error"], ParallelExecutionError)
+
+        # The pool rebuilt: the next call runs on fresh processes and
+        # returns the exact sequential outcome.
+        healed = pool.processes
+        assert all(p.is_alive() for p in healed)
+        assert {p.pid for p in healed}.isdisjoint({p.pid for p in victims})
+        sequential = exhaustive_best_mask(small_adj, small_acc)
+        assert exhaustive_best_mask(
+            small_adj, small_acc, parallel=2
+        ) == sequential
+
+    def test_idle_pool_with_dead_shard_self_heals(self):
+        small_adj, small_acc = _small_instance(seed=5)
+        sequential = exhaustive_best_mask(small_adj, small_acc)
+        assert exhaustive_best_mask(
+            small_adj, small_acc, parallel=2
+        ) == sequential
+        pool = parallel_mod._POOLS[2]
+        os.kill(pool.processes[1].pid, signal.SIGKILL)
+        time.sleep(0.2)
+        # The next call notices the corpse before dispatching and rebuilds.
+        assert exhaustive_best_mask(
+            small_adj, small_acc, parallel=2
+        ) == sequential
+
+
+class TestServiceParallelJobs:
+    @pytest.fixture(scope="class")
+    def manager(self):
+        # core_budget=8 with 2 workers -> each job may use 4 shards even
+        # on a single-core CI host.
+        with JobManager(workers=2, cache_size=8, core_budget=8) as mgr:
+            yield mgr
+
+    def test_stats_report_the_core_budget(self, manager):
+        stats = manager.stats()
+        assert stats["core_budget"] == 8
+        assert stats["parallel_limit"] == 4
+
+    def test_parallel_job_completes_with_identical_result(self, manager):
+        request = validate_request({
+            "graph": {"edges": [[0, 1], [1, 2], [0, 2], [2, 3], [3, 4]]},
+            "labels": {"type": "discrete", "probabilities": [0.8, 0.2],
+                       "assignment": {"0": 1, "1": 1, "2": 1,
+                                      "3": 0, "4": 0}},
+            "params": {"method": "naive"},
+        })
+        sequential = manager.submit(request)
+        assert sequential.wait(60.0)
+        parallel_request = validate_request({
+            **{k: request[k] for k in ("graph", "labels")},
+            "params": {"method": "naive", "parallel": 64},
+        })
+        sharded = manager.submit(parallel_request)
+        assert sharded.wait(60.0)
+        assert sharded.status == "done"
+        assert sharded.result["subgraphs"] == sequential.result["subgraphs"]
+        timing = {key for key in sharded.result["report"]
+                  if key.endswith("_seconds")}
+        for key in sharded.result["report"].keys() - timing:
+            assert (
+                sharded.result["report"][key]
+                == sequential.result["report"][key]
+            ), key
+
+    def test_deadline_mid_shard_times_out_cleanly(self, manager):
+        request = validate_request({
+            "graph": {"edges": [
+                [u, v] for u in range(26) for v in range(u + 1, 26)
+                if (u + v) % 7 != 0
+            ]},
+            "labels": {"type": "discrete", "probabilities": [0.5, 0.5],
+                       "assignment": {str(v): v % 2 for v in range(26)}},
+            "params": {"method": "naive", "parallel": 4},
+        })
+        job = manager.submit(request, deadline_seconds=1.0)
+        assert job.wait(60.0)
+        assert job.status == "timeout"
+        assert job.result is None
+        # The worker survived the abort and takes the next job.
+        follow_up = manager.submit(validate_request({
+            "graph": {"edges": [[0, 1], [1, 2]]},
+            "labels": {"type": "discrete", "probabilities": [0.5, 0.5],
+                       "assignment": {"0": 0, "1": 1, "2": 0}},
+        }))
+        assert follow_up.wait(60.0)
+        assert follow_up.status == "done"
+
+    def test_validation_rejects_bad_parallel(self):
+        with pytest.raises(Exception, match="params.parallel"):
+            validate_request({
+                "graph": {"edges": [[0, 1]]},
+                "labels": {"type": "discrete", "probabilities": [0.5, 0.5],
+                           "assignment": {"0": 0, "1": 1}},
+                "params": {"parallel": 0},
+            })
