@@ -92,6 +92,57 @@ def test_table2_combined_labels(benchmark, ne):
     assert all(row[5] > 0 for row in rows)
 
 
+def test_section51_fwer_correction(benchmark, ne):
+    """FWER follow-up: which raw-significant regions survive Tarone?
+
+    Mines the calibrated rules uncorrected and again with
+    ``correction="fwer"`` and reports, per rule, the raw-significant
+    region count against the correction-surviving count plus the Tarone
+    threshold — the multiple-testing caveat to the Table 2 narrative.
+    """
+    alpha = 0.05
+
+    def run():
+        rows = []
+        for rule in ne.calibrated_rules:
+            _, base = significant_rule_regions(
+                ne.dataset, rule, top_t=3, n_theta=N_THETA
+            )
+            _, corrected = significant_rule_regions(
+                ne.dataset, rule, top_t=3, n_theta=N_THETA,
+                correction="fwer", alpha=alpha,
+            )
+            report = corrected.correction
+            raw_significant = sum(
+                1 for s in base.subgraphs if s.p_value <= alpha
+            )
+            rows.append(
+                [
+                    f"{rule.antecedent} => {rule.consequent}",
+                    len(base.subgraphs),
+                    raw_significant,
+                    len(corrected.subgraphs),
+                    report.regions_filtered,
+                    f"{report.delta_star:.2e}",
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "section51_fwer_correction",
+        f"Section 5.1 + Tarone FWER: surviving regions per rule (alpha={alpha})",
+        [
+            "Rule", "Mined", "Raw p<=alpha", "Survive FWER",
+            "Filtered", "delta*",
+        ],
+        rows,
+    )
+    # Correction can only shrink the reported set, never grow it.
+    assert all(row[3] <= row[1] for row in rows)
+    assert all(row[3] + row[4] == row[1] for row in rows)
+
+
 def test_section51_stage_timing(benchmark, ne):
     """Section 5.1 narrative: total time dominated by the naive stage."""
     rule = ne.rule("I", "H")

@@ -36,6 +36,7 @@ from repro.core.result import (
     SubgraphComponent,
 )
 from repro.core.solver import DEFAULT_N_THETA, find_mscs, mine
+from repro.stats.correction import CorrectionReport
 from repro.exceptions import (
     DatasetError,
     EnumerationLimitError,
@@ -60,6 +61,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "ContinuousLabeling",
+    "CorrectionReport",
     "DEFAULT_N_THETA",
     "DatasetError",
     "DiscreteLabeling",

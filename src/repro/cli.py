@@ -148,6 +148,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 prune=args.prune,
                 backend=args.backend,
                 parallel=args.jobs,
+                correction=args.correct,
+                alpha=args.alpha,
                 progress=progress,
             )
         finally:
@@ -167,6 +169,9 @@ def _cmd_mine(args: argparse.Namespace) -> int:
 
     report = result.report
     if args.json:
+        # p_value_raw always mirrors p_value so corrected and uncorrected
+        # runs diff cleanly field-by-field; corrected_p_value is null
+        # unless --correct fwer kept the region.
         payload = {
             "subgraphs": [
                 {
@@ -174,6 +179,8 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                     "size": sub.size,
                     "chi_square": sub.chi_square,
                     "p_value": sub.p_value,
+                    "p_value_raw": sub.p_value,
+                    "corrected_p_value": sub.corrected_p_value,
                     "component_sizes": list(sub.component_sizes),
                     "component_labels": list(sub.component_labels),
                 }
@@ -198,6 +205,17 @@ def _cmd_mine(args: argparse.Namespace) -> int:
                 "total_seconds": report.total_seconds,
             },
         }
+        if result.correction is not None:
+            corr = result.correction
+            payload["correction"] = {
+                "method": corr.method,
+                "alpha": corr.alpha,
+                "delta_star": corr.delta_star,
+                "num_testable": corr.num_testable,
+                "testable_min_size": corr.testable_min_size,
+                "counts_mode": corr.counts_mode,
+                "regions_filtered": corr.regions_filtered,
+            }
         if metrics_snapshot is not None:
             payload["metrics"] = metrics_snapshot
         if args.trace:
@@ -205,13 +223,29 @@ def _cmd_mine(args: argparse.Namespace) -> int:
         print(json.dumps(payload, indent=2))
         return 0 if result.subgraphs else 1
     if not result.subgraphs:
-        print("no regions found (empty graph?)")
+        if result.correction is not None and result.correction.regions_filtered:
+            corr = result.correction
+            print(f"no regions survive FWER correction at alpha={corr.alpha:g} "
+                  f"({corr.regions_filtered} mined regions filtered, "
+                  f"delta*={corr.delta_star:.3e})")
+        else:
+            print("no regions found (empty graph?)")
         return 1
     for rank, sub in enumerate(result.subgraphs, start=1):
         vertices = ", ".join(sorted(map(str, sub.vertices))[:12])
         suffix = "..." if sub.size > 12 else ""
-        print(f"#{rank}: X^2={sub.chi_square:.4f}  p={sub.p_value:.3e}  "
-              f"size={sub.size}  [{vertices}{suffix}]")
+        corrected = (
+            "" if sub.corrected_p_value is None
+            else f"  p_corr={sub.corrected_p_value:.3e}"
+        )
+        print(f"#{rank}: X^2={sub.chi_square:.4f}  p={sub.p_value:.3e}"
+              f"{corrected}  size={sub.size}  [{vertices}{suffix}]")
+    if result.correction is not None:
+        corr = result.correction
+        print(f"-- FWER correction: alpha={corr.alpha:g}  "
+              f"delta*={corr.delta_star:.3e}  m={corr.num_testable}  "
+              f"min testable size {corr.testable_min_size}  "
+              f"filtered {corr.regions_filtered}")
     print(f"-- super-graph {report.supergraph_vertices} -> reduced "
           f"{report.reduced_vertices}; {report.total_seconds:.3f}s total "
           f"(construct {report.construction_seconds:.3f}s, reduce "
@@ -477,6 +511,17 @@ def build_parser() -> argparse.ArgumentParser:
         "per-instance auto-selection (default: the kernel except on "
         "small bounds-pruned instances where batching overhead wins; "
         "always falls back to python above 64 vertices)",
+    )
+    mine_cmd.add_argument(
+        "--correct", choices=("none", "fwer"), default="none",
+        help="multiple-testing correction: 'fwer' applies the Tarone "
+        "testability bound (discrete labelings only) — only regions with "
+        "p <= delta* are reported, each with a corrected p-value "
+        "min(1, m*p); see docs/correction.md",
+    )
+    mine_cmd.add_argument(
+        "--alpha", type=float, default=0.05, metavar="A",
+        help="target family-wise error rate for --correct fwer",
     )
     mine_cmd.add_argument(
         "--jobs", type=int, default=1, metavar="N",

@@ -45,6 +45,10 @@ class SignificantSubgraph:
     p_value: float
     components: tuple[SubgraphComponent, ...] = ()
     z_score: tuple[float, ...] | None = None
+    corrected_p_value: float | None = None
+    """Tarone-corrected (FWER-adjusted) p-value, ``min(1, m * p_value)``
+    over the ``m`` testable hypotheses — ``None`` unless the mining ran
+    with ``correction="fwer"`` (see :mod:`repro.stats.correction`)."""
 
     @property
     def size(self) -> int:
@@ -109,6 +113,9 @@ class MiningResult:
 
     subgraphs: tuple[SignificantSubgraph, ...]
     report: PipelineReport = field(compare=False, default_factory=PipelineReport)
+    correction: "object | None" = field(compare=False, default=None)
+    """A :class:`repro.stats.correction.CorrectionReport` when the mining
+    ran with ``correction="fwer"``; ``None`` otherwise."""
 
     @property
     def best(self) -> SignificantSubgraph:

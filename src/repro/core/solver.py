@@ -21,12 +21,13 @@ from __future__ import annotations
 import random
 from collections import deque
 from collections.abc import Callable, Hashable, Iterable
+from dataclasses import dataclass, replace
 from typing import Protocol, runtime_checkable
 
 from repro.exceptions import GraphError, LabelingError, SearchAbortedError
 from repro.enumerate.accumulators import ContinuousAccumulator, DiscreteAccumulator
 from repro.enumerate.bitset import BitsetGraph
-from repro.enumerate.search import exhaustive_best_mask
+from repro.enumerate.search import SearchTestability, exhaustive_best_mask
 from repro.graph.graph import Graph
 from repro.graph.properties import is_dense_enough
 from repro.labels.continuous import ContinuousLabeling
@@ -43,6 +44,15 @@ from repro.core.result import (
 )
 from repro.core.supergraph import SuperGraph
 from repro.stats.chi_square import CountVector
+from repro.stats.correction import (
+    CorrectionReport,
+    TaroneResult,
+    TestabilityEnvelope,
+    conservative_statistic_floor,
+    corrected_p_value,
+    hypothesis_count_envelope,
+    tarone_threshold,
+)
 from repro.stats.significance import continuous_p_value, discrete_p_value
 from repro.stats.zscore import RegionScore
 from repro.telemetry import TELEMETRY as _TELEMETRY
@@ -56,6 +66,23 @@ DEFAULT_N_THETA = 20
 """Default reduction threshold — the paper uses 15-20 throughout Section 5."""
 
 Labeling = DiscreteLabeling | ContinuousLabeling
+
+
+@dataclass(slots=True)
+class _CorrectionContext:
+    """Per-call state of an FWER-corrected mining run.
+
+    ``tarone`` fixes the corrected significance threshold ``delta*`` and
+    the testable-hypothesis count; ``testability`` is the derived search
+    prune (None when ``delta* == 0`` — nothing can pass, so rounds run
+    unpruned and everything is filtered).  ``regions_filtered`` counts
+    mined-but-failing rounds for the :class:`CorrectionReport`.
+    """
+
+    tarone: TaroneResult
+    testability: SearchTestability | None
+    counts_mode: str
+    regions_filtered: int = 0
 
 
 @runtime_checkable
@@ -127,6 +154,8 @@ def mine(
     prune: str = "none",
     backend: str = "python",
     parallel: int = 1,
+    correction: str = "none",
+    alpha: float = 0.05,
     check_abort: Callable[[], bool] | None = None,
     prefix_cache: PrefixCache | None = None,
     progress: ProgressCallback | None = None,
@@ -184,6 +213,23 @@ def mine(
         ``SearchOutcome`` results.  Searches that cannot be sharded
         (``search_limit`` budgets, tiny graphs) silently run
         sequentially.
+    correction:
+        ``"none"`` — report raw per-region p-values (the paper's
+        behaviour); ``"fwer"`` — apply the Tarone multiple-testing
+        correction (:mod:`repro.stats.correction`): only regions whose
+        raw p-value clears the largest testable threshold ``delta*``
+        with ``m(delta*) * delta* <= alpha`` are reported, each carrying
+        ``corrected_p_value = min(1, m * p_value)``, and the result's
+        ``correction`` field holds a
+        :class:`~repro.stats.correction.CorrectionReport`.  The corrected
+        result set equals post-hoc filtering of the uncorrected top-t
+        enumeration: every round mines the same region (testability
+        pruning falls back to an unpruned re-search when the pruned
+        winner fails the threshold), so vertex removal — and hence every
+        later round — is identical.  Discrete labelings only.
+    alpha:
+        Target family-wise error rate for ``correction="fwer"``
+        (strictly between 0 and 1); ignored under ``correction="none"``.
     check_abort:
         Cooperative-cancellation callback, polled between TSSS rounds and
         every few hundred states inside the exhaustive search; when it
@@ -218,7 +264,23 @@ def mine(
         raise GraphError(f"unknown search backend {backend!r}")
     if parallel < 1:
         raise GraphError(f"parallel must be >= 1, got {parallel}")
+    if correction not in ("none", "fwer"):
+        raise GraphError(f"unknown correction mode {correction!r}")
     labeling.validate_covers(graph)
+
+    ctx: _CorrectionContext | None = None
+    if correction == "fwer":
+        if not isinstance(labeling, DiscreteLabeling):
+            raise GraphError(
+                "correction='fwer' requires a discrete labeling: the "
+                "continuous statistic has no per-size attainable maximum, "
+                "so Tarone testability is undefined"
+            )
+        if not 0.0 < alpha < 1.0:
+            raise GraphError(
+                f"alpha must be strictly between 0 and 1, got {alpha}"
+            )
+        ctx = _correction_context(graph, labeling, alpha)
 
     report = PipelineReport(
         num_vertices=graph.num_vertices,
@@ -250,7 +312,12 @@ def mine(
             num_vertices=graph.num_vertices,
             num_edges=graph.num_edges,
         ):
-            while len(found) < top_t and working.num_vertices > 0:
+            # Under correction the round count, not the kept-region count,
+            # drives the loop: a mined-but-filtered region still consumes
+            # its round and its vertices, exactly as in the uncorrected
+            # enumeration it post-hoc filters.  Uncorrected, the two
+            # counts coincide.
+            while report.rounds < top_t and working.num_vertices > 0:
                 if check_abort is not None and check_abort():
                     raise SearchAbortedError()
                 with tracer.span("solver.round", round=report.rounds):
@@ -269,6 +336,7 @@ def mine(
                         prune=prune,
                         backend=backend,
                         parallel=parallel,
+                        correction_ctx=ctx,
                         check_abort=check_abort,
                         prefix_cache=prefix_cache,
                         progress=aggregator,
@@ -277,7 +345,17 @@ def mine(
                         break
                     if polish:
                         region = _polish(working, labeling, region, tracer)
-                    found.append(region)
+                    if ctx is None:
+                        found.append(region)
+                    elif ctx.tarone.passes(region.p_value):
+                        found.append(replace(
+                            region,
+                            corrected_p_value=corrected_p_value(
+                                region.p_value, ctx.tarone.num_testable
+                            ),
+                        ))
+                    else:
+                        ctx.regions_filtered += 1
                     report.rounds += 1
                     working.remove_vertices(region.vertices)
     finally:
@@ -285,9 +363,39 @@ def mine(
         # this mine() issued, emitted on success, abort, and error alike.
         if aggregator is not None:
             aggregator.flush()
+    correction_report = None
+    if ctx is not None:
+        correction_report = CorrectionReport(
+            method="fwer",
+            alpha=alpha,
+            delta_star=ctx.tarone.delta_star,
+            num_testable=ctx.tarone.num_testable,
+            testable_min_size=ctx.tarone.testable_min_size,
+            counts_mode=ctx.counts_mode,
+            regions_filtered=ctx.regions_filtered,
+        )
     if _TELEMETRY.enabled:
         _TELEMETRY.metrics.count(_metric.SOLVER_ROUNDS, report.rounds)
-    return MiningResult(subgraphs=tuple(found), report=report)
+        if correction_report is not None:
+            metrics = _TELEMETRY.metrics
+            metrics.set_gauge(
+                _metric.CORRECTION_DELTA_STAR, correction_report.delta_star
+            )
+            metrics.set_gauge(
+                _metric.CORRECTION_TESTABLE_HYPOTHESES,
+                correction_report.num_testable,
+            )
+            metrics.set_gauge(
+                _metric.CORRECTION_TESTABLE_MIN_SIZE,
+                correction_report.testable_min_size,
+            )
+            metrics.count(
+                _metric.CORRECTION_REGIONS_FILTERED,
+                correction_report.regions_filtered,
+            )
+    return MiningResult(
+        subgraphs=tuple(found), report=report, correction=correction_report
+    )
 
 
 def find_mscs(graph: Graph, labeling: Labeling, **kwargs) -> SignificantSubgraph:
@@ -305,6 +413,36 @@ def find_mscs(graph: Graph, labeling: Labeling, **kwargs) -> SignificantSubgraph
 # ----------------------------------------------------------------------
 # Internals
 # ----------------------------------------------------------------------
+def _correction_context(
+    graph: Graph, labeling: DiscreteLabeling, alpha: float
+) -> _CorrectionContext:
+    """Fix ``delta*`` and the derived search prune for one corrected run.
+
+    The hypothesis-count envelope and the testability envelope both come
+    from the *original* graph and null model, so ``delta*`` is a constant
+    of the call — later rounds mine shrinking working graphs, whose
+    connected-subgraph families are subsets of the original's, keeping
+    the count envelope (and hence the FWER guarantee) valid throughout.
+    """
+    envelope = TestabilityEnvelope(labeling.probabilities)
+    max_degree = max(
+        (graph.degree(v) for v in graph.vertices()), default=0
+    )
+    counts = hypothesis_count_envelope(graph.num_vertices, max_degree)
+    tarone = tarone_threshold(envelope, counts, alpha)
+    testability = None
+    if tarone.delta_star > 0.0:
+        floor = conservative_statistic_floor(
+            tarone.delta_star, labeling.num_labels - 1
+        )
+        testability = SearchTestability(
+            min_mass=tarone.testable_min_size, statistic_floor=floor
+        )
+    return _CorrectionContext(
+        tarone=tarone, testability=testability, counts_mode="envelope"
+    )
+
+
 def _mine_one(
     working: Graph,
     labeling: Labeling,
@@ -321,6 +459,7 @@ def _mine_one(
     prune: str,
     backend: str = "python",
     parallel: int = 1,
+    correction_ctx: _CorrectionContext | None = None,
     check_abort: Callable[[], bool] | None = None,
     prefix_cache: PrefixCache | None = None,
     progress: ProgressAggregator | None = None,
@@ -400,14 +539,35 @@ def _mine_one(
                 )
 
     explored_before = report.explored_subgraphs
+    testability = (
+        correction_ctx.testability if correction_ctx is not None else None
+    )
     with tracer.span(
         "solver.search", prune=prune, backend=backend, parallel=parallel
     ) as span:
         region = _search_supergraph(
             supergraph, labeling, search_limit=search_limit, min_size=min_size,
             report=report, prune=prune, backend=backend, parallel=parallel,
+            testability=testability,
             check_abort=check_abort, progress=progress,
         )
+        if testability is not None and (
+            region is None
+            or not correction_ctx.tarone.passes(region.p_value)
+        ):
+            # The testability-pruned search only preserves the uncorrected
+            # optimum when that optimum clears delta*; a failing (or empty)
+            # pruned result says nothing about which region the uncorrected
+            # enumeration would mine — and that region's vertices must be
+            # the ones removed this round for the post-hoc-filter
+            # equivalence to hold.  Re-search unpruned to recover it.
+            span.set(testability_fallback=True)
+            region = _search_supergraph(
+                supergraph, labeling, search_limit=search_limit,
+                min_size=min_size, report=report, prune=prune,
+                backend=backend, parallel=parallel, testability=None,
+                check_abort=check_abort, progress=progress,
+            )
         # Per-round delta, not the running total, so top-t traces show what
         # each round actually cost.
         span.set(explored=report.explored_subgraphs - explored_before)
@@ -441,6 +601,7 @@ def _search_supergraph(
     prune: str = "none",
     backend: str = "python",
     parallel: int = 1,
+    testability: SearchTestability | None = None,
     check_abort: Callable[[], bool] | None = None,
     progress: ProgressAggregator | None = None,
 ) -> SignificantSubgraph | None:
@@ -461,8 +622,8 @@ def _search_supergraph(
 
     outcome = exhaustive_best_mask(
         bitset.adjacency, accumulator, limit=search_limit, prune=prune,
-        backend=backend, parallel=parallel, check_abort=check_abort,
-        progress=progress,
+        backend=backend, parallel=parallel, testability=testability,
+        check_abort=check_abort, progress=progress,
     )
     # Each search call emits per-call cumulative snapshots; banking the
     # finished call keeps the aggregator's totals monotone across calls.
@@ -489,8 +650,8 @@ def _search_supergraph(
             outcome = exhaustive_best_mask(
                 bitset.adjacency, accumulator, min_size=floor,
                 limit=search_limit, prune=prune, backend=backend,
-                parallel=parallel, check_abort=check_abort,
-                progress=progress,
+                parallel=parallel, testability=testability,
+                check_abort=check_abort, progress=progress,
             )
             if progress is not None:
                 progress.finish_call()

@@ -172,6 +172,16 @@ class DiscreteAccumulator:
         """
         return tuple(self._payloads)
 
+    @property
+    def payload_sizes(self) -> tuple[int, ...]:
+        """Original-vertex mass each vertex contributes, in index order.
+
+        Consumed by the testability prune (`SearchTestability`): the mass
+        of a search state plus its reachable closure decides whether any
+        extension can still be large enough to be testable.
+        """
+        return self._payload_sizes
+
 
 class ContinuousAccumulator:
     """Incremental Eq. 8 chi-square over continuous raw-sum payloads.
@@ -265,6 +275,11 @@ class ContinuousAccumulator:
         """Per-vertex ``(raw_sums, size)`` payloads in index order
         (read-only; consumed by :mod:`repro.enumerate.kernel`)."""
         return tuple(self._payloads)
+
+    @property
+    def payload_sizes(self) -> tuple[int, ...]:
+        """Original-vertex mass each vertex contributes, in index order."""
+        return tuple(size for _, size in self._payloads)
 
     def z_vector(self) -> tuple[float, ...]:
         """Combined z-score of the current set (Eq. 5 per dimension)."""

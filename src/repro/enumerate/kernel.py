@@ -467,6 +467,7 @@ class _Counters:
     bound_evaluations: int = 0
     best_updates: int = 0
     batches: int = 0
+    testability_cuts: int = 0
 
 
 class _KernelRun:
@@ -484,6 +485,7 @@ class _KernelRun:
         check_abort: Callable[[], bool] | None,
         progress: ProgressCallback | None = None,
         incumbent=None,
+        testability=None,
     ) -> None:
         self.scorer = scorer
         self.n = n
@@ -494,6 +496,7 @@ class _KernelRun:
         self.check_abort = check_abort
         self.progress = progress
         self.incumbent = incumbent
+        self.testability = testability
         self.broadcasts = 0
         self.counters = _Counters()
         self.blocks_done = 0
@@ -574,16 +577,31 @@ class _KernelRun:
         forbidden: "object",
         size: int,
     ) -> "object":
-        """Bounds-mode cuts: reachability then admissible bound vs incumbent.
+        """Per-level cuts: reachability, testable mass, then the
+        admissible bound vs the incumbent (bounds mode only).
 
         Returns the boolean keep-mask over rows.  Mirrors the python
-        walk's per-frame cuts (both count into ``bound_cuts``), with the
-        incumbent taken at batch time — admissible either way because
+        walk's per-frame cuts (reachability and bound count into
+        ``bound_cuts``, mass shortfalls into ``testability_cuts``), with
+        the incumbent taken at batch time — admissible either way because
         pruning is strict and the bound never underestimates.
         """
         closure = _batch_closure(adj, ext, subsets | forbidden)
-        keep = size + _popcount(closure) >= self.min_size
-        self.counters.bound_cuts += int((~keep).sum())
+        if self.bounded:
+            keep = size + _popcount(closure) >= self.min_size
+            self.counters.bound_cuts += int((~keep).sum())
+        else:
+            keep = _np.ones(subsets.shape[0], dtype=bool)
+        if self.testability is not None:
+            reachable_mass = (
+                _bit_matrix(subsets, self.n) @ self.scorer.mass
+                + _bit_matrix(closure, self.n) @ self.scorer.mass
+            )
+            short = keep & (reachable_mass < self.testability.min_mass)
+            self.counters.testability_cuts += int(short.sum())
+            keep &= ~short
+        if not self.bounded:
+            return keep
         threshold = max(self.best_value, self.seed_value)
         if threshold == float("-inf") or not keep.any():
             return keep
@@ -661,7 +679,7 @@ class _KernelRun:
             if size >= self.size_cap:
                 break
             live = ext != _np.uint64(0)
-            if self.bounded and live.any():
+            if (self.bounded or self.testability is not None) and live.any():
                 rows = _np.flatnonzero(live)
                 keep = self._prune_level(
                     adj, subsets[rows], ext[rows], forbidden[rows], size
@@ -721,6 +739,8 @@ class _KernelRun:
         if self.bounded:
             metrics.count(_metric.SEARCH_BOUND_CUTS, c.bound_cuts)
             metrics.count(_metric.SEARCH_BOUND_EVALUATIONS, c.bound_evaluations)
+        if self.testability is not None:
+            metrics.count(_metric.SEARCH_TESTABILITY_CUTS, c.testability_cuts)
         metrics.count(_metric.SEARCH_KERNEL_BATCHES, c.batches)
         metrics.count(_metric.SEARCH_BLOCKS_SEARCHED, blocks)
         metrics.observe(_metric.SEARCH_STATES_PER_CALL, c.explored)
@@ -734,6 +754,7 @@ def kernel_best_mask(
     max_size: int | None = None,
     limit: int | None = None,
     prune: str = "none",
+    testability=None,
     check_abort: Callable[[], bool] | None = None,
     progress: ProgressCallback | None = None,
     decompose: bool = True,
@@ -769,6 +790,10 @@ def kernel_best_mask(
         raise ValueError(f"max_size ({max_size}) must be >= min_size ({min_size})")
     if prune not in PRUNE_MODES:
         raise ValueError(f"prune must be one of {PRUNE_MODES}, got {prune!r}")
+    if testability is not None and testability.min_mass < 1:
+        raise ValueError(
+            f"testability.min_mass must be >= 1, got {testability.min_mass}"
+        )
     scorer = _scorer_for(accumulator)
     if check_abort is not None and check_abort():
         raise SearchAbortedError()
@@ -783,6 +808,7 @@ def kernel_best_mask(
         size_cap=size_cap,
         limit=limit,
         bounded=prune == "bounds",
+        testability=testability,
         check_abort=check_abort,
         progress=progress,
     )
@@ -795,6 +821,15 @@ def kernel_best_mask(
             # seed never selects a mask, exactly like the scalar path.
             singles = scorer.chi(_np.eye(n, dtype=_np.int64))
             run.seed_value = float(singles.max())
+        if (
+            run.bounded
+            and testability is not None
+            and testability.statistic_floor > run.seed_value
+        ):
+            # Conservative statistic floor tau: no testable state can pass
+            # the corrected threshold below tau, so it is a sound incumbent
+            # seed (value only, never selects a mask).
+            run.seed_value = testability.statistic_floor
         for region, root in plan:
             run.run_subproblem(adjacency, region, root)
             run.blocks_done += 1
@@ -816,6 +851,7 @@ def kernel_best_mask(
         evaluated=c.evaluated,
         bound_cuts=c.bound_cuts,
         bound_evaluations=c.bound_evaluations,
+        testability_cuts=c.testability_cuts,
     )
 
 
@@ -827,6 +863,7 @@ def kernel_run_frames(
     min_size: int,
     size_cap: int,
     prune: str = "none",
+    testability=None,
     seed_value: float = float("-inf"),
     check_abort: Callable[[], bool] | None = None,
     incumbent=None,
@@ -868,6 +905,7 @@ def kernel_run_frames(
         size_cap=size_cap,
         limit=None,
         bounded=prune == "bounds",
+        testability=testability,
         check_abort=check_abort,
         incumbent=incumbent,
     )
@@ -896,4 +934,5 @@ def kernel_run_frames(
         best_updates=c.best_updates,
         kernel_batches=c.batches,
         incumbent_broadcasts=run.broadcasts,
+        testability_cuts=c.testability_cuts,
     )

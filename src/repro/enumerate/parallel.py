@@ -301,10 +301,17 @@ def _run_task(message, best, abort, epoch_cell, broadcasts):
     incumbent = None
     if spec["prune"] == "bounds":
         incumbent = _SharedIncumbent(best, epoch_cell, epoch, broadcasts)
+    testability = None
+    wire = spec.get("testability")
+    if wire is not None:
+        from repro.enumerate.search import SearchTestability
+
+        testability = SearchTestability(*wire)
     kwargs = dict(
         min_size=spec["min_size"],
         size_cap=spec["size_cap"],
         prune=spec["prune"],
+        testability=testability,
         seed_value=spec["seed_value"],
         check_abort=check_abort,
         incumbent=incumbent,
@@ -337,6 +344,7 @@ def _run_task(message, best, abort, epoch_cell, broadcasts):
         "best_updates": result.best_updates,
         "kernel_batches": result.kernel_batches,
         "incumbent_broadcasts": result.incumbent_broadcasts,
+        "testability_cuts": result.testability_cuts,
     }
 
 
@@ -548,6 +556,7 @@ class ShardPool:
             "bound_evaluations": 0,
             "best_updates": 0,
             "kernel_batches": 0,
+            "testability_cuts": 0,
             "shards": total_tasks,
             "steals": 0,
             "states_per_slot": [0] * self.jobs,
@@ -590,7 +599,7 @@ class ShardPool:
             for key in (
                 "explored", "pruned_size_cap", "frontier_exhausted",
                 "evaluated", "bound_cuts", "bound_evaluations",
-                "best_updates", "kernel_batches",
+                "best_updates", "kernel_batches", "testability_cuts",
             ):
                 fold[key] += message[key]
             slot = message["slot"]
@@ -650,6 +659,7 @@ def parallel_best_mask(
     size_cap: int,
     prune: str = "none",
     backend: str = "python",
+    testability=None,
     check_abort: Callable[[], bool] | None = None,
     progress: ProgressCallback | None = None,
 ):
@@ -682,6 +692,15 @@ def parallel_best_mask(
             accumulator.pop(v)
             if value > seed_value:
                 seed_value = value
+    if (
+        bounded
+        and testability is not None
+        and testability.statistic_floor > seed_value
+    ):
+        # The conservative statistic floor is a sound value-only seed:
+        # nothing below it can pass the corrected threshold (see
+        # SearchTestability), so every shard starts with the tighter bound.
+        seed_value = testability.statistic_floor
     frames = _initial_frames(adjacency, n)
     tasks = _build_tasks(adjacency, frames, size_cap, jobs)
     owners = _assign_owners([weight for weight, _ in tasks], jobs)
@@ -693,6 +712,9 @@ def parallel_best_mask(
         "prune": prune,
         "backend": backend,
         "seed_value": seed_value,
+        "testability": (
+            testability.as_wire() if testability is not None else None
+        ),
     }
     pool = _get_pool(jobs)
 
@@ -743,6 +765,10 @@ def parallel_best_mask(
                     _metric.SEARCH_BOUND_EVALUATIONS,
                     fold["bound_evaluations"],
                 )
+            if testability is not None:
+                metrics.count(
+                    _metric.SEARCH_TESTABILITY_CUTS, fold["testability_cuts"]
+                )
             if backend == "numpy":
                 metrics.count(
                     _metric.SEARCH_KERNEL_BATCHES, fold["kernel_batches"]
@@ -774,4 +800,5 @@ def parallel_best_mask(
         evaluated=fold["evaluated"],
         bound_cuts=fold["bound_cuts"],
         bound_evaluations=fold["bound_evaluations"],
+        testability_cuts=fold["testability_cuts"],
     )

@@ -48,6 +48,7 @@ __all__ = [
     "SEARCH_BACKENDS",
     "FrameRunResult",
     "SearchOutcome",
+    "SearchTestability",
     "exhaustive_best_mask",
     "exhaustive_best_subset",
     "resolve_backend",
@@ -130,6 +131,39 @@ def resolve_backend(
 
 
 @dataclass(frozen=True, slots=True)
+class SearchTestability:
+    """Tarone testability pruning parameters for the search.
+
+    Produced by the correction layer (:mod:`repro.stats.correction`):
+    ``min_mass`` is the smallest *original-vertex mass* (sum of payload
+    sizes, not vertex count in this graph) that is testable at the
+    corrected threshold ``delta*`` — states whose mass plus the mass of
+    their reachable closure falls short are cut, counted as
+    ``testability_cuts``.  ``statistic_floor`` is a conservative
+    chi-square floor below which no subgraph can reach ``p <= delta*``
+    (:func:`repro.stats.correction.conservative_statistic_floor`); under
+    ``prune="bounds"`` it seeds the incumbent threshold so bound cuts
+    bite even before any solution is found (those cuts count as
+    ``bound_cuts`` — only mass-frontier cuts are ``testability_cuts``).
+
+    Both cuts are admissible *for corrected mining*: they can only remove
+    states that provably fail the corrected threshold, so whenever the
+    true uncorrected optimum passes, the pruned search still returns it —
+    tie-break included.  When it does not pass, the solver detects that
+    by the value test ``p_raw <= delta*`` and re-runs unpruned (see
+    ``repro.core.solver``).  With testability active, cut *accounting* is
+    backend- and schedule-dependent, like bounds accounting.
+    """
+
+    min_mass: int
+    statistic_floor: float
+
+    def as_wire(self) -> tuple[int, float]:
+        """Plain-tuple form for crossing process boundaries."""
+        return (self.min_mass, self.statistic_floor)
+
+
+@dataclass(frozen=True, slots=True)
 class SearchOutcome:
     """Result of an exhaustive search.
 
@@ -153,6 +187,9 @@ class SearchOutcome:
         the incumbent (``prune="bounds"`` only).
     bound_evaluations:
         Upper-bound computations performed (``prune="bounds"`` only).
+    testability_cuts:
+        Branches cut because no reachable extension could accumulate the
+        minimum testable mass (``testability=`` only).
     """
 
     mask: int
@@ -163,6 +200,7 @@ class SearchOutcome:
     evaluated: int = 0
     bound_cuts: int = 0
     bound_evaluations: int = 0
+    testability_cuts: int = 0
 
     @property
     def pruned(self) -> int:
@@ -182,6 +220,7 @@ def exhaustive_best_mask(
     backend: str = "python",
     parallel: int = 1,
     progress: ProgressCallback | None = None,
+    testability: SearchTestability | None = None,
 ) -> SearchOutcome:
     """Find the connected vertex set with the maximum accumulator statistic.
 
@@ -231,6 +270,15 @@ def exhaustive_best_mask(
     one final snapshot when the call ends, even on abort/limit), carrying
     per-call cumulative counters.  Like ``check_abort`` it is observe-only
     and cannot change the result.
+
+    ``testability``, when given, enables Tarone testability pruning (see
+    :class:`SearchTestability`): frontier subtrees whose reachable mass
+    cannot hit the minimum testable size are cut in every mode and
+    backend, and under ``prune="bounds"`` the statistic floor seeds the
+    incumbent threshold.  The accumulator must expose ``payload_sizes``
+    (both bundled accumulators do).  The returned optimum is the true
+    uncorrected optimum whenever that optimum meets the corrected
+    threshold; cut accounting is backend/schedule-dependent.
     """
     n = len(adjacency)
     if min_size < 1:
@@ -251,6 +299,16 @@ def exhaustive_best_mask(
         )
     if parallel < 1:
         raise ValueError(f"parallel must be >= 1, got {parallel}")
+    if testability is not None:
+        if testability.min_mass < 1:
+            raise ValueError(
+                f"testability.min_mass must be >= 1, got {testability.min_mass}"
+            )
+        if not hasattr(accumulator, "payload_sizes"):
+            raise TypeError(
+                f"{type(accumulator).__name__} does not expose payload_sizes; "
+                "testability pruning needs per-vertex payload masses"
+            )
     backend = resolve_backend(backend, n=n, accumulator=accumulator, prune=prune)
     size_cap = n if max_size is None else min(max_size, n)
     effective_parallel = parallel
@@ -270,7 +328,7 @@ def exhaustive_best_mask(
             adjacency, accumulator,
             jobs=effective_parallel, min_size=min_size, size_cap=size_cap,
             prune=prune, backend=backend, check_abort=check_abort,
-            progress=progress,
+            progress=progress, testability=testability,
         )
     if backend == "numpy":
         from repro.enumerate.kernel import MAX_KERNEL_VERTICES, kernel_best_mask
@@ -280,6 +338,7 @@ def exhaustive_best_mask(
                 adjacency, accumulator,
                 min_size=min_size, max_size=max_size, limit=limit,
                 prune=prune, check_abort=check_abort, progress=progress,
+                testability=testability,
             )
     if check_abort is not None and check_abort():
         raise SearchAbortedError()
@@ -288,11 +347,13 @@ def exhaustive_best_mask(
             adjacency, accumulator,
             min_size=min_size, size_cap=size_cap, limit=limit,
             check_abort=check_abort, progress=progress,
+            testability=testability,
         )
     return _search_unbounded(
         adjacency, accumulator,
         min_size=min_size, size_cap=size_cap, limit=limit,
         check_abort=check_abort, progress=progress,
+        testability=testability,
     )
 
 
@@ -305,6 +366,7 @@ def _search_unbounded(
     limit: int | None,
     check_abort: Callable[[], bool] | None = None,
     progress: ProgressCallback | None = None,
+    testability: SearchTestability | None = None,
 ) -> SearchOutcome:
     """The plain exhaustive walk (``prune="none"``)."""
     n = len(adjacency)
@@ -315,6 +377,11 @@ def _search_unbounded(
     frontier_exhausted = 0
     evaluated = 0
     best_updates = 0
+    testability_cuts = 0
+    min_mass = testability.min_mass if testability is not None else 0
+    payload_sizes = (
+        accumulator.payload_sizes if testability is not None else ()
+    )
     poll = check_abort is not None or progress is not None
     started = time.perf_counter() if progress is not None else 0.0
 
@@ -379,6 +446,19 @@ def _search_unbounded(
                 if not ext:
                     frontier_exhausted += 1
                     continue
+                if testability is not None:
+                    # The stack discipline guarantees the accumulator holds
+                    # exactly `subset` here, so its mass is O(1); if even the
+                    # full reachable closure cannot lift the mass to the
+                    # minimum testable size, nothing below can be significant
+                    # after correction.
+                    closure = _reachable_closure(adjacency, ext, subset | fb)
+                    reachable_mass = accumulator.size
+                    for i in iter_bits(closure):
+                        reachable_mass += payload_sizes[i]
+                    if reachable_mass < min_mass:
+                        testability_cuts += 1
+                        continue
                 u_bit = ext & -ext
                 u = u_bit.bit_length() - 1
                 rest = ext ^ u_bit
@@ -408,6 +488,8 @@ def _search_unbounded(
             metrics.count(_metric.SEARCH_FRONTIER_EXHAUSTED, frontier_exhausted)
             metrics.count(_metric.SEARCH_CHI_SQUARE_EVALUATIONS, evaluated)
             metrics.count(_metric.SEARCH_BEST_UPDATES, best_updates)
+            if testability is not None:
+                metrics.count(_metric.SEARCH_TESTABILITY_CUTS, testability_cuts)
             metrics.observe(_metric.SEARCH_STATES_PER_CALL, explored)
 
     if best_mask == 0:
@@ -415,7 +497,7 @@ def _search_unbounded(
     return SearchOutcome(
         mask=best_mask, chi_square=best_value, explored=explored,
         pruned_size_cap=pruned_size_cap, frontier_exhausted=frontier_exhausted,
-        evaluated=evaluated,
+        evaluated=evaluated, testability_cuts=testability_cuts,
     )
 
 
@@ -442,6 +524,7 @@ def _search_bounded(
     limit: int | None,
     check_abort: Callable[[], bool] | None = None,
     progress: ProgressCallback | None = None,
+    testability: SearchTestability | None = None,
 ) -> SearchOutcome:
     """Branch-and-bound walk (``prune="bounds"``).
 
@@ -468,6 +551,11 @@ def _search_bounded(
     best_updates = 0
     bound_cuts = 0
     bound_evaluations = 0
+    testability_cuts = 0
+    min_mass = testability.min_mass if testability is not None else 0
+    payload_sizes = (
+        accumulator.payload_sizes if testability is not None else ()
+    )
     poll = check_abort is not None or progress is not None
     started = time.perf_counter() if progress is not None else 0.0
 
@@ -491,6 +579,11 @@ def _search_bounded(
             accumulator.pop(v)
             if value > seed_value:
                 seed_value = value
+    if testability is not None and testability.statistic_floor > seed_value:
+        # The Tarone statistic floor is a threshold no passing subgraph can
+        # sit below, so it is a sound incumbent seed even when min_size > 1
+        # forbids singles seeding; its cuts count as bound_cuts.
+        seed_value = testability.statistic_floor
 
     def consider(mask: int, size: int) -> None:
         nonlocal best_mask, best_value, explored, evaluated, best_updates
@@ -543,6 +636,13 @@ def _search_bounded(
                 if size + candidates.bit_count() < min_size:
                     bound_cuts += 1
                     continue
+                if testability is not None:
+                    reachable_mass = accumulator.size
+                    for i in iter_bits(candidates):
+                        reachable_mass += payload_sizes[i]
+                    if reachable_mass < min_mass:
+                        testability_cuts += 1
+                        continue
                 threshold = best_value if best_value > seed_value else seed_value
                 if threshold > float("-inf"):
                     bound_evaluations += 1
@@ -581,6 +681,8 @@ def _search_bounded(
             metrics.count(_metric.SEARCH_BEST_UPDATES, best_updates)
             metrics.count(_metric.SEARCH_BOUND_CUTS, bound_cuts)
             metrics.count(_metric.SEARCH_BOUND_EVALUATIONS, bound_evaluations)
+            if testability is not None:
+                metrics.count(_metric.SEARCH_TESTABILITY_CUTS, testability_cuts)
             metrics.observe(_metric.SEARCH_STATES_PER_CALL, explored)
 
     if best_mask == 0:
@@ -590,6 +692,7 @@ def _search_bounded(
         pruned_size_cap=pruned_size_cap, frontier_exhausted=frontier_exhausted,
         evaluated=evaluated,
         bound_cuts=bound_cuts, bound_evaluations=bound_evaluations,
+        testability_cuts=testability_cuts,
     )
 
 
@@ -617,6 +720,7 @@ class FrameRunResult:
     best_updates: int = 0
     kernel_batches: int = 0
     incumbent_broadcasts: int = 0
+    testability_cuts: int = 0
 
 
 def run_frames(
@@ -630,6 +734,7 @@ def run_frames(
     seed_value: float = float("-inf"),
     check_abort: Callable[[], bool] | None = None,
     incumbent=None,
+    testability: SearchTestability | None = None,
 ) -> FrameRunResult:
     """Run the python walk over explicit task frames (the shard runner).
 
@@ -670,6 +775,11 @@ def run_frames(
     bound_cuts = 0
     bound_evaluations = 0
     broadcasts = 0
+    testability_cuts = 0
+    min_mass = testability.min_mass if testability is not None else 0
+    payload_sizes = (
+        accumulator.payload_sizes if testability is not None else ()
+    )
     poll = check_abort is not None or incumbent is not None
     if check_abort is not None and check_abort():
         raise SearchAbortedError()
@@ -720,11 +830,19 @@ def run_frames(
                 if not ext:
                     frontier_exhausted += 1
                     continue
-                if bounded:
+                if bounded or testability is not None:
                     candidates = _reachable_closure(adjacency, ext, subset | fb)
-                    if size + candidates.bit_count() < min_size:
-                        bound_cuts += 1
+                if bounded and size + candidates.bit_count() < min_size:
+                    bound_cuts += 1
+                    continue
+                if testability is not None:
+                    reachable_mass = accumulator.size
+                    for i in iter_bits(candidates):
+                        reachable_mass += payload_sizes[i]
+                    if reachable_mass < min_mass:
+                        testability_cuts += 1
                         continue
+                if bounded:
                     threshold = (
                         best_value if best_value > seed_value else seed_value
                     )
@@ -767,6 +885,7 @@ def run_frames(
         bound_evaluations=bound_evaluations,
         best_updates=best_updates,
         incumbent_broadcasts=broadcasts,
+        testability_cuts=testability_cuts,
     )
 
 
@@ -781,6 +900,7 @@ def exhaustive_best_subset(
     check_abort: Callable[[], bool] | None = None,
     backend: str = "python",
     progress: ProgressCallback | None = None,
+    testability: SearchTestability | None = None,
 ) -> tuple[frozenset[Hashable], float, int]:
     """Convenience wrapper returning original vertex objects.
 
@@ -799,6 +919,7 @@ def exhaustive_best_subset(
         check_abort=check_abort,
         backend=backend,
         progress=progress,
+        testability=testability,
     )
     return bitset.vertex_set(outcome.mask), outcome.chi_square, outcome.explored
 

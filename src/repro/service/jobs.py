@@ -305,6 +305,8 @@ def _execute_request(
         prune=params["prune"],
         backend=params.get("backend", "python"),
         parallel=parallel,
+        correction=params.get("correction", "none"),
+        alpha=params.get("alpha", 0.05),
         check_abort=check_abort,
         prefix_cache=cache,
         progress=progress,

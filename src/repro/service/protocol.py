@@ -13,7 +13,8 @@ parameters::
                  "edge_order": "input", "seed": null,
                  "search_limit": null, "min_size": 1,
                  "polish": false, "prune": "none",
-                 "backend": "auto", "parallel": 1},
+                 "backend": "auto", "parallel": 1,
+                 "correction": "none", "alpha": 0.05},
       "async": false,
       "deadline_seconds": null,
       "trace": true
@@ -72,6 +73,8 @@ DEFAULT_PARAMS: dict[str, Any] = {
     "prune": "none",
     "backend": "auto",
     "parallel": 1,
+    "correction": "none",
+    "alpha": 0.05,
 }
 """Defaults applied to ``params`` fields a request leaves out; they match
 the CLI's ``repro mine`` defaults."""
@@ -84,6 +87,7 @@ _METHODS = ("supergraph", "naive")
 _EDGE_ORDERS = ("input", "shuffled", "by_chi_square")
 _PRUNES = ("none", "bounds")
 _BACKENDS = ("python", "numpy", "auto")
+_CORRECTIONS = ("none", "fwer")
 
 
 def _require(condition: bool, message: str) -> None:
@@ -236,6 +240,31 @@ def validate_request(doc: Any) -> dict[str, Any]:
         isinstance(params["polish"], bool),
         f"params.polish must be a boolean, got {params['polish']!r}",
     )
+    _require(
+        params["correction"] in _CORRECTIONS,
+        f"params.correction must be one of {_CORRECTIONS}, "
+        f"got {params['correction']!r}",
+    )
+    alpha = params["alpha"]
+    _require(
+        isinstance(alpha, (int, float)) and not isinstance(alpha, bool)
+        and 0.0 < alpha < 1.0,
+        f"params.alpha must be a number strictly between 0 and 1, "
+        f"got {alpha!r}",
+    )
+    params["alpha"] = float(alpha)
+
+    if (
+        params["correction"] == "fwer"
+        and labels_doc is not None
+        and labels_doc.get("type") == "continuous"
+    ):
+        # Digest requests resolve their labeling later; the solver raises
+        # the same constraint then.
+        raise RequestValidationError(
+            "params.correction='fwer' requires a discrete labeling "
+            "(Tarone testability is undefined for the continuous statistic)"
+        )
 
     run_async = doc.get("async", False)
     _require(
@@ -340,13 +369,15 @@ def result_to_payload(result: MiningResult) -> dict[str, Any]:
     without reparsing.
     """
     report = result.report
-    return {
+    payload = {
         "subgraphs": [
             {
                 "vertices": sorted(map(str, sub.vertices)),
                 "size": sub.size,
                 "chi_square": sub.chi_square,
                 "p_value": sub.p_value,
+                "p_value_raw": sub.p_value,
+                "corrected_p_value": sub.corrected_p_value,
                 "component_sizes": list(sub.component_sizes),
                 "component_labels": list(sub.component_labels),
             }
@@ -368,3 +399,15 @@ def result_to_payload(result: MiningResult) -> dict[str, Any]:
             "total_seconds": report.total_seconds,
         },
     }
+    if result.correction is not None:
+        corr = result.correction
+        payload["correction"] = {
+            "method": corr.method,
+            "alpha": corr.alpha,
+            "delta_star": corr.delta_star,
+            "num_testable": corr.num_testable,
+            "testable_min_size": corr.testable_min_size,
+            "counts_mode": corr.counts_mode,
+            "regions_filtered": corr.regions_filtered,
+        }
+    return payload

@@ -11,9 +11,20 @@ from repro.stats.chi_square import (
     chi_square_statistic,
     validate_probabilities,
 )
+from repro.stats.correction import (
+    CorrectionReport,
+    TaroneResult,
+    TestabilityEnvelope,
+    conservative_statistic_floor,
+    corrected_p_value,
+    exact_hypothesis_counts,
+    hypothesis_count_envelope,
+    tarone_threshold,
+)
 from repro.stats.distributions import (
     cauchy_cdf,
     chi2_cdf,
+    chi2_isf,
     chi2_mean,
     chi2_pdf,
     chi2_ppf,
@@ -44,10 +55,14 @@ from repro.stats.zscore import (
 )
 
 __all__ = [
+    "CorrectionReport",
     "CountVector",
     "RegionScore",
+    "TaroneResult",
+    "TestabilityEnvelope",
     "cauchy_cdf",
     "chi2_cdf",
+    "chi2_isf",
     "chi2_mean",
     "chi2_pdf",
     "chi2_ppf",
@@ -56,10 +71,15 @@ __all__ = [
     "chi_square_statistic",
     "combine_z_scores",
     "combined_region_z",
+    "conservative_statistic_floor",
     "continuous_p_value",
+    "corrected_p_value",
     "discrete_p_value",
     "exact_discrete_p_value",
+    "exact_hypothesis_counts",
+    "hypothesis_count_envelope",
     "is_significant",
+    "tarone_threshold",
     "lemma7_contracting_probability",
     "lemma7_contracting_range",
     "multi_dim_chi_square",

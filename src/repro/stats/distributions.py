@@ -25,6 +25,7 @@ from collections.abc import Sequence
 __all__ = [
     "cauchy_cdf",
     "chi2_cdf",
+    "chi2_isf",
     "chi2_mean",
     "chi2_pdf",
     "chi2_ppf",
@@ -175,6 +176,41 @@ def chi2_ppf(q: float, df: float) -> float:
     for _ in range(200):
         mid = 0.5 * (low + high)
         if chi2_cdf(mid, df) < q:
+            low = mid
+        else:
+            high = mid
+        if high - low <= 1e-12 * max(1.0, high):
+            break
+    return 0.5 * (low + high)
+
+
+def chi2_isf(p: float, df: float) -> float:
+    """Inverse survival function of chi2(df), by bisection on the SF.
+
+    Returns the statistic ``x`` with ``chi2_sf(x, df) == p``.  Bisecting
+    the survival function directly (instead of ``chi2_ppf(1 - p, df)``)
+    keeps full relative accuracy in the far tail: at ``p < 1e-16`` the
+    complement ``1 - p`` rounds to 1.0 and the CDF route degenerates,
+    while the SF stays exactly representable down to the underflow
+    threshold.  The Tarone correction layer inverts thresholds at
+    ``p ~ alpha / m`` with ``m`` in the millions, which lives in exactly
+    that tail.
+    """
+    _check_df(df)
+    if not 0.0 < p <= 1.0:
+        raise ValueError(f"tail probability must be in (0, 1], got {p}")
+    if p == 1.0:
+        return 0.0
+    # Bracket the root: sf is decreasing, so double high until it drops
+    # below p.  The mean-plus-ten-sigma start covers moderate tails; the
+    # doubling loop covers extreme ones (sf underflows to 0.0 < p, so it
+    # always terminates).
+    low, high = 0.0, df + 10.0 * math.sqrt(2.0 * df) + 10.0
+    while chi2_sf(high, df) > p:
+        high *= 2.0
+    for _ in range(200):
+        mid = 0.5 * (low + high)
+        if chi2_sf(mid, df) > p:
             low = mid
         else:
             high = mid

@@ -54,6 +54,44 @@ def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
             yield (head, *tail)
 
 
+_DEGENERATE_PROBABILITY_FLOOR = 1e-12
+
+
+def _clamp_degenerate_probabilities(
+    probabilities: Sequence[float],
+) -> list[float]:
+    """Repair a *degenerate* null model instead of rejecting it.
+
+    Empirical label distributions estimated from data can carry
+    probabilities that are exactly zero or denormal-small while still
+    summing to 1 within tolerance (a label present in the vocabulary but
+    absent from the sample).  ``validate_probabilities`` rightly rejects
+    those for the mining statistic, but the exact enumeration here is a
+    diagnostic that should still answer: a zero-probability cell simply
+    contributes (near-)zero mass to every outcome containing it.  Clamp
+    each entry to a tiny floor and renormalise; non-degenerate inputs are
+    returned unchanged via the strict validator.
+    """
+    if not probabilities:
+        raise ValueError("need at least one probability")
+    floor = _DEGENERATE_PROBABILITY_FLOOR
+    if all(p >= floor for p in probabilities):
+        # Not degenerate — let the strict validator enforce sum/type/range.
+        return validate_probabilities(probabilities)
+    for p in probabilities:
+        # The degenerate path admits both endpoints: an entry of exactly
+        # 1.0 (all mass on one label) lands strictly inside (0, 1) after
+        # the zero entries are clamped up and the vector renormalised.
+        if not isinstance(p, (int, float)) or math.isnan(p) or p < 0 or p > 1:
+            raise ValueError(f"probability {p!r} is not in [0, 1]")
+    total = math.fsum(probabilities)
+    if not math.isclose(total, 1.0, abs_tol=1e-9):
+        raise ValueError(f"probabilities must sum to 1, got {total}")
+    clamped = [max(float(p), floor) for p in probabilities]
+    norm = math.fsum(clamped)
+    return [p / norm for p in clamped]
+
+
 def _log_multinomial_pmf(
     counts: Sequence[int], log_probs: Sequence[float], log_n_factorial: float
 ) -> float:
@@ -79,8 +117,14 @@ def exact_discrete_p_value(
 
     Raises :class:`ValueError` when the outcome count exceeds
     ``max_outcomes``; fall back to :func:`discrete_p_value` then.
+
+    Degenerate null models — probabilities summing to 1 within tolerance
+    but with entries so small that ``n * p_i`` is effectively zero (label
+    absent from the estimation sample) — are clamped to a tiny floor and
+    renormalised instead of raising, so empirical distributions remain
+    usable as diagnostics.
     """
-    probs = validate_probabilities(probabilities)
+    probs = _clamp_degenerate_probabilities(probabilities)
     if len(counts) != len(probs):
         raise ValueError(
             f"count vector has {len(counts)} entries for {len(probs)} labels"

@@ -18,6 +18,10 @@ __all__ = [
     "CONSTRUCT_SUPER_EDGES",
     "CONSTRUCT_SUPER_VERTEX_SIZE",
     "CONSTRUCT_SUPER_VERTICES",
+    "CORRECTION_DELTA_STAR",
+    "CORRECTION_REGIONS_FILTERED",
+    "CORRECTION_TESTABLE_HYPOTHESES",
+    "CORRECTION_TESTABLE_MIN_SIZE",
     "ENUMERATE_SETS_EMITTED",
     "REDUCE_EDGES_CONTRACTED",
     "REDUCE_HEAP_COMPACTIONS",
@@ -39,6 +43,7 @@ __all__ = [
     "SEARCH_STATES_PER_CALL",
     "SEARCH_STATES_PRUNED",
     "SEARCH_STATES_VISITED",
+    "SEARCH_TESTABILITY_CUTS",
     "SERVICE_BATCH_DISPATCHES",
     "SERVICE_BATCH_GROUPED_JOBS",
     "SERVICE_BATCH_SIZE",
@@ -158,8 +163,30 @@ SEARCH_INCUMBENT_BROADCASTS = "search.incumbent_broadcasts"
 """Counter: incumbent improvements published to the cross-shard shared
 bound cell (``parallel=N`` with ``prune="bounds"`` only)."""
 
+SEARCH_TESTABILITY_CUTS = "search.testability_cuts"
+"""Counter: branches cut because no reachable extension could accumulate
+the minimum testable original-vertex mass (``testability=`` searches
+only; statistic-floor cuts count as ``search.bound_cuts``)."""
+
 ENUMERATE_SETS_EMITTED = "enumerate.sets_emitted"
 """Counter: connected sets yielded by the standalone enumerator."""
+
+# --- multiple-testing correction (repro.stats.correction) -------------
+CORRECTION_DELTA_STAR = "correction.delta_star"
+"""Gauge: the Tarone-corrected significance threshold ``delta*`` of the
+last corrected mine (0.0 when no mass regime fit the alpha budget)."""
+
+CORRECTION_TESTABLE_HYPOTHESES = "correction.testable_hypotheses"
+"""Gauge: ``m(delta*)`` — hypotheses testable at the corrected threshold
+(the Bonferroni factor of corrected p-values)."""
+
+CORRECTION_TESTABLE_MIN_SIZE = "correction.testable_min_size"
+"""Gauge: smallest original-vertex mass testable at ``delta*`` (the
+search's testability-prune floor)."""
+
+CORRECTION_REGIONS_FILTERED = "correction.regions_filtered"
+"""Counter: round-winning regions that failed the corrected threshold
+and were filtered from the corrected result."""
 
 # --- super-graph bookkeeping ------------------------------------------
 SUPERGRAPH_MERGES = "supergraph.merges"

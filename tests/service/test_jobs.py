@@ -98,6 +98,29 @@ class TestLifecycle:
     def test_unknown_job_lookup(self, manager):
         assert manager.get("not-a-job") is None
 
+    def test_corrected_job_end_to_end(self, manager):
+        """A `correction: fwer` request runs in a worker and ships the
+        corrected payload back (satisfying CLI/service parity)."""
+        request = validate_request({
+            "graph": {"edges": [[0, 1], [1, 2], [0, 2], [2, 3], [3, 4]]},
+            "labels": {"type": "discrete", "probabilities": [0.8, 0.2],
+                       "assignment": {"0": 1, "1": 1, "2": 1,
+                                      "3": 0, "4": 0}},
+            "params": {"correction": "fwer", "alpha": 0.05,
+                       "prune": "bounds"},
+        })
+        job = manager.submit(request)
+        assert job.wait(60)
+        assert job.status == "done"
+        payload = job.result
+        corr = payload["correction"]
+        assert corr["method"] == "fwer"
+        assert corr["delta_star"] > 0.0
+        for sub in payload["subgraphs"]:
+            assert sub["p_value_raw"] == sub["p_value"]
+            assert sub["p_value"] <= corr["delta_star"]
+            assert sub["corrected_p_value"] is not None
+
     def test_cache_deltas_are_folded_pool_wide(self, manager):
         before = manager.cache_counters["hits"] + manager.cache_counters["misses"]
         jobs = [manager.submit(QUICK_REQUEST) for _ in range(4)]

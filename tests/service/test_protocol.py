@@ -169,3 +169,72 @@ class TestResultPayload:
                     "construction_seconds", "total_seconds"):
             assert key in payload["report"], key
         json.dumps(payload)  # must be JSON-serialisable as-is
+
+
+class TestCorrectionParams:
+    """`params.correction` / `params.alpha` validation and payload parity."""
+
+    def test_defaults(self):
+        assert DEFAULT_PARAMS["correction"] == "none"
+        assert DEFAULT_PARAMS["alpha"] == 0.05
+
+    def test_fwer_params_accepted(self):
+        doc = dict(MINIMAL, params={"correction": "fwer", "alpha": 0.01})
+        request = validate_request(doc)
+        assert request["params"]["correction"] == "fwer"
+        assert request["params"]["alpha"] == 0.01
+
+    def test_integer_alpha_coerced_to_float(self):
+        # JSON clients may send 0.05 as a float already, but an int-typed
+        # in-range value (none exist strictly inside (0,1), so check the
+        # coercion on the accepted float path).
+        doc = dict(MINIMAL, params={"alpha": 0.5})
+        assert isinstance(validate_request(doc)["params"]["alpha"], float)
+
+    @pytest.mark.parametrize("params", [
+        {"correction": "fdr"},
+        {"correction": 1},
+        {"alpha": 0.0},
+        {"alpha": 1.0},
+        {"alpha": -0.2},
+        {"alpha": True},
+        {"alpha": "0.05"},
+    ])
+    def test_bad_correction_params_rejected(self, params):
+        with pytest.raises(RequestValidationError):
+            validate_request(dict(MINIMAL, params=params))
+
+    def test_fwer_with_inline_continuous_labels_rejected(self):
+        doc = {
+            "graph": {"edges": [[0, 1], [1, 2]]},
+            "labels": {"type": "continuous",
+                       "values": {"0": [0.1], "1": [2.0], "2": [0.3]}},
+            "params": {"correction": "fwer"},
+        }
+        with pytest.raises(RequestValidationError, match="continuous"):
+            validate_request(doc)
+
+    def test_corrected_payload_parity_with_solver(self):
+        """The service payload mirrors mine()'s corrected result exactly."""
+        graph, labeling = build_instance(validate_request(MINIMAL))
+        result = mine(graph, labeling, correction="fwer", alpha=0.05)
+        payload = result_to_payload(result)
+        assert set(payload) == {"subgraphs", "report", "correction"}
+        corr = payload["correction"]
+        assert corr["method"] == "fwer"
+        assert corr["alpha"] == 0.05
+        assert corr["delta_star"] == result.correction.delta_star
+        assert corr["regions_filtered"] == result.correction.regions_filtered
+        for sub, mined in zip(payload["subgraphs"], result.subgraphs):
+            assert sub["p_value_raw"] == sub["p_value"] == mined.p_value
+            assert sub["corrected_p_value"] == mined.corrected_p_value
+        json.dumps(payload)  # must stay JSON-serialisable
+
+    def test_uncorrected_payload_has_raw_mirror(self):
+        """Raw runs carry p_value_raw too, so outputs diff cleanly."""
+        graph, labeling = build_instance(validate_request(MINIMAL))
+        payload = result_to_payload(mine(graph, labeling))
+        assert "correction" not in payload
+        for sub in payload["subgraphs"]:
+            assert sub["p_value_raw"] == sub["p_value"]
+            assert sub["corrected_p_value"] is None

@@ -177,6 +177,92 @@ class TestChi2Ppf:
             chi2_ppf(-0.1, 3)
 
 
+class TestChi2TailInversion:
+    """Deep-tail round trips for the SF/ISF pair (Tarone regime).
+
+    The correction layer inverts ``chi2_sf`` at ``p ~ alpha / m`` with
+    ``m`` in the millions, i.e. far past where ``chi2_ppf(1 - p)`` loses
+    all precision.  These properties pin the relative accuracy of the
+    direct SF bisection down to ``p = 1e-15``.
+    """
+
+    @pytest.mark.correction
+    @pytest.mark.parametrize("df", [1, 2, 4, 9, 30])
+    @pytest.mark.parametrize("p", [1e-3, 1e-9, 1e-12, 1e-13, 1e-15])
+    def test_sf_isf_round_trip(self, df, p):
+        from repro.stats.distributions import chi2_isf
+
+        x = chi2_isf(p, df)
+        assert chi2_sf(x, df) == pytest.approx(p, rel=1e-8)
+
+    @pytest.mark.correction
+    @pytest.mark.parametrize("df", [1, 3, 10])
+    @pytest.mark.parametrize("p", [1e-12, 1e-14])
+    def test_isf_matches_scipy_in_deep_tail(self, df, p):
+        from repro.stats.distributions import chi2_isf
+
+        assert chi2_isf(p, df) == pytest.approx(
+            scipy_stats.chi2.isf(p, df), rel=1e-8
+        )
+
+    @pytest.mark.correction
+    def test_isf_round_trip_property(self):
+        """Randomized sweep: sf(isf(p)) == p across the whole tail."""
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.stats.distributions import chi2_isf
+
+        @settings(max_examples=200, deadline=None)
+        @given(
+            exponent=st.floats(min_value=-15.0, max_value=-0.5),
+            df=st.integers(min_value=1, max_value=40),
+        )
+        def check(exponent, df):
+            p = 10.0**exponent
+            x = chi2_isf(p, df)
+            assert chi2_sf(x, df) == pytest.approx(p, rel=1e-7)
+
+        check()
+
+    @pytest.mark.correction
+    def test_ppf_round_trip_property(self):
+        """The CDF-side inverse round-trips over its central region.
+
+        ``chi2_ppf`` bisects to an *absolute* x-tolerance, which cannot
+        resolve the left tail at df=1 where x ~ q^2; the deep tail is
+        ``chi2_isf``'s job (covered above), so this property sticks to
+        quantiles the CDF route is specified for.
+        """
+        from hypothesis import given, settings
+        from hypothesis import strategies as st
+
+        from repro.stats.distributions import chi2_ppf
+
+        @settings(max_examples=200, deadline=None)
+        @given(
+            q=st.floats(min_value=0.01, max_value=0.999999),
+            df=st.integers(min_value=1, max_value=40),
+        )
+        def check(q, df):
+            assert chi2_cdf(chi2_ppf(q, df), df) == pytest.approx(q, abs=1e-9)
+
+        check()
+
+    def test_isf_rejects_out_of_range(self):
+        from repro.stats.distributions import chi2_isf
+
+        with pytest.raises(ValueError):
+            chi2_isf(0.0, 3)
+        with pytest.raises(ValueError):
+            chi2_isf(1.5, 3)
+
+    def test_isf_boundary(self):
+        from repro.stats.distributions import chi2_isf
+
+        assert chi2_isf(1.0, 3) == 0.0
+
+
 class TestMultivariateNormalPdf:
     def test_matches_scipy(self):
         from repro.stats.distributions import multivariate_standard_normal_pdf

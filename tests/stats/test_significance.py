@@ -124,3 +124,59 @@ class TestExactDiscretePValue:
         from repro.stats.significance import exact_discrete_p_value
 
         assert exact_discrete_p_value([4, 4], (0.5, 0.5)) == pytest.approx(1.0)
+
+
+class TestDegenerateNullModels:
+    """Regression: degenerate null models are clamped, not rejected.
+
+    Empirical label distributions can contain zero (or denormal)
+    probabilities — a label present in the alphabet but absent from the
+    sample.  ``exact_discrete_p_value`` used to raise through the strict
+    probability validator; it now clamps those entries to a tiny floor
+    and renormalises, so the exact test stays usable on such models.
+    """
+
+    def test_zero_probability_entry_no_longer_raises(self):
+        from repro.stats.significance import exact_discrete_p_value
+
+        p = exact_discrete_p_value([3, 0], (1.0, 0.0))
+        assert 0.0 < p <= 1.0
+
+    def test_denormal_probability_entry(self):
+        from repro.stats.significance import exact_discrete_p_value
+
+        p = exact_discrete_p_value([5, 1], (1.0 - 1e-15, 1e-15))
+        assert 0.0 < p <= 1.0
+
+    def test_clamped_matches_explicit_floor_model(self):
+        """Clamping p=0 is equivalent to supplying the floor directly."""
+        from repro.stats.significance import exact_discrete_p_value
+
+        floor = 1e-12
+        clamped = exact_discrete_p_value([4, 2, 0], (0.6, 0.4, 0.0))
+        explicit = exact_discrete_p_value(
+            [4, 2, 0], (0.6 - floor / 2, 0.4 - floor / 2, floor)
+        )
+        assert clamped == pytest.approx(explicit, rel=1e-6)
+
+    def test_all_mass_on_degenerate_label_is_extreme(self):
+        """Observing the impossible label yields a near-zero p-value."""
+        from repro.stats.significance import exact_discrete_p_value
+
+        assert exact_discrete_p_value([0, 4], (1.0, 0.0)) < 1e-6
+
+    def test_non_degenerate_inputs_still_strictly_validated(self):
+        from repro.stats.significance import exact_discrete_p_value
+
+        with pytest.raises(ValueError):
+            exact_discrete_p_value([1, 1], (0.5, 0.4))  # sum != 1
+        with pytest.raises(ValueError):
+            exact_discrete_p_value([1, 1], (1.2, -0.2))  # negative entry
+
+    def test_degenerate_inputs_still_reject_bad_values(self):
+        from repro.stats.significance import exact_discrete_p_value
+
+        with pytest.raises(ValueError):
+            exact_discrete_p_value([1, 1], (1.0, float("nan")))
+        with pytest.raises(ValueError):
+            exact_discrete_p_value([1, 1, 1], (1.0, 0.0, 0.1))  # sum != 1

@@ -391,3 +391,64 @@ class TestDataset:
             ]
         ) == 2
         assert "json" in capsys.readouterr().err
+
+
+class TestMineCorrection:
+    """`--correct fwer`: corrected JSON diffs cleanly against raw runs."""
+
+    def test_json_diffability_raw_vs_corrected(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main(["mine", graph_path, labels_path, "--json"]) == 0
+        base = json.loads(capsys.readouterr().out)
+        assert main([
+            "mine", graph_path, labels_path, "--json",
+            "--correct", "fwer", "--alpha", "0.05",
+        ]) == 0
+        corrected = json.loads(capsys.readouterr().out)
+        # Both runs expose p_value_raw mirroring p_value, so a line diff
+        # between raw and corrected output only shows the corrected
+        # fields and the dropped regions.
+        for payload in (base, corrected):
+            for sub in payload["subgraphs"]:
+                assert sub["p_value_raw"] == sub["p_value"]
+        assert "correction" not in base
+        assert all(s["corrected_p_value"] is None for s in base["subgraphs"])
+        report = corrected["correction"]
+        assert report["method"] == "fwer"
+        assert report["alpha"] == 0.05
+        assert report["delta_star"] > 0.0
+        # Survivors are exactly the raw regions passing delta*.
+        surviving = [
+            s for s in base["subgraphs"]
+            if s["p_value"] <= report["delta_star"]
+        ]
+        assert [s["vertices"] for s in corrected["subgraphs"]] == [
+            s["vertices"] for s in surviving
+        ]
+        for sub in corrected["subgraphs"]:
+            assert sub["corrected_p_value"] == pytest.approx(
+                min(1.0, report["num_testable"] * sub["p_value"])
+            )
+
+    def test_text_output_reports_threshold(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main([
+            "mine", graph_path, labels_path, "--correct", "fwer",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "FWER correction" in out
+        assert "delta*" in out
+        assert "p_corr=" in out
+
+    def test_rejects_unknown_correction(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        with pytest.raises(SystemExit):
+            main(["mine", graph_path, labels_path, "--correct", "fdr"])
+
+    def test_rejects_bad_alpha(self, instance_files, capsys):
+        graph_path, labels_path = instance_files
+        assert main([
+            "mine", graph_path, labels_path,
+            "--correct", "fwer", "--alpha", "1.5",
+        ]) == 2
+        assert "alpha" in capsys.readouterr().err
